@@ -1,0 +1,282 @@
+//! Abstract locations `ρ` and the location table.
+//!
+//! An abstract location stands for a set of concrete memory objects: a
+//! variable, the (collapsed) elements of an array, a struct field class,
+//! or a heap allocation site. Two program quantities that may alias are
+//! mapped to the *same* abstract location — the defining property of the
+//! paper's unification-based (Steensgaard-style) may-alias analysis.
+
+use crate::ty::Ty;
+use crate::union_find::UnionFind;
+use std::fmt;
+
+/// An abstract location `ρ`.
+///
+/// Values are stable keys into a [`LocTable`]; always compare them through
+/// [`LocTable::find`] (or after canonicalization), since unification can
+/// merge two distinct keys into one equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub u32);
+
+impl Loc {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ρ{}", self.0)
+    }
+}
+
+/// How many concrete objects an abstract location may stand for.
+///
+/// This drives the flow-sensitive checker's strong/weak update decision:
+/// only a location known to stand for *at most one* concrete object may be
+/// strongly updated. `restrict`/`confine` work precisely by introducing a
+/// fresh location `ρ'` of multiplicity [`Multiplicity::One`] for a scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Multiplicity {
+    /// A placeholder that has not (yet) been matched with any object
+    /// (e.g. the pointee structure invented when lowering a declared
+    /// pointer type).
+    Zero,
+    /// Exactly one concrete object (a single variable, or the private
+    /// copy a `restrict`/`confine` binds).
+    One,
+    /// Possibly many objects (array elements, field classes shared by all
+    /// struct instances, heap allocation sites, or the union of several
+    /// single objects).
+    Many,
+}
+
+impl Multiplicity {
+    /// Combines the multiplicities of two merged location classes.
+    pub fn join(self, other: Multiplicity) -> Multiplicity {
+        use Multiplicity::*;
+        match (self, other) {
+            (Zero, x) | (x, Zero) => x,
+            (One, One) => Many,
+            _ => Many,
+        }
+    }
+}
+
+/// Per-location metadata (kept on the canonical representative).
+#[derive(Debug, Clone)]
+struct LocInfo {
+    /// Debug name, e.g. `locks[]` or `dev.mu`.
+    name: String,
+    /// The type of the value stored at this location.
+    content: Ty,
+    /// `true` if the location's identity was laundered through a type
+    /// mismatch (e.g. an incompatible cast). Tainted locations can never
+    /// be restricted or confined — the alias analysis cannot vouch for
+    /// them. This models the paper's §7 observation that "our underlying
+    /// may-alias analysis is unable to verify the addition of confine
+    /// without programmer intervention (e.g., a type cast)".
+    tainted: bool,
+    /// How many concrete objects the class may stand for.
+    mult: Multiplicity,
+}
+
+/// The table of all abstract locations for one analysis run, with their
+/// union-find structure, content types and taint flags.
+#[derive(Debug, Clone, Default)]
+pub struct LocTable {
+    uf: UnionFind,
+    info: Vec<LocInfo>,
+    /// `(winner, loser)` pairs recorded by unifications since the last
+    /// [`LocTable::take_merges`]; consumers maintaining per-location side
+    /// tables (e.g. the effect solver's `ε_ρ` variables) replay these.
+    merges: Vec<(Loc, Loc)>,
+}
+
+impl LocTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LocTable::default()
+    }
+
+    /// Allocates a fresh placeholder location ([`Multiplicity::Zero`])
+    /// named `name` holding values of type `content`.
+    pub fn fresh(&mut self, name: impl Into<String>, content: Ty) -> Loc {
+        self.fresh_with(name, content, Multiplicity::Zero)
+    }
+
+    /// Allocates a fresh location with an explicit multiplicity.
+    pub fn fresh_with(&mut self, name: impl Into<String>, content: Ty, mult: Multiplicity) -> Loc {
+        let key = self.uf.push();
+        self.info.push(LocInfo {
+            name: name.into(),
+            content,
+            tainted: false,
+            mult,
+        });
+        Loc(key)
+    }
+
+    /// The multiplicity of `l`'s class.
+    pub fn multiplicity(&mut self, l: Loc) -> Multiplicity {
+        let r = self.find(l);
+        self.info[r.index()].mult
+    }
+
+    /// Raises the multiplicity of `l`'s class to at least `m` (this is a
+    /// plain maximum, unlike the additive [`Multiplicity::join`] used when
+    /// two classes merge).
+    pub fn raise_multiplicity(&mut self, l: Loc, m: Multiplicity) {
+        let r = self.find(l);
+        let cur = self.info[r.index()].mult;
+        self.info[r.index()].mult = cur.max(m);
+    }
+
+    /// Number of allocated location keys (not equivalence classes).
+    pub fn len(&self) -> usize {
+        self.uf.len()
+    }
+
+    /// Returns `true` if no locations exist.
+    pub fn is_empty(&self) -> bool {
+        self.uf.is_empty()
+    }
+
+    /// Canonical representative of `l`.
+    pub fn find(&mut self, l: Loc) -> Loc {
+        Loc(self.uf.find(l.0))
+    }
+
+    /// Canonical representative without path compression.
+    pub fn find_const(&self, l: Loc) -> Loc {
+        Loc(self.uf.find_const(l.0))
+    }
+
+    /// Returns `true` if `a` and `b` denote the same location class —
+    /// i.e. the analysis considers them may-aliases.
+    pub fn same(&mut self, a: Loc, b: Loc) -> bool {
+        self.uf.same(a.0, b.0)
+    }
+
+    /// The content type stored at `l`'s class.
+    pub fn content(&mut self, l: Loc) -> Ty {
+        let r = self.find(l);
+        self.info[r.index()].content.clone()
+    }
+
+    /// Overwrites the content type of `l`'s class.
+    pub fn set_content(&mut self, l: Loc, ty: Ty) {
+        let r = self.find(l);
+        self.info[r.index()].content = ty;
+    }
+
+    /// Debug name of `l`'s class.
+    pub fn name(&mut self, l: Loc) -> String {
+        let r = self.find(l);
+        self.info[r.index()].name.clone()
+    }
+
+    /// Marks `l`'s class tainted (see [`LocTable::is_tainted`]).
+    pub fn taint(&mut self, l: Loc) {
+        let r = self.find(l);
+        self.info[r.index()].tainted = true;
+    }
+
+    /// Returns `true` if `l`'s class has been tainted by a type mismatch.
+    pub fn is_tainted(&mut self, l: Loc) -> bool {
+        let r = self.find(l);
+        self.info[r.index()].tainted
+    }
+
+    /// Unifies the classes of `a` and `b` *without* touching their content
+    /// types; returns the `(winner, loser)` pair if a merge happened.
+    ///
+    /// This is the raw operation; almost all callers want
+    /// [`crate::ty::unify`] instead, which also unifies contents.
+    pub fn union_raw(&mut self, a: Loc, b: Loc) -> Option<(Loc, Loc)> {
+        let merged = self.uf.union(a.0, b.0).map(|(w, l)| (Loc(w), Loc(l)));
+        if let Some((winner, loser)) = merged {
+            // Keep the earlier-created name for stable diagnostics, merge
+            // taint.
+            if loser.0 < winner.0 {
+                let name = self.info[loser.index()].name.clone();
+                self.info[winner.index()].name = name;
+            }
+            let t = self.info[loser.index()].tainted;
+            self.info[winner.index()].tainted |= t;
+            let m = self.info[loser.index()].mult;
+            let w = self.info[winner.index()].mult;
+            self.info[winner.index()].mult = w.join(m);
+            self.merges.push((winner, loser));
+        }
+        merged
+    }
+
+    /// Drains the `(winner, loser)` merge log.
+    pub fn take_merges(&mut self) -> Vec<(Loc, Loc)> {
+        std::mem::take(&mut self.merges)
+    }
+
+    /// All canonical representatives currently live.
+    pub fn canonical_locs(&mut self) -> Vec<Loc> {
+        let mut out = Vec::new();
+        for i in 0..self.len() as u32 {
+            if self.uf.find(i) == i {
+                out.push(Loc(i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_locations_are_distinct() {
+        let mut t = LocTable::new();
+        let a = t.fresh("a", Ty::Int);
+        let b = t.fresh("b", Ty::Int);
+        assert!(!t.same(a, b));
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.content(b), Ty::Int);
+    }
+
+    #[test]
+    fn union_merges_taint_and_logs() {
+        let mut t = LocTable::new();
+        let a = t.fresh("a", Ty::Int);
+        let b = t.fresh("b", Ty::Int);
+        t.taint(b);
+        assert!(!t.is_tainted(a));
+        t.union_raw(a, b);
+        assert!(t.is_tainted(a));
+        assert!(t.same(a, b));
+        let merges = t.take_merges();
+        assert_eq!(merges.len(), 1);
+        assert!(t.take_merges().is_empty(), "merge log drains");
+    }
+
+    #[test]
+    fn earlier_name_wins() {
+        let mut t = LocTable::new();
+        let a = t.fresh("first", Ty::Int);
+        let b = t.fresh("second", Ty::Int);
+        t.union_raw(b, a);
+        assert_eq!(t.name(a), "first");
+        assert_eq!(t.name(b), "first");
+    }
+
+    #[test]
+    fn canonical_locs_shrink_under_union() {
+        let mut t = LocTable::new();
+        let locs: Vec<Loc> = (0..10).map(|i| t.fresh(format!("l{i}"), Ty::Int)).collect();
+        assert_eq!(t.canonical_locs().len(), 10);
+        for w in locs.windows(2) {
+            t.union_raw(w[0], w[1]);
+        }
+        assert_eq!(t.canonical_locs().len(), 1);
+    }
+}

@@ -1,0 +1,1280 @@
+//! The unification-based may-alias analysis (Steensgaard-style), shared
+//! typing walk, and its hook interface.
+//!
+//! The paper's constraint generation (its Figure 3) interleaves two
+//! activities over one AST traversal: *typing* (assigning every expression
+//! an analysis type, unifying at assignments and calls — the may-alias
+//! analysis itself) and *effect bookkeeping* (recording reads, writes and
+//! allocations, scope extents, and binder sites). This module implements
+//! the typing walk once, generically over a [`Hooks`] implementation:
+//!
+//! * with the no-op [`NoHooks`], [`analyze`] is a plain Steensgaard
+//!   analysis — `restrict`/`confine` degrade to ordinary `let`s, which is
+//!   exactly the conservative baseline the paper starts from;
+//! * `localias-core` supplies hooks that emit the paper's effect
+//!   constraints and give `restrict` bindings their fresh location `ρ'`.
+//!
+//! ## Modelling choices
+//!
+//! * **Arrays collapse** to a single element location (the imprecision
+//!   that makes Figure 1's lock array need `restrict` at all).
+//! * **Struct fields are field-based**: one location per `(struct, field)`
+//!   pair, shared by all instances. This is coarser than instance-based
+//!   models and is again exactly the kind of conflation `confine`
+//!   recovers from locally.
+//! * **Locals whose address is never taken are registers**: reading or
+//!   writing them is not a location effect (the paper's `let`-bound names
+//!   likewise have effect-free uses via its (Var) rule). Their role in
+//!   confine's referential transparency is handled syntactically by
+//!   `localias-core`.
+//! * **Unknown externs are effect-free and alias-free** aside from
+//!   unifying argument types with the (per-extern) parameter types. The
+//!   corpus declares its externs, so this stays honest there.
+
+use crate::loc::{Loc, LocTable};
+use crate::ty::{unify, Ty, TypeMismatch};
+use localias_ast::{
+    BinOp, BindingKind, Block, Expr, ExprKind, FunDef, Ident, ItemKind, Module, NodeId, Param,
+    Stmt, StmtKind, TypeExpr, UnOp,
+};
+use std::collections::{HashMap, HashSet};
+
+/// A dense identifier for a variable binding (global, parameter or local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a variable is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// A local (or parameter) whose address is never taken: reads/writes
+    /// are not location effects.
+    Register,
+    /// A variable with addressable storage at the given location.
+    Addressed(Loc),
+}
+
+/// Metadata about one variable binding.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// Source name.
+    pub name: String,
+    /// Storage classification.
+    pub kind: VarKind,
+    /// The variable's *value* type (for an [`VarKind::Addressed`] variable
+    /// this equals the content type of its location).
+    pub ty: Ty,
+    /// Enclosing function, or `None` for globals.
+    pub fun: Option<String>,
+}
+
+/// The signature of a defined or extern function.
+#[derive(Debug, Clone)]
+pub struct FunSig {
+    /// Parameter value types (shared across all call sites — the analysis
+    /// is context-insensitive, like the paper's).
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+    /// `true` for `extern` declarations (no body).
+    pub is_extern: bool,
+}
+
+/// Why a scope was entered (reported to [`Hooks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// A function body; carries the function item's node id.
+    Fun(NodeId),
+    /// An ordinary `{ ... }` block (or `if`/`while` body).
+    Block(NodeId),
+    /// The body of a `restrict x = e { ... }` statement.
+    RestrictBody(NodeId),
+    /// The body of a `confine (e) { ... }` statement.
+    ConfineBody(NodeId),
+}
+
+/// Where a variable was bound (reported to [`Hooks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindSite {
+    /// A global declaration.
+    Global,
+    /// A function parameter; `restrict` is the C99-style qualifier.
+    Param {
+        /// Whether the parameter is `restrict`-qualified.
+        restrict: bool,
+    },
+    /// A block-local declaration with the given binding kind.
+    Decl {
+        /// `let` or `restrict`.
+        binding: BindingKind,
+        /// Whether the declaration has an initializer.
+        has_init: bool,
+    },
+    /// The scoped `restrict x = e { ... }` statement.
+    RestrictStmt,
+}
+
+/// The mutable analysis state threaded through the walk and exposed to
+/// hooks.
+#[derive(Debug)]
+pub struct State {
+    /// All abstract locations.
+    pub locs: LocTable,
+    /// Per-expression value type, indexed by [`NodeId`].
+    pub expr_ty: Vec<Option<Ty>>,
+    /// Per-expression lvalue location (for expressions that denote
+    /// storage), indexed by [`NodeId`].
+    pub expr_lval: Vec<Option<Loc>>,
+    /// Resolved variable for each `Var` expression, indexed by [`NodeId`].
+    pub var_of_expr: Vec<Option<VarId>>,
+    /// All variable bindings.
+    pub vars: Vec<VarInfo>,
+    /// Field-based field locations: `(struct name, field name) → loc`.
+    pub fields: HashMap<(String, String), Loc>,
+    /// Function signatures by name.
+    pub funs: HashMap<String, FunSig>,
+    /// Type mismatches found (standard typing errors; the analyses treat
+    /// the involved locations as tainted rather than aborting).
+    pub mismatches: Vec<TypeMismatch>,
+    /// Scope stack of name → var bindings.
+    env: Vec<HashMap<String, VarId>>,
+    /// Names of variables whose address is taken somewhere in the module.
+    addr_taken: HashSet<String>,
+    /// Current function name during body walks.
+    current_fun: Option<String>,
+}
+
+impl State {
+    fn new(m: &Module) -> Self {
+        State {
+            locs: LocTable::new(),
+            expr_ty: vec![None; m.node_count as usize],
+            expr_lval: vec![None; m.node_count as usize],
+            var_of_expr: vec![None; m.node_count as usize],
+            vars: Vec::new(),
+            fields: HashMap::new(),
+            funs: HashMap::new(),
+            mismatches: Vec::new(),
+            env: Vec::new(),
+            addr_taken: HashSet::new(),
+            current_fun: None,
+        }
+    }
+
+    /// Lowers a syntactic type to an analysis type, creating fresh
+    /// locations for pointer/array structure.
+    pub fn lower(&mut self, ty: &TypeExpr, hint: &str) -> Ty {
+        match ty {
+            TypeExpr::Int => Ty::Int,
+            TypeExpr::Lock => Ty::Lock,
+            TypeExpr::Void => Ty::Void,
+            TypeExpr::Struct(s) => Ty::Struct(s.clone()),
+            TypeExpr::Ptr(inner) => {
+                let content = self.lower(inner, hint);
+                let l = self.locs.fresh(format!("*{hint}"), content);
+                Ty::Ref(l)
+            }
+            TypeExpr::Array(elem, _) => {
+                // Arrays collapse: the declared object's value is a
+                // pointer to the single element location, which stands for
+                // many concrete objects.
+                let content = self.lower(elem, hint);
+                let l = self.locs.fresh_with(
+                    format!("{hint}[]"),
+                    content,
+                    crate::loc::Multiplicity::Many,
+                );
+                Ty::Ref(l)
+            }
+        }
+    }
+
+    /// The field location for `(struct_name, field)`, creating it (with
+    /// content lowered from `ty`) on first use.
+    pub fn field_loc(&mut self, struct_name: &str, field: &str, ty: Option<&TypeExpr>) -> Loc {
+        if let Some(&l) = self
+            .fields
+            .get(&(struct_name.to_string(), field.to_string()))
+        {
+            return l;
+        }
+        let hint = format!("{struct_name}.{field}");
+        let content = match ty {
+            Some(t) => self.lower(t, &hint),
+            None => Ty::Unknown,
+        };
+        // Field-based field classes stand for one field per instance —
+        // possibly many objects.
+        let l = self
+            .locs
+            .fresh_with(hint, content, crate::loc::Multiplicity::Many);
+        self.fields
+            .insert((struct_name.to_string(), field.to_string()), l);
+        l
+    }
+
+    fn push_scope(&mut self) {
+        self.env.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.env.pop();
+    }
+
+    fn bind(&mut self, name: &str, info: VarInfo) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(info);
+        self.env
+            .last_mut()
+            .expect("bind outside any scope")
+            .insert(name.to_string(), id);
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarId> {
+        for frame in self.env.iter().rev() {
+            if let Some(&id) = frame.get(name) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Records and returns the value type of expression `e`.
+    fn set_ty(&mut self, e: &Expr, ty: Ty) -> Ty {
+        self.expr_ty[e.id.index()] = Some(ty.clone());
+        ty
+    }
+
+    /// Unifies, collecting mismatches into the state.
+    pub fn unify(&mut self, a: &Ty, b: &Ty) -> Ty {
+        unify(&mut self.locs, a, b, &mut self.mismatches)
+    }
+
+    /// The function whose body is currently being walked (available to
+    /// hooks).
+    pub fn current_fun(&self) -> Option<&str> {
+        self.current_fun.as_deref()
+    }
+}
+
+/// Callbacks invoked by the typing walk. All methods have no-op defaults;
+/// see the module docs for who overrides what.
+#[allow(unused_variables)]
+pub trait Hooks {
+    /// A location is read at expression/statement `at`.
+    fn on_read(&mut self, st: &mut State, loc: Loc, at: NodeId) {}
+    /// A location is written at `at`.
+    fn on_write(&mut self, st: &mut State, loc: Loc, at: NodeId) {}
+    /// A location is allocated (`new`) at `at`.
+    fn on_alloc(&mut self, st: &mut State, loc: Loc, at: NodeId) {}
+    /// A call to a *defined* (non-extern, non-intrinsic) function.
+    fn on_call(&mut self, st: &mut State, callee: &str, at: NodeId) {}
+    /// A scope was entered.
+    fn enter_scope(&mut self, st: &mut State, kind: ScopeKind) {}
+    /// A scope was exited.
+    fn exit_scope(&mut self, st: &mut State, kind: ScopeKind) {}
+    /// A variable is about to be bound with initializer type `init_ty`;
+    /// the returned type becomes the variable's value type. The default
+    /// returns `init_ty` unchanged; `localias-core` overrides this to give
+    /// `restrict` binders (and inference candidates) a fresh `ρ'`.
+    fn bind_ty(&mut self, st: &mut State, site: BindSite, init_ty: Ty, at: NodeId) -> Ty {
+        init_ty
+    }
+    /// A variable was bound.
+    fn on_bind(&mut self, st: &mut State, var: VarId, site: BindSite, at: NodeId) {}
+    /// The expression of a `confine (e) { ... }` statement, evaluated once
+    /// before its body. Hooks for confine checking live in
+    /// `localias-core`.
+    fn on_confine_expr(&mut self, st: &mut State, expr: &Expr, body: &Block, at: NodeId) {}
+    /// Called just before the expression of a `confine` statement is
+    /// evaluated (so a hook can capture its effect `L1`).
+    fn on_confine_start(&mut self, st: &mut State, at: NodeId) {}
+    /// Called before the `index`-th statement of block `block` is walked,
+    /// and once more with `index == total` after the last statement. This
+    /// lets `localias-core` scope `confine?` candidates to statement
+    /// sub-ranges of a block (the §7 heuristic).
+    fn on_stmt_index(&mut self, st: &mut State, block: NodeId, index: usize, total: usize) {}
+    /// Offered every expression before normal evaluation; returning
+    /// `Some(ty)` short-circuits the walk with that type (used to replace
+    /// occurrences of a confined expression by its binder, §6).
+    fn intercept_expr(&mut self, st: &mut State, e: &Expr) -> Option<Ty> {
+        None
+    }
+    /// Offered every normally-evaluated expression after evaluation; the
+    /// returned type replaces `ty` (used to re-type the defining
+    /// occurrence of a confined expression).
+    fn after_expr(&mut self, st: &mut State, e: &Expr, ty: Ty) -> Ty {
+        ty
+    }
+}
+
+/// The no-op hook set: plain Steensgaard analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl Hooks for NoHooks {}
+
+/// The result of the standalone may-alias analysis.
+#[derive(Debug)]
+pub struct ModuleAliases {
+    /// The analysis state (location table, per-expression types, ...).
+    pub state: State,
+}
+
+impl ModuleAliases {
+    /// Returns `true` if the storage denoted by lvalue expressions `a` and
+    /// `b` may alias (same abstract location class).
+    ///
+    /// Returns `false` when either expression does not denote storage.
+    pub fn may_alias(&mut self, a: NodeId, b: NodeId) -> bool {
+        match (
+            self.state.expr_lval[a.index()],
+            self.state.expr_lval[b.index()],
+        ) {
+            (Some(la), Some(lb)) => self.state.locs.same(la, lb),
+            _ => false,
+        }
+    }
+
+    /// The abstract location an lvalue expression denotes, if any.
+    pub fn lval_loc(&mut self, e: NodeId) -> Option<Loc> {
+        self.state.expr_lval[e.index()].map(|l| self.state.locs.find(l))
+    }
+
+    /// The pointee location of a pointer-valued expression, if any.
+    pub fn pointee(&mut self, e: NodeId) -> Option<Loc> {
+        match self.state.expr_ty[e.index()] {
+            Some(Ty::Ref(l)) => Some(self.state.locs.find(l)),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the plain (hook-free) may-alias analysis over a module.
+///
+/// # Example
+///
+/// ```
+/// use localias_ast::parse_module;
+/// use localias_alias::steensgaard::analyze;
+///
+/// let m = parse_module("m", "void f(int *p) { int *q = p; *q = 1; }")?;
+/// let aliases = analyze(&m);
+/// assert!(aliases.state.mismatches.is_empty());
+/// # Ok::<(), localias_ast::ParseError>(())
+/// ```
+pub fn analyze(m: &Module) -> ModuleAliases {
+    let (state, _) = analyze_with(m, NoHooks);
+    ModuleAliases { state }
+}
+
+/// Runs the typing walk with caller-supplied hooks, returning the final
+/// state and the hooks back.
+pub fn analyze_with<H: Hooks>(m: &Module, hooks: H) -> (State, H) {
+    let mut w = Walker {
+        st: State::new(m),
+        hooks,
+    };
+    w.module(m);
+    (w.st, w.hooks)
+}
+
+struct Walker<H: Hooks> {
+    st: State,
+    hooks: H,
+}
+
+impl<H: Hooks> Walker<H> {
+    fn module(&mut self, m: &Module) {
+        // Pass 0: which names have their address taken anywhere?
+        self.collect_addr_taken(m);
+
+        // Pass 1: struct field locations (so field types exist even if a
+        // field is used before its struct's textual definition).
+        for s in m.structs() {
+            for (fname, fty) in &s.fields {
+                self.st.field_loc(&s.name.name, &fname.name, Some(fty));
+            }
+        }
+
+        // Pass 2: globals.
+        self.st.push_scope();
+        for item in &m.items {
+            if let ItemKind::Global(g) = &item.kind {
+                let ty = self.st.lower(&g.ty, &g.name.name);
+                // Globals always have addressable storage (one object).
+                let l = self.st.locs.fresh_with(
+                    g.name.name.clone(),
+                    ty.clone(),
+                    crate::loc::Multiplicity::One,
+                );
+                let var = self.st.bind(
+                    &g.name.name,
+                    VarInfo {
+                        name: g.name.name.clone(),
+                        kind: VarKind::Addressed(l),
+                        ty,
+                        fun: None,
+                    },
+                );
+                self.hooks
+                    .on_bind(&mut self.st, var, BindSite::Global, g.id);
+            }
+        }
+
+        // Pass 3: function signatures (defined + extern), so calls in any
+        // order unify against shared parameter types.
+        for item in &m.items {
+            match &item.kind {
+                ItemKind::Fun(f) => self.declare_fun(&f.name.name, &f.params, &f.ret, false),
+                ItemKind::Extern(e) => self.declare_fun(&e.name.name, &e.params, &e.ret, true),
+                _ => {}
+            }
+        }
+
+        // Pass 4: function bodies.
+        for item in &m.items {
+            if let ItemKind::Fun(f) = &item.kind {
+                self.fun(f);
+            }
+        }
+        self.st.pop_scope();
+    }
+
+    fn collect_addr_taken(&mut self, m: &Module) {
+        struct Collect<'a>(&'a mut HashSet<String>);
+        impl localias_ast::visit::Visitor for Collect<'_> {
+            fn visit_expr(&mut self, e: &Expr) {
+                if let ExprKind::Unary(UnOp::AddrOf, inner) = &e.kind {
+                    if let ExprKind::Var(x) = &inner.kind {
+                        self.0.insert(x.name.clone());
+                    }
+                }
+                localias_ast::visit::walk_expr(self, e);
+            }
+        }
+        let mut c = Collect(&mut self.st.addr_taken);
+        localias_ast::visit::walk_module(&mut c, m);
+    }
+
+    fn declare_fun(&mut self, name: &str, params: &[Param], ret: &TypeExpr, is_extern: bool) {
+        if self.st.funs.contains_key(name) {
+            return;
+        }
+        let params = params
+            .iter()
+            .map(|p| {
+                let hint = format!("{name}.{}", p.name.name);
+                self.st.lower(&p.ty, &hint)
+            })
+            .collect();
+        let ret = self.st.lower(ret, &format!("{name}.ret"));
+        self.st.funs.insert(
+            name.to_string(),
+            FunSig {
+                params,
+                ret,
+                is_extern,
+            },
+        );
+    }
+
+    fn fun(&mut self, f: &FunDef) {
+        self.st.current_fun = Some(f.name.name.clone());
+        self.hooks.enter_scope(&mut self.st, ScopeKind::Fun(f.id));
+        self.st.push_scope();
+
+        let sig = self.st.funs[&f.name.name].clone();
+        for (p, sig_ty) in f.params.iter().zip(&sig.params) {
+            let site = BindSite::Param {
+                restrict: p.restrict,
+            };
+            let value_ty = self.hooks.bind_ty(&mut self.st, site, sig_ty.clone(), f.id);
+            let kind = self.var_kind(&p.name.name, &value_ty);
+            let fun = self.st.current_fun.clone();
+            let var = self.st.bind(
+                &p.name.name,
+                VarInfo {
+                    name: p.name.name.clone(),
+                    kind,
+                    ty: value_ty,
+                    fun,
+                },
+            );
+            self.hooks.on_bind(&mut self.st, var, site, f.id);
+        }
+
+        self.block_inner(&f.body);
+
+        self.st.pop_scope();
+        self.hooks.exit_scope(&mut self.st, ScopeKind::Fun(f.id));
+        self.st.current_fun = None;
+    }
+
+    /// Picks a storage classification for a new variable; address-taken
+    /// variables get a fresh location whose content is the value type.
+    fn var_kind(&mut self, name: &str, value_ty: &Ty) -> VarKind {
+        if self.st.addr_taken.contains(name) {
+            let l = self.st.locs.fresh_with(
+                name.to_string(),
+                value_ty.clone(),
+                crate::loc::Multiplicity::One,
+            );
+            VarKind::Addressed(l)
+        } else {
+            VarKind::Register
+        }
+    }
+
+    fn scoped_block(&mut self, b: &Block, kind: ScopeKind) {
+        self.hooks.enter_scope(&mut self.st, kind);
+        self.st.push_scope();
+        self.block_inner(b);
+        self.st.pop_scope();
+        self.hooks.exit_scope(&mut self.st, kind);
+    }
+
+    fn block_inner(&mut self, b: &Block) {
+        let total = b.stmts.len();
+        for (i, s) in b.stmts.iter().enumerate() {
+            self.hooks.on_stmt_index(&mut self.st, b.id, i, total);
+            self.stmt(s);
+        }
+        self.hooks.on_stmt_index(&mut self.st, b.id, total, total);
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Expr(e) => {
+                self.rval(e);
+            }
+            StmtKind::Decl {
+                binding,
+                ty,
+                name,
+                init,
+            } => {
+                let declared = self.st.lower(ty, &name.name);
+                let init_ty = match init {
+                    Some(e) => {
+                        let t = self.rval(e);
+                        self.st.unify(&declared, &t)
+                    }
+                    None => declared,
+                };
+                let site = BindSite::Decl {
+                    binding: *binding,
+                    has_init: init.is_some(),
+                };
+                let value_ty = self.hooks.bind_ty(&mut self.st, site, init_ty, s.id);
+                let kind = self.var_kind(&name.name, &value_ty);
+                let fun = self.st.current_fun.clone();
+                let var = self.st.bind(
+                    &name.name,
+                    VarInfo {
+                        name: name.name.clone(),
+                        kind,
+                        ty: value_ty,
+                        fun,
+                    },
+                );
+                self.hooks.on_bind(&mut self.st, var, site, s.id);
+            }
+            StmtKind::Restrict { name, init, body } => {
+                let init_ty = self.rval(init);
+                let site = BindSite::RestrictStmt;
+                let value_ty = self.hooks.bind_ty(&mut self.st, site, init_ty, s.id);
+                self.hooks
+                    .enter_scope(&mut self.st, ScopeKind::RestrictBody(s.id));
+                self.st.push_scope();
+                let kind = self.var_kind(&name.name, &value_ty);
+                let fun = self.st.current_fun.clone();
+                let var = self.st.bind(
+                    &name.name,
+                    VarInfo {
+                        name: name.name.clone(),
+                        kind,
+                        ty: value_ty,
+                        fun,
+                    },
+                );
+                self.hooks.on_bind(&mut self.st, var, site, s.id);
+                self.block_inner(body);
+                self.st.pop_scope();
+                self.hooks
+                    .exit_scope(&mut self.st, ScopeKind::RestrictBody(s.id));
+            }
+            StmtKind::Confine { expr, body } => {
+                self.hooks.on_confine_start(&mut self.st, s.id);
+                self.rval(expr);
+                self.hooks.on_confine_expr(&mut self.st, expr, body, s.id);
+                self.scoped_block(body, ScopeKind::ConfineBody(s.id));
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let t = self.rval(cond);
+                self.expect_scalar(&t);
+                self.scoped_block(then_blk, ScopeKind::Block(then_blk.id));
+                if let Some(e) = else_blk {
+                    self.scoped_block(e, ScopeKind::Block(e.id));
+                }
+            }
+            StmtKind::While { cond, body, step } => {
+                let t = self.rval(cond);
+                self.expect_scalar(&t);
+                self.scoped_block(body, ScopeKind::Block(body.id));
+                if let Some(step) = step {
+                    self.rval(step);
+                }
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    let t = self.rval(e);
+                    if let Some(f) = self.st.current_fun.clone() {
+                        let ret = self.st.funs[&f].ret.clone();
+                        self.st.unify(&ret, &t);
+                    }
+                }
+            }
+            // Control transfers have no typing or effect content.
+            StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.scoped_block(b, ScopeKind::Block(b.id)),
+        }
+    }
+
+    /// Conditions may be ints or pointers (null tests); anything else is a
+    /// mismatch.
+    fn expect_scalar(&mut self, t: &Ty) {
+        match t {
+            Ty::Int | Ty::Ref(_) | Ty::Unknown => {}
+            other => {
+                let other = other.to_string();
+                self.st.mismatches.push(TypeMismatch {
+                    left: other,
+                    right: "scalar".to_string(),
+                });
+            }
+        }
+    }
+
+    /// Computes the lvalue location of `e`, or `None` if `e` does not
+    /// denote storage (e.g. a register variable or a literal).
+    fn lval(&mut self, e: &Expr) -> Option<Loc> {
+        let loc = match &e.kind {
+            ExprKind::Var(x) => {
+                let var = self.resolve(x, e.id)?;
+                match self.st.vars[var.index()].kind {
+                    VarKind::Addressed(l) => Some(l),
+                    VarKind::Register => None,
+                }
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                let t = self.rval(inner);
+                self.deref_loc(&t)
+            }
+            ExprKind::Index(arr, idx) => {
+                let it = self.rval(idx);
+                self.st.unify(&it, &Ty::Int);
+                let at = self.rval(arr);
+                self.deref_loc(&at)
+            }
+            ExprKind::Field(base, fname) => {
+                // Field-based: we need the struct name from the base's
+                // type; the base's own storage is irrelevant.
+                let bt = self.base_struct_ty(base, false);
+                self.struct_field(bt, fname)
+            }
+            ExprKind::Arrow(base, fname) => {
+                let bt = self.base_struct_ty(base, true);
+                self.struct_field(bt, fname)
+            }
+            _ => None,
+        };
+        if let Some(l) = loc {
+            self.st.expr_lval[e.id.index()] = Some(l);
+        }
+        loc
+    }
+
+    /// Type of the struct a field access goes through. `through_ptr` for
+    /// `e->f`.
+    fn base_struct_ty(&mut self, base: &Expr, through_ptr: bool) -> Option<String> {
+        let t = if through_ptr {
+            let pt = self.rval(base);
+            match self.deref_loc(&pt) {
+                Some(l) => {
+                    // Reading through the pointer to reach the struct.
+                    self.hooks.on_read(&mut self.st, l, base.id);
+                    self.st.locs.content(l)
+                }
+                None => Ty::Unknown,
+            }
+        } else {
+            // `e.f`: evaluate `e` only for its type; a struct-typed
+            // lvalue's storage is not read by taking a field.
+            match self.lval(base) {
+                Some(l) => self.st.locs.content(l),
+                None => self.rval(base),
+            }
+        };
+        match t {
+            Ty::Struct(s) => Some(s),
+            _ => {
+                self.st.mismatches.push(TypeMismatch {
+                    left: t.to_string(),
+                    right: "a struct".to_string(),
+                });
+                None
+            }
+        }
+    }
+
+    fn struct_field(&mut self, struct_name: Option<String>, fname: &Ident) -> Option<Loc> {
+        let s = struct_name?;
+        Some(self.st.field_loc(&s, &fname.name, None))
+    }
+
+    /// Pointee location of a pointer type, creating a tainted placeholder
+    /// for `Unknown` and recording a mismatch otherwise.
+    fn deref_loc(&mut self, t: &Ty) -> Option<Loc> {
+        match t {
+            Ty::Ref(l) => Some(self.st.locs.find(*l)),
+            Ty::Unknown => {
+                let l = self.st.locs.fresh("<unknown>", Ty::Unknown);
+                self.st.locs.taint(l);
+                Some(l)
+            }
+            other => {
+                self.st.mismatches.push(TypeMismatch {
+                    left: other.to_string(),
+                    right: "a pointer".to_string(),
+                });
+                None
+            }
+        }
+    }
+
+    fn resolve(&mut self, x: &Ident, at: NodeId) -> Option<VarId> {
+        match self.st.lookup(&x.name) {
+            Some(v) => {
+                self.st.var_of_expr[at.index()] = Some(v);
+                Some(v)
+            }
+            None => {
+                self.st.mismatches.push(TypeMismatch {
+                    left: format!("unbound variable `{}`", x.name),
+                    right: "a binding".to_string(),
+                });
+                None
+            }
+        }
+    }
+
+    /// Evaluates `e` for its value, recording its type and emitting
+    /// read/write/alloc hook events.
+    fn rval(&mut self, e: &Expr) -> Ty {
+        if let Some(ty) = self.hooks.intercept_expr(&mut self.st, e) {
+            return self.st.set_ty(e, ty);
+        }
+        let ty = match &e.kind {
+            ExprKind::Int(_) => Ty::Int,
+            ExprKind::Var(x) => match self.resolve(x, e.id) {
+                Some(v) => {
+                    let info = self.st.vars[v.index()].clone();
+                    match info.kind {
+                        VarKind::Register => info.ty,
+                        VarKind::Addressed(l) => {
+                            self.st.expr_lval[e.id.index()] = Some(l);
+                            self.hooks.on_read(&mut self.st, l, e.id);
+                            self.st.locs.content(l)
+                        }
+                    }
+                }
+                None => Ty::Unknown,
+            },
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                let t = self.rval(inner);
+                match self.deref_loc(&t) {
+                    Some(l) => {
+                        self.st.expr_lval[e.id.index()] = Some(l);
+                        self.hooks.on_read(&mut self.st, l, e.id);
+                        self.st.locs.content(l)
+                    }
+                    None => Ty::Unknown,
+                }
+            }
+            ExprKind::Unary(UnOp::AddrOf, inner) => match self.lval(inner) {
+                Some(l) => Ty::Ref(l),
+                None => {
+                    self.st.mismatches.push(TypeMismatch {
+                        left: "&<non-lvalue>".to_string(),
+                        right: "an lvalue".to_string(),
+                    });
+                    Ty::Unknown
+                }
+            },
+            ExprKind::Unary(UnOp::Neg | UnOp::Not, inner) => {
+                let t = self.rval(inner);
+                self.st.unify(&t, &Ty::Int);
+                Ty::Int
+            }
+            ExprKind::Binary(op, a, b) => {
+                let ta = self.rval(a);
+                let tb = self.rval(b);
+                match op {
+                    BinOp::Eq | BinOp::Ne => {
+                        // Pointer comparisons are allowed and do *not*
+                        // unify their operands (comparing is not aliasing).
+                        match (&ta, &tb) {
+                            (Ty::Ref(_), Ty::Ref(_)) => {}
+                            _ => {
+                                self.st.unify(&ta, &Ty::Int);
+                                self.st.unify(&tb, &Ty::Int);
+                            }
+                        }
+                    }
+                    _ => {
+                        self.st.unify(&ta, &Ty::Int);
+                        self.st.unify(&tb, &Ty::Int);
+                    }
+                }
+                Ty::Int
+            }
+            ExprKind::Assign(lhs, rhs) => {
+                let rt = self.rval(rhs);
+                match &lhs.kind {
+                    // Assignment to a register variable updates its value
+                    // type but is not a location effect.
+                    ExprKind::Var(x) => match self.resolve(x, lhs.id) {
+                        Some(v) => {
+                            let info = self.st.vars[v.index()].clone();
+                            match info.kind {
+                                VarKind::Register => {
+                                    let merged = self.st.unify(&info.ty, &rt);
+                                    self.st.vars[v.index()].ty = merged.clone();
+                                    merged
+                                }
+                                VarKind::Addressed(l) => {
+                                    self.st.expr_lval[lhs.id.index()] = Some(l);
+                                    let content = self.st.locs.content(l);
+                                    let merged = self.st.unify(&content, &rt);
+                                    self.st.locs.set_content(l, merged.clone());
+                                    self.hooks.on_write(&mut self.st, l, e.id);
+                                    merged
+                                }
+                            }
+                        }
+                        None => Ty::Unknown,
+                    },
+                    _ => match self.lval(lhs) {
+                        Some(l) => {
+                            let content = self.st.locs.content(l);
+                            let merged = self.st.unify(&content, &rt);
+                            self.st.locs.set_content(l, merged.clone());
+                            self.hooks.on_write(&mut self.st, l, e.id);
+                            merged
+                        }
+                        None => {
+                            self.st.mismatches.push(TypeMismatch {
+                                left: "assignment target".to_string(),
+                                right: "an lvalue".to_string(),
+                            });
+                            rt
+                        }
+                    },
+                }
+            }
+            ExprKind::Call(f, args) => self.call(f, args, e.id),
+            ExprKind::Index(arr, idx) => {
+                let it = self.rval(idx);
+                self.st.unify(&it, &Ty::Int);
+                let at = self.rval(arr);
+                match self.deref_loc(&at) {
+                    Some(l) => {
+                        self.st.expr_lval[e.id.index()] = Some(l);
+                        self.hooks.on_read(&mut self.st, l, e.id);
+                        self.st.locs.content(l)
+                    }
+                    None => Ty::Unknown,
+                }
+            }
+            ExprKind::Field(base, fname) => {
+                let bt = self.base_struct_ty(base, false);
+                match self.struct_field(bt, fname) {
+                    Some(l) => {
+                        self.st.expr_lval[e.id.index()] = Some(l);
+                        self.hooks.on_read(&mut self.st, l, e.id);
+                        self.st.locs.content(l)
+                    }
+                    None => Ty::Unknown,
+                }
+            }
+            ExprKind::Arrow(base, fname) => {
+                let bt = self.base_struct_ty(base, true);
+                match self.struct_field(bt, fname) {
+                    Some(l) => {
+                        self.st.expr_lval[e.id.index()] = Some(l);
+                        self.hooks.on_read(&mut self.st, l, e.id);
+                        self.st.locs.content(l)
+                    }
+                    None => Ty::Unknown,
+                }
+            }
+            ExprKind::New(init) => {
+                let t = self.rval(init);
+                // An allocation site may execute many times.
+                let l = self.st.locs.fresh_with(
+                    format!("new{}", e.id),
+                    t,
+                    crate::loc::Multiplicity::Many,
+                );
+                self.hooks.on_alloc(&mut self.st, l, e.id);
+                Ty::Ref(l)
+            }
+            ExprKind::Cast(ty, inner) => {
+                let src = self.rval(inner);
+                let dst = self.st.lower(ty, "cast");
+                // Compatible casts unify cleanly; incompatible ones record
+                // a mismatch and taint — losing the ability to restrict or
+                // confine anything laundered through the cast.
+                self.st.unify(&src, &dst)
+            }
+        };
+        let ty = self.hooks.after_expr(&mut self.st, e, ty);
+        self.st.set_ty(e, ty)
+    }
+
+    fn call(&mut self, f: &Ident, args: &[Expr], at: NodeId) -> Ty {
+        let arg_tys: Vec<Ty> = args.iter().map(|a| self.rval(a)).collect();
+        if localias_ast::intrinsics::is_change_type(&f.name) {
+            // change_type(e): writes the lock state at e's pointee.
+            for t in &arg_tys {
+                if let Ty::Ref(l) = t {
+                    let l = self.st.locs.find(*l);
+                    let content = self.st.locs.content(l);
+                    self.st.unify(&content, &Ty::Lock);
+                    let merged = self.st.locs.content(l);
+                    self.st.locs.set_content(l, merged);
+                    self.hooks.on_write(&mut self.st, l, at);
+                } else {
+                    self.st.mismatches.push(TypeMismatch {
+                        left: t.to_string(),
+                        right: "lock*".to_string(),
+                    });
+                }
+            }
+            return Ty::Void;
+        }
+        let sig = match self.st.funs.get(&f.name) {
+            Some(sig) => sig.clone(),
+            None => {
+                // Implicit extern: parameters adopt the argument types;
+                // the return type is unknown.
+                let sig = FunSig {
+                    params: arg_tys.clone(),
+                    ret: Ty::Unknown,
+                    is_extern: true,
+                };
+                self.st.funs.insert(f.name.clone(), sig.clone());
+                sig
+            }
+        };
+        if sig.params.len() != arg_tys.len() {
+            self.st.mismatches.push(TypeMismatch {
+                left: format!("{} arguments to `{}`", arg_tys.len(), f.name),
+                right: format!("{}", sig.params.len()),
+            });
+        }
+        for (a, p) in arg_tys.iter().zip(&sig.params) {
+            self.st.unify(a, p);
+        }
+        if !sig.is_extern {
+            self.hooks.on_call(&mut self.st, &f.name, at);
+        }
+        sig.ret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localias_ast::parse_module;
+    use localias_ast::visit::{walk_module, Visitor};
+
+    /// Finds the first expression satisfying `pred` in source order.
+    fn find_expr(m: &Module, pred: impl Fn(&Expr) -> bool) -> NodeId {
+        struct Find<F> {
+            pred: F,
+            found: Option<NodeId>,
+        }
+        impl<F: Fn(&Expr) -> bool> Visitor for Find<F> {
+            fn visit_expr(&mut self, e: &Expr) {
+                if self.found.is_none() && (self.pred)(e) {
+                    self.found = Some(e.id);
+                }
+                localias_ast::visit::walk_expr(self, e);
+            }
+        }
+        let mut f = Find { pred, found: None };
+        walk_module(&mut f, m);
+        f.found.expect("expression not found")
+    }
+
+    fn deref_of(m: &Module, name: &str) -> NodeId {
+        find_expr(m, |e| match &e.kind {
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                matches!(&inner.kind, ExprKind::Var(x) if x.name == name)
+            }
+            _ => false,
+        })
+    }
+
+    #[test]
+    fn copies_alias() {
+        let m = parse_module("m", "void f(int *p) { int *q = p; *p = 1; *q = 2; }").unwrap();
+        let mut a = analyze(&m);
+        let dp = deref_of(&m, "p");
+        let dq = deref_of(&m, "q");
+        assert!(a.may_alias(dp, dq));
+        assert!(a.state.mismatches.is_empty());
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_alias() {
+        let m = parse_module(
+            "m",
+            "void f() { int *p = new 0; int *q = new 0; *p = 1; *q = 2; }",
+        )
+        .unwrap();
+        let mut a = analyze(&m);
+        let dp = deref_of(&m, "p");
+        let dq = deref_of(&m, "q");
+        assert!(!a.may_alias(dp, dq));
+    }
+
+    #[test]
+    fn assignment_unifies() {
+        let m = parse_module(
+            "m",
+            "void f() { int *p = new 0; int *q = new 1; q = p; *p = 1; *q = 2; }",
+        )
+        .unwrap();
+        let mut a = analyze(&m);
+        let dp = deref_of(&m, "p");
+        let dq = deref_of(&m, "q");
+        assert!(a.may_alias(dp, dq), "q = p must unify pointees");
+    }
+
+    #[test]
+    fn array_elements_collapse() {
+        let m = parse_module(
+            "m",
+            "lock locks[8]; void f(int i, int j) { spin_lock(&locks[i]); spin_lock(&locks[j]); }",
+        )
+        .unwrap();
+        let mut a = analyze(&m);
+        struct Idx(Vec<NodeId>);
+        impl Visitor for Idx {
+            fn visit_expr(&mut self, e: &Expr) {
+                if matches!(e.kind, ExprKind::Index(_, _)) {
+                    self.0.push(e.id);
+                }
+                localias_ast::visit::walk_expr(self, e);
+            }
+        }
+        let mut v = Idx(Vec::new());
+        walk_module(&mut v, &m);
+        assert_eq!(v.0.len(), 2);
+        assert!(
+            a.may_alias(v.0[0], v.0[1]),
+            "all elements of a lock array share one location"
+        );
+    }
+
+    #[test]
+    fn calls_unify_args_with_params() {
+        let m = parse_module(
+            "m",
+            r#"
+            int g;
+            void callee(int *x) { *x = 1; }
+            void caller() { int *p = &g; callee(p); *p = 2; }
+            "#,
+        )
+        .unwrap();
+        let mut a = analyze(&m);
+        let dx = deref_of(&m, "x");
+        let dp = deref_of(&m, "p");
+        assert!(a.may_alias(dx, dp));
+    }
+
+    #[test]
+    fn struct_fields_are_field_based() {
+        let m = parse_module(
+            "m",
+            r#"
+            struct dev { lock mu; int n; };
+            struct dev a;
+            struct dev b;
+            void f() { a.n = 1; b.n = 2; a.mu; }
+            "#,
+        )
+        .unwrap();
+        let mut an = analyze(&m);
+        struct Fields(Vec<(String, NodeId)>);
+        impl Visitor for Fields {
+            fn visit_expr(&mut self, e: &Expr) {
+                if let ExprKind::Field(_, f) = &e.kind {
+                    self.0.push((f.name.clone(), e.id));
+                }
+                localias_ast::visit::walk_expr(self, e);
+            }
+        }
+        let mut v = Fields(Vec::new());
+        walk_module(&mut v, &m);
+        let ns: Vec<NodeId> =
+            v.0.iter()
+                .filter(|(n, _)| n == "n")
+                .map(|&(_, id)| id)
+                .collect();
+        let mu: Vec<NodeId> =
+            v.0.iter()
+                .filter(|(n, _)| n == "mu")
+                .map(|&(_, id)| id)
+                .collect();
+        assert!(an.may_alias(ns[0], ns[1]), "field-based: a.n aliases b.n");
+        assert!(!an.may_alias(ns[0], mu[0]), "different fields do not alias");
+    }
+
+    #[test]
+    fn registers_have_no_storage() {
+        let m = parse_module("m", "void f(int x) { x = 3; }").unwrap();
+        let mut a = analyze(&m);
+        let lhs = find_expr(&m, |e| matches!(&e.kind, ExprKind::Var(v) if v.name == "x"));
+        assert_eq!(a.lval_loc(lhs), None);
+    }
+
+    #[test]
+    fn address_taken_locals_get_storage() {
+        let m = parse_module("m", "void f() { int x = 0; int *p = &x; *p = 1; x = 2; }").unwrap();
+        let mut a = analyze(&m);
+        let dp = deref_of(&m, "p");
+        // *p and x share storage.
+        let x_use = find_expr(
+            &m,
+            |e| matches!(&e.kind, ExprKind::Var(v) if v.name == "x" && e.span != localias_ast::Span::DUMMY),
+        );
+        let _ = x_use;
+        let lx = a.state.vars.iter().position(|v| v.name == "x").unwrap();
+        match a.state.vars[lx].kind {
+            VarKind::Addressed(l) => {
+                let dl = a.lval_loc(dp).unwrap();
+                let l = a.state.locs.find(l);
+                assert_eq!(dl, l);
+            }
+            VarKind::Register => panic!("x must be addressed"),
+        }
+    }
+
+    #[test]
+    fn incompatible_cast_taints() {
+        let m = parse_module("m", "void f(lock *l) { int x = (int) l; spin_lock(l); }").unwrap();
+        let mut a = analyze(&m);
+        assert!(!a.state.mismatches.is_empty());
+        let dl = find_expr(&m, |e| matches!(&e.kind, ExprKind::Var(v) if v.name == "l"));
+        if let Some(Ty::Ref(loc)) = a.state.expr_ty[dl.index()].clone() {
+            assert!(a.state.locs.is_tainted(loc));
+        } else {
+            panic!("l should be a pointer");
+        }
+    }
+
+    #[test]
+    fn compatible_pointer_cast_keeps_tracking() {
+        let m = parse_module("m", "void f(int *p) { int *q = (int*) p; *q = 1; *p = 2; }").unwrap();
+        let mut a = analyze(&m);
+        let dp = deref_of(&m, "p");
+        let dq = deref_of(&m, "q");
+        assert!(a.may_alias(dp, dq));
+        assert!(a.state.mismatches.is_empty());
+    }
+
+    #[test]
+    fn unbound_variable_reports_mismatch() {
+        let m = parse_module("m", "void f() { zz = 1; }").unwrap();
+        let a = analyze(&m);
+        assert!(a
+            .state
+            .mismatches
+            .iter()
+            .any(|e| e.left.contains("unbound")));
+    }
+
+    #[test]
+    fn restrict_stmt_in_plain_analysis_degrades_to_let() {
+        // Without core's hooks, restrict behaves like let: aliases merge.
+        let m = parse_module("m", "void f(int *q) { restrict p = q { *p = 1; } *q = 2; }").unwrap();
+        let mut a = analyze(&m);
+        let dp = deref_of(&m, "p");
+        let dq = deref_of(&m, "q");
+        assert!(a.may_alias(dp, dq));
+    }
+
+    #[test]
+    fn arrow_field_access() {
+        let m = parse_module(
+            "m",
+            r#"
+            struct dev { lock mu; };
+            void f(struct dev *d, struct dev *e) { spin_lock(&d->mu); spin_lock(&e->mu); }
+            "#,
+        )
+        .unwrap();
+        let mut a = analyze(&m);
+        struct Mu(Vec<NodeId>);
+        impl Visitor for Mu {
+            fn visit_expr(&mut self, e: &Expr) {
+                if matches!(&e.kind, ExprKind::Arrow(_, f) if f.name == "mu") {
+                    self.0.push(e.id);
+                }
+                localias_ast::visit::walk_expr(self, e);
+            }
+        }
+        let mut v = Mu(Vec::new());
+        walk_module(&mut v, &m);
+        assert!(a.may_alias(v.0[0], v.0[1]), "field-based ->mu conflates");
+    }
+
+    #[test]
+    fn return_unifies_with_signature() {
+        let m = parse_module(
+            "m",
+            r#"
+            int g;
+            int *get() { return &g; }
+            void f() { int *p = get(); *p = 1; }
+            "#,
+        )
+        .unwrap();
+        let mut a = analyze(&m);
+        let dp = deref_of(&m, "p");
+        let g_loc = {
+            let v = a.state.vars.iter().position(|v| v.name == "g").unwrap();
+            match a.state.vars[v].kind {
+                VarKind::Addressed(l) => a.state.locs.find(l),
+                _ => panic!("global must be addressed"),
+            }
+        };
+        assert_eq!(a.lval_loc(dp), Some(g_loc));
+    }
+}

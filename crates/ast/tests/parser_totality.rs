@@ -1,0 +1,91 @@
+//! Totality fuzzing: the lexer and parser must never panic — any input is
+//! either parsed or rejected with a located error.
+
+use localias_ast::{parse_module, Lexer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC*") {
+        let _ = Lexer::new(&src).tokenize();
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(src in "\\PC*") {
+        let _ = parse_module("fuzz", &src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_c_like_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("int"), Just("lock"), Just("void"), Just("struct"),
+                Just("restrict"), Just("confine"), Just("if"), Just("else"),
+                Just("while"), Just("for"), Just("return"), Just("new"),
+                Just("break"), Just("continue"), Just("extern"),
+                Just("("), Just(")"), Just("{"), Just("}"), Just("["),
+                Just("]"), Just(";"), Just(","), Just("*"), Just("&"),
+                Just("="), Just("=="), Just("->"), Just("."), Just("+"),
+                Just("x"), Just("y"), Just("f"), Just("0"), Just("42"),
+            ],
+            0..64,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_module("soup", &src);
+    }
+
+    #[test]
+    fn error_spans_are_in_bounds(src in "\\PC{0,200}") {
+        if let Err(e) = parse_module("fuzz", &src) {
+            prop_assert!(e.span.lo as usize <= src.len() + 1, "{e}");
+            prop_assert!(e.span.lo <= e.span.hi, "{e}");
+        }
+    }
+}
+
+/// Builds `void f() { int x = ((((1)))); }` with `n` parens.
+fn nested_parens(n: usize) -> String {
+    let mut src = String::from("void f() { int x = ");
+    for _ in 0..n {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..n {
+        src.push(')');
+    }
+    src.push_str("; }");
+    src
+}
+
+/// Builds `void f() { {{...g();...}} }` with `n` nested blocks.
+fn nested_blocks(n: usize) -> String {
+    let mut src = String::from("void f() { ");
+    for _ in 0..n {
+        src.push('{');
+    }
+    src.push_str("g();");
+    for _ in 0..n {
+        src.push('}');
+    }
+    src.push_str(" }");
+    src
+}
+
+#[test]
+fn moderate_nesting_parses() {
+    assert!(parse_module("deep", &nested_parens(60)).is_ok());
+    assert!(parse_module("deep", &nested_blocks(60)).is_ok());
+}
+
+#[test]
+fn excessive_nesting_is_rejected_not_crashed() {
+    // Past the limit the parser must return an error — not overflow the
+    // stack.
+    let err = parse_module("deep", &nested_parens(5000)).unwrap_err();
+    assert!(err.msg.contains("nesting"), "{err}");
+    let err = parse_module("deep", &nested_blocks(5000)).unwrap_err();
+    assert!(err.msg.contains("nesting"), "{err}");
+}

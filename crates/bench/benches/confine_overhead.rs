@@ -1,0 +1,41 @@
+//! The §7 performance claim: confine inference adds a modest overhead to
+//! the whole analysis (the paper: 28.5 s with vs 26.0 s without on its
+//! largest affected module, ide-tape — about 10%).
+//!
+//! Benchmarks the full pipeline (alias analysis + constraints + lock
+//! checking) on the largest corpus module and on the `ide_tape`
+//! analogue, with and without confine inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use localias_corpus::{generate, DEFAULT_SEED};
+use localias_cqual::{check_locks, Mode};
+
+fn bench_overhead(c: &mut Criterion) {
+    let corpus = generate(DEFAULT_SEED);
+    let largest = corpus
+        .iter()
+        .max_by_key(|m| m.source.len())
+        .expect("nonempty corpus");
+    let ide = corpus
+        .iter()
+        .find(|m| m.name == "ide_tape")
+        .expect("ide_tape module");
+
+    let mut g = c.benchmark_group("confine_overhead");
+    g.sample_size(20);
+    for m in [largest, ide] {
+        let parsed = m.parse();
+        g.bench_with_input(
+            BenchmarkId::new("without", &m.name),
+            &parsed,
+            |b, parsed| b.iter(|| check_locks(parsed, Mode::NoConfine).error_count()),
+        );
+        g.bench_with_input(BenchmarkId::new("with", &m.name), &parsed, |b, parsed| {
+            b.iter(|| check_locks(parsed, Mode::Confine).error_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! §5 complexity claim: restrict *inference* is `O(n²)` worst case
+//! (conditional constraints may each trigger linear re-propagation).
+//!
+//! Sweep program size with every pointer declaration a `let-or-restrict`
+//! candidate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use localias_bench::checking_workload;
+
+fn bench_inference_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("infer_restricts/n");
+    g.sample_size(10);
+    for n in [100usize, 200, 400, 800] {
+        let m = checking_workload(n, 0);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let a = localias_core::infer_restricts(m);
+                a.candidates.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference_sweep);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates Figure 6: the distribution of spurious type errors
+//! eliminated by confine inference over the modules where strong updates
+//! matter.
+//!
+//! Run with `cargo run --release -p localias-bench --bin fig6`.
+
+use localias_bench::{run_experiment, text_histogram};
+use localias_corpus::DEFAULT_SEED;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let results = run_experiment(seed);
+
+    // The modules where confine inference could make a difference.
+    let eliminations: Vec<usize> = results
+        .iter()
+        .filter(|r| r.no_confine > r.all_strong)
+        .map(|r| r.eliminated())
+        .collect();
+
+    const BUCKETS: [(usize, usize, &str); 10] = [
+        (0, 0, "0"),
+        (1, 1, "1"),
+        (2, 2, "2"),
+        (3, 4, "3-4"),
+        (5, 8, "5-8"),
+        (9, 16, "9-16"),
+        (17, 32, "17-32"),
+        (33, 64, "33-64"),
+        (65, 128, "65-128"),
+        (129, usize::MAX, "129+"),
+    ];
+    let buckets: Vec<(String, usize)> = BUCKETS
+        .iter()
+        .map(|&(lo, hi, label)| {
+            let n = eliminations.iter().filter(|&&e| lo <= e && e <= hi).count();
+            (label.to_string(), n)
+        })
+        .collect();
+
+    println!("Figure 6: spurious type errors eliminated by confine inference");
+    println!(
+        "({} modules where strong updates matter, seed {seed})",
+        eliminations.len()
+    );
+    println!();
+    println!("  eliminated | modules");
+    print!("{}", text_histogram(&buckets, 50));
+    println!();
+    println!(
+        "total eliminated: {} (paper: 3,116)",
+        eliminations.iter().sum::<usize>()
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates Figure 7: the modules for which confine inference does not
+//! infer all possible strong updates, with per-mode error counts measured
+//! and compared against the paper's table.
+//!
+//! Run with `cargo run --release -p localias-bench --bin fig7`.
+
+use localias_bench::ModuleResult;
+use localias_corpus::{generate, DEFAULT_SEED, FIGURE7};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let corpus = generate(seed);
+
+    println!("Figure 7: modules where confine inference misses strong updates");
+    println!();
+    println!(
+        "{:<18} {:>24} {:>24} {:>24}",
+        "module", "no confine", "confine inference", "all updates strong"
+    );
+    println!(
+        "{:<18} {:>12} {:>11} {:>12} {:>11} {:>12} {:>11}",
+        "", "paper", "measured", "paper", "measured", "paper", "measured"
+    );
+    let mut exact = 0;
+    for &(name, nc, cf, as_) in FIGURE7.iter() {
+        let module = corpus
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from corpus"));
+        let r = ModuleResult::measure(module);
+        if (r.no_confine, r.confine, r.all_strong) == (nc, cf, as_) {
+            exact += 1;
+        }
+        println!(
+            "{:<18} {:>12} {:>11} {:>12} {:>11} {:>12} {:>11}",
+            name, nc, r.no_confine, cf, r.confine, as_, r.all_strong
+        );
+    }
+    println!();
+    println!("{exact}/{} rows match the paper exactly", FIGURE7.len());
+}

@@ -1,0 +1,66 @@
+//! Regenerates the Section 7 performance claim: the cost of confine
+//! inference is a modest fraction of the total analysis time. The paper
+//! reports 28.5 s with vs. 26.0 s without confine inference on its
+//! largest affected module (`ide-tape`), i.e. ~10% overhead; we measure
+//! the same ratio on our corpus (absolute times differ — 2003 hardware
+//! and a real C frontend vs. this reimplementation).
+//!
+//! Run with `cargo run --release -p localias-bench --bin perf`.
+
+use localias_corpus::{generate, DEFAULT_SEED};
+use localias_cqual::{check_locks, Mode};
+use std::time::Instant;
+
+fn main() {
+    let corpus = generate(DEFAULT_SEED);
+
+    // The largest modules by source size, plus the paper's example.
+    let mut by_size: Vec<&localias_corpus::GeneratedModule> = corpus.iter().collect();
+    by_size.sort_by_key(|m| std::cmp::Reverse(m.source.len()));
+    let mut subjects: Vec<&localias_corpus::GeneratedModule> =
+        by_size.into_iter().take(3).collect();
+    if let Some(ide) = corpus.iter().find(|m| m.name == "ide_tape") {
+        if !subjects.iter().any(|m| m.name == ide.name) {
+            subjects.push(ide);
+        }
+    }
+
+    println!("Confine-inference overhead (paper: ide-tape 28.5 s with vs 26.0 s without, ~10%)");
+    println!();
+    println!(
+        "{:<22} {:>10} {:>14} {:>14} {:>9}",
+        "module", "size (B)", "without (ms)", "with (ms)", "overhead"
+    );
+
+    const REPS: u32 = 20;
+    for m in subjects {
+        let parsed = m.parse();
+        // Warm up.
+        let _ = check_locks(&parsed, Mode::NoConfine);
+        let _ = check_locks(&parsed, Mode::Confine);
+
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let _ = check_locks(&parsed, Mode::NoConfine);
+        }
+        let without = t0.elapsed() / REPS;
+
+        let t1 = Instant::now();
+        for _ in 0..REPS {
+            let _ = check_locks(&parsed, Mode::Confine);
+        }
+        let with = t1.elapsed() / REPS;
+
+        let overhead = 100.0 * (with.as_secs_f64() - without.as_secs_f64()) / without.as_secs_f64();
+        println!(
+            "{:<22} {:>10} {:>14.3} {:>14.3} {:>8.0}%",
+            m.name,
+            m.source.len(),
+            without.as_secs_f64() * 1e3,
+            with.as_secs_f64() * 1e3,
+            overhead
+        );
+    }
+    println!();
+    println!("(paper overhead on ide-tape: ~10%)");
+}

@@ -1,0 +1,99 @@
+//! Compares the unification-based (Steensgaard) and inclusion-based
+//! (Andersen) alias analyses over the driver corpus — quantifying the
+//! direction the paper's §8 leaves unexplored ("restrict checking can
+//! also be combined with more precise alias analyses").
+//!
+//! Metric: for every pair of pointer-typed locals in a function, does the
+//! analysis consider their targets overlapping? Pairs aliased by
+//! unification but *not* by inclusion are unification's precision loss —
+//! each is a site where a more precise back-end could admit more
+//! restricts/confines.
+//!
+//! Run with `cargo run --release -p localias-bench --bin precision`.
+
+use localias_alias::andersen::{self, Cell};
+use localias_alias::steensgaard;
+use localias_corpus::{random_module_source, DEFAULT_SEED};
+
+/// Number of random pointer-heavy modules to compare.
+const MODULES: u64 = 400;
+/// Statements per module.
+const STMTS: usize = 14;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+
+    let mut pairs_total = 0usize;
+    let mut aliased_uni = 0usize;
+    let mut aliased_incl = 0usize;
+    let mut modules_with_gap = 0usize;
+
+    let t0 = std::time::Instant::now();
+    for k in 0..MODULES {
+        let src = random_module_source(seed.wrapping_add(k), STMTS);
+        let parsed = localias_ast::parse_module("synth", &src).expect("generated modules parse");
+        let pts = andersen::analyze(&parsed);
+        let mut uni = steensgaard::analyze(&parsed);
+
+        let mut gap_here = false;
+        for f in parsed.functions() {
+            let fun = f.name.name.as_str();
+            let ptrs: Vec<(String, localias_alias::Loc)> = uni
+                .state
+                .vars
+                .iter()
+                .filter(|v| v.fun.as_deref() == Some(fun))
+                .filter_map(|v| v.ty.pointee().map(|l| (v.name.clone(), l)))
+                .collect();
+            for i in 0..ptrs.len() {
+                for j in (i + 1)..ptrs.len() {
+                    pairs_total += 1;
+                    let u = uni.state.locs.same(ptrs[i].1, ptrs[j].1);
+                    let a = pts.may_point_same(
+                        &Cell::Var(Some(fun.to_string()), ptrs[i].0.clone()),
+                        &Cell::Var(Some(fun.to_string()), ptrs[j].0.clone()),
+                    );
+                    if u {
+                        aliased_uni += 1;
+                    }
+                    if a {
+                        aliased_incl += 1;
+                    }
+                    if u && !a {
+                        gap_here = true;
+                    }
+                }
+            }
+        }
+        if gap_here {
+            modules_with_gap += 1;
+        }
+    }
+    let elapsed = t0.elapsed();
+
+    println!("Alias-analysis precision over {MODULES} random pointer-heavy modules (seed {seed})");
+    println!();
+    println!("{:<46} {:>10}", "pointer-local pairs compared", pairs_total);
+    println!(
+        "{:<46} {:>10}",
+        "aliased under unification (Steensgaard)", aliased_uni
+    );
+    println!(
+        "{:<46} {:>10}",
+        "aliased under inclusion (Andersen)", aliased_incl
+    );
+    println!(
+        "{:<46} {:>10}",
+        "pairs only unification conflates",
+        aliased_uni - aliased_incl
+    );
+    println!(
+        "{:<46} {:>10}",
+        "modules where precision differs", modules_with_gap
+    );
+    println!();
+    println!("(both analyses over {MODULES} modules in {elapsed:.2?})");
+}

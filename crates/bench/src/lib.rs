@@ -1,0 +1,148 @@
+//! Shared helpers for the benchmark harness: the experiment runner that
+//! the figure/table binaries and the Criterion benches build on, plus
+//! synthetic program generators for the complexity benches.
+
+use localias_ast::Module;
+use localias_corpus::GeneratedModule;
+use localias_cqual::{check_locks, Mode};
+use std::fmt::Write as _;
+
+/// Per-module measured error counts under the three modes.
+#[derive(Debug, Clone)]
+pub struct ModuleResult {
+    /// Module name.
+    pub name: String,
+    /// Errors without confine inference.
+    pub no_confine: usize,
+    /// Errors with confine inference.
+    pub confine: usize,
+    /// Errors assuming all updates strong.
+    pub all_strong: usize,
+}
+
+impl ModuleResult {
+    /// Measures one corpus module under all three modes.
+    pub fn measure(m: &GeneratedModule) -> ModuleResult {
+        let parsed = m.parse();
+        ModuleResult {
+            name: m.name.clone(),
+            no_confine: check_locks(&parsed, Mode::NoConfine).error_count(),
+            confine: check_locks(&parsed, Mode::Confine).error_count(),
+            all_strong: check_locks(&parsed, Mode::AllStrong).error_count(),
+        }
+    }
+
+    /// Spurious errors that strong updates could eliminate.
+    pub fn potential(&self) -> usize {
+        self.no_confine - self.all_strong.min(self.no_confine)
+    }
+
+    /// Spurious errors confine inference eliminated.
+    pub fn eliminated(&self) -> usize {
+        self.no_confine - self.confine.min(self.no_confine)
+    }
+}
+
+/// Runs the whole Section 7 experiment and returns per-module results.
+pub fn run_experiment(seed: u64) -> Vec<ModuleResult> {
+    localias_corpus::generate(seed)
+        .iter()
+        .map(ModuleResult::measure)
+        .collect()
+}
+
+/// Renders a text histogram: `buckets` of `(label, count)`, scaled to
+/// `width` columns.
+pub fn text_histogram(buckets: &[(String, usize)], width: usize) -> String {
+    let max = buckets.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (label, count) in buckets {
+        let bar = "#".repeat(count * width / max);
+        let _ = writeln!(out, "{label:>12} | {bar} {count}");
+    }
+    out
+}
+
+/// Generates a synthetic program of roughly `n` statements with `k`
+/// explicit `restrict` annotations, for the §4 `O(kn)` checking bench.
+pub fn checking_workload(n: usize, k: usize) -> Module {
+    let mut src = String::from("int g;\nextern void work();\n");
+    let funs = n.max(1) / 10 + 1;
+    let per_fun = n / funs + 1;
+    let mut annotated = 0;
+    for f in 0..funs {
+        let _ = writeln!(src, "void f{f}(int *q{f}) {{");
+        for s in 0..per_fun {
+            match s % 5 {
+                0 => {
+                    let _ = writeln!(src, "    int *a{s} = q{f};");
+                }
+                1 if annotated < k => {
+                    // Each annotation restricts its own fresh location
+                    // (two restricts of one location in one scope are
+                    // correctly rejected by the checker).
+                    annotated += 1;
+                    let _ = writeln!(src, "    int *s{s} = new (0);");
+                    let _ = writeln!(src, "    restrict int *r{s} = s{s};");
+                    let _ = writeln!(src, "    *r{s} = {s};");
+                }
+                2 => {
+                    let _ = writeln!(src, "    int x{s} = g + {s};");
+                }
+                3 => {
+                    let _ = writeln!(src, "    int *h{s} = new ({s});");
+                    let _ = writeln!(src, "    *h{s} = {s};");
+                }
+                _ => {
+                    let _ = writeln!(src, "    work();");
+                }
+            }
+        }
+        let _ = writeln!(src, "}}");
+    }
+    localias_ast::parse_module("workload", &src).expect("workload parses")
+}
+
+/// Generates a driver-like program with `pairs` confinable lock regions,
+/// for the inference scaling benches.
+pub fn confine_workload(pairs: usize) -> Module {
+    let mut src = String::from("extern void work();\n");
+    for p in 0..pairs {
+        let _ = writeln!(src, "lock locks{p}[8];");
+        let _ = writeln!(src, "void f{p}(int i) {{");
+        let _ = writeln!(src, "    spin_lock(&locks{p}[i]);");
+        let _ = writeln!(src, "    work();");
+        let _ = writeln!(src, "    spin_unlock(&locks{p}[i]);");
+        let _ = writeln!(src, "}}");
+    }
+    localias_ast::parse_module("confine-workload", &src).expect("workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checking_workload_scales_and_checks() {
+        let m = checking_workload(100, 5);
+        let a = localias_core::check(&m);
+        assert_eq!(a.restricts.len(), 5);
+        assert!(a.restricts.iter().all(|r| r.ok()), "{:?}", a.restricts);
+    }
+
+    #[test]
+    fn confine_workload_is_fully_recoverable() {
+        let m = confine_workload(4);
+        let nc = check_locks(&m, Mode::NoConfine).error_count();
+        let cf = check_locks(&m, Mode::Confine).error_count();
+        assert_eq!(nc, 4);
+        assert_eq!(cf, 0);
+    }
+
+    #[test]
+    fn histogram_renders() {
+        let h = text_histogram(&[("1".to_string(), 10), ("2".to_string(), 5)], 20);
+        assert!(h.contains("####"));
+        assert!(h.contains(" 10"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Deterministic corpus generation.
+//!
+//! [`generate`] produces the 589 synthetic driver modules of the Section
+//! 7 experiment: each module is assembled from the idiom catalogue
+//! according to the population [`crate::plan`], given a realistic driver
+//! name, padded with clean filler, and carries its *expected* per-mode
+//! error triple (the sum of its idioms' signatures). Generation is fully
+//! deterministic in the seed.
+
+use crate::idiom::{self, Expected, Idiom};
+use crate::plan::{
+    decompose_partial, real_bug_counts, recovered_quotas, Category, CLEAN_MODULES, FIGURE7,
+    RECOVERED_WITH_BUGS, TOTAL_MODULES,
+};
+use localias_ast::{parse_module, Module};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The default corpus seed (the paper's publication date).
+pub const DEFAULT_SEED: u64 = 20030609;
+
+/// One generated driver module.
+#[derive(Debug, Clone)]
+pub struct GeneratedModule {
+    /// Module name (e.g. `net_wavelan_cs`).
+    pub name: String,
+    /// Which population slice it belongs to.
+    pub category: Category,
+    /// The error triple the composition predicts.
+    pub expect: Expected,
+    /// Mini-C source text.
+    pub source: String,
+}
+
+impl GeneratedModule {
+    /// Parses the module's source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated source does not parse — a generator bug.
+    pub fn parse(&self) -> Module {
+        parse_module(&self.name, &self.source)
+            .unwrap_or_else(|e| panic!("generated module {} must parse: {e}", self.name))
+    }
+}
+
+const SUBSYSTEMS: [&str; 8] = [
+    "net", "scsi", "usb", "sound", "char", "block", "video", "isdn",
+];
+
+const STEMS: [&str; 40] = [
+    "eepro",
+    "tulip",
+    "rtl",
+    "ne2k",
+    "lance",
+    "sym53c",
+    "aha",
+    "qlogic",
+    "fdomain",
+    "ultrastor",
+    "uhci",
+    "ohci",
+    "acm",
+    "serial",
+    "printer",
+    "sbawe",
+    "opl3",
+    "wavefront",
+    "cmpci",
+    "maestro",
+    "vt",
+    "ftape",
+    "istallion",
+    "riscom",
+    "floppy",
+    "loop",
+    "nbd",
+    "rd",
+    "matrox",
+    "aty",
+    "tdfx",
+    "cirrus",
+    "hisax",
+    "avmb",
+    "icn",
+    "pcbit",
+    "ray_cs",
+    "airo",
+    "smc",
+    "depca",
+];
+
+fn module_name(rng: &mut StdRng, idx: usize) -> String {
+    let sub = SUBSYSTEMS[rng.gen_range(0..SUBSYSTEMS.len())];
+    let stem = STEMS[rng.gen_range(0..STEMS.len())];
+    format!("{sub}_{stem}{idx}")
+}
+
+/// A small pool of clean filler idioms to make modules look like real
+/// drivers rather than minimal reproducers.
+fn filler(rng: &mut StdRng, tag: &str, n: usize) -> Vec<Idiom> {
+    let mut out = Vec::new();
+    for k in 0..n {
+        let sub = format!("{tag}_f{k}");
+        let idiom = match rng.gen_range(0..7u32) {
+            0 => idiom::clean_scalar_pair(&sub),
+            1 => idiom::clean_restrict_helper(&sub),
+            2 => idiom::clean_math(&sub),
+            3 => idiom::clean_restrict_decl(&sub),
+            4 => idiom::clean_irq_early_return(&sub),
+            5 => idiom::clean_helper_chain(&sub),
+            _ => idiom::clean_branchy(&sub),
+        };
+        out.push(idiom);
+    }
+    out
+}
+
+fn genuine_bugs(rng: &mut StdRng, tag: &str, n: usize) -> Vec<Idiom> {
+    (0..n)
+        .map(|k| {
+            let sub = format!("{tag}_b{k}");
+            if rng.gen_bool(0.5) {
+                idiom::double_acquire(&sub)
+            } else {
+                idiom::unbalanced_branch(&sub)
+            }
+        })
+        .collect()
+}
+
+fn assemble(name: &str, category: Category, idioms: Vec<Idiom>) -> GeneratedModule {
+    let mut source = format!("// synthetic driver module: {name}\n");
+    let mut expect = Expected::default();
+    for i in idioms {
+        source.push_str(&i.source);
+        expect = expect + i.expect;
+    }
+    GeneratedModule {
+        name: name.to_string(),
+        category,
+        expect,
+        source,
+    }
+}
+
+/// Generates the 589-module corpus for `seed`.
+///
+/// # Example
+///
+/// ```
+/// use localias_corpus::{generate, DEFAULT_SEED};
+/// let corpus = generate(DEFAULT_SEED);
+/// assert_eq!(corpus.len(), 589);
+/// // Deterministic:
+/// assert_eq!(generate(DEFAULT_SEED)[17].source, corpus[17].source);
+/// ```
+pub fn generate(seed: u64) -> Vec<GeneratedModule> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut modules = Vec::with_capacity(TOTAL_MODULES);
+    let mut idx = 0;
+
+    // Clean modules.
+    for _ in 0..CLEAN_MODULES {
+        let name = module_name(&mut rng, idx);
+        idx += 1;
+        let n = rng.gen_range(2..=5);
+        let idioms = filler(&mut rng, &name, n);
+        modules.push(assemble(&name, Category::Clean, idioms));
+    }
+
+    // Real-bug modules.
+    for bugs in real_bug_counts() {
+        let name = module_name(&mut rng, idx);
+        idx += 1;
+        let mut idioms = genuine_bugs(&mut rng, &name, bugs);
+        let n = rng.gen_range(1..=3);
+        idioms.extend(filler(&mut rng, &name, n));
+        modules.push(assemble(&name, Category::RealBugs, idioms));
+    }
+
+    // Fully recovered modules.
+    let quotas = recovered_quotas();
+    for (k, quota) in quotas.into_iter().enumerate() {
+        let name = module_name(&mut rng, idx);
+        idx += 1;
+        let mut idioms = idiom::weak_update_idioms(&name, quota);
+        if k < RECOVERED_WITH_BUGS {
+            let b = rng.gen_range(1..=3);
+            idioms.extend(genuine_bugs(&mut rng, &name, b));
+        }
+        let n = rng.gen_range(1..=3);
+        idioms.extend(filler(&mut rng, &name, n));
+        modules.push(assemble(&name, Category::Recovered, idioms));
+    }
+
+    // Figure 7 (partially recovered) modules, under their paper names.
+    for &(paper_name, nc, cf, as_) in &FIGURE7 {
+        let mix = decompose_partial(nc, cf, as_);
+        let name = paper_name.to_string();
+        let mut idioms = idiom::weak_update_idioms(&name, mix.weak_quota);
+        for k in 0..mix.casts {
+            idioms.push(idiom::cast_pair(&format!("{name}_c{k}")));
+        }
+        for k in 0..mix.crosses {
+            idioms.push(idiom::cross_elements(&format!("{name}_x{k}")));
+        }
+        idioms.extend(genuine_bugs(&mut rng, &name, mix.bugs));
+        let n = rng.gen_range(1..=2);
+        idioms.extend(filler(&mut rng, &name, n));
+        modules.push(assemble(&name, Category::Partial, idioms));
+    }
+
+    // Interleave categories the way a directory listing would.
+    modules.shuffle(&mut rng);
+    assert_eq!(modules.len(), TOTAL_MODULES);
+    modules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{TOTAL_ELIMINATED, TOTAL_POTENTIAL};
+
+    #[test]
+    fn corpus_has_the_papers_population() {
+        let corpus = generate(DEFAULT_SEED);
+        assert_eq!(corpus.len(), TOTAL_MODULES);
+        let count = |c: Category| corpus.iter().filter(|m| m.category == c).count();
+        assert_eq!(count(Category::Clean), 352);
+        assert_eq!(count(Category::RealBugs), 85);
+        assert_eq!(count(Category::Recovered), 138);
+        assert_eq!(count(Category::Partial), 14);
+    }
+
+    #[test]
+    fn expected_totals_match_the_paper() {
+        let corpus = generate(DEFAULT_SEED);
+        let potential: usize = corpus.iter().map(|m| m.expect.potential()).sum();
+        let eliminated: usize = corpus.iter().map(|m| m.expect.eliminated()).sum();
+        assert_eq!(potential, TOTAL_POTENTIAL);
+        assert_eq!(eliminated, TOTAL_ELIMINATED);
+    }
+
+    #[test]
+    fn expected_categories_are_consistent() {
+        for m in generate(DEFAULT_SEED) {
+            let e = m.expect;
+            match m.category {
+                Category::Clean => assert_eq!((e.no_confine, e.confine, e.all_strong), (0, 0, 0)),
+                Category::RealBugs => {
+                    assert!(e.no_confine > 0);
+                    assert_eq!(e.no_confine, e.all_strong);
+                    assert_eq!(e.confine, e.all_strong);
+                }
+                Category::Recovered => {
+                    assert!(e.no_confine > e.all_strong, "{}: {e}", m.name);
+                    assert_eq!(e.confine, e.all_strong, "{}: {e}", m.name);
+                }
+                Category::Partial => {
+                    assert!(e.confine > e.all_strong, "{}: {e}", m.name);
+                    assert!(e.no_confine > e.confine, "{}: {e}", m.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_modules_present_with_exact_targets() {
+        let corpus = generate(DEFAULT_SEED);
+        for &(name, nc, cf, as_) in &FIGURE7 {
+            let m = corpus
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(
+                (m.expect.no_confine, m.expect.confine, m.expect.all_strong),
+                (nc, cf, as_),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_modules_parse() {
+        for m in generate(DEFAULT_SEED) {
+            let parsed = m.parse();
+            assert!(!parsed.items.is_empty(), "{} is empty", m.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42);
+        let b = generate(42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.source, y.source);
+        }
+        let c = generate(43);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.source != y.source));
+    }
+
+    /// The critical calibration check: for a sample of modules across all
+    /// categories, the *measured* error counts under all three modes must
+    /// equal the composition's prediction. (The full 589-module sweep is
+    /// the experiment itself — `localias-bench`'s `summary` binary.)
+    #[test]
+    fn measured_counts_match_expectations_on_a_sample() {
+        use localias_cqual::{check_locks, Mode};
+        let corpus = generate(DEFAULT_SEED);
+        let mut checked = [0usize; 4];
+        for m in &corpus {
+            let slot = match m.category {
+                Category::Clean => 0,
+                Category::RealBugs => 1,
+                Category::Recovered => 2,
+                Category::Partial => 3,
+            };
+            if checked[slot] >= 4 {
+                continue;
+            }
+            checked[slot] += 1;
+            let parsed = m.parse();
+            let nc = check_locks(&parsed, Mode::NoConfine).error_count();
+            let cf = check_locks(&parsed, Mode::Confine).error_count();
+            let as_ = check_locks(&parsed, Mode::AllStrong).error_count();
+            assert_eq!(
+                (nc, cf, as_),
+                (m.expect.no_confine, m.expect.confine, m.expect.all_strong),
+                "{} ({:?}):\n{}",
+                m.name,
+                m.category,
+                m.source
+            );
+        }
+        assert_eq!(checked, [4, 4, 4, 4]);
+    }
+}

@@ -1,0 +1,572 @@
+//! Locking idioms with known per-mode error signatures.
+//!
+//! Every idiom is a self-contained set of top-level items (its own
+//! globals and functions, name-spaced by a tag), and contributes an exact
+//! `(no-confine, confine-inference, all-strong)` error triple. Module
+//! totals are therefore the sum of their idioms' triples — the property
+//! the Section 7 calibration relies on. Each signature below is verified
+//! against the real analyses by this crate's tests.
+
+use std::fmt;
+
+/// Expected lock type errors for one module (or idiom) under the three
+/// analysis modes of the Section 7 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Expected {
+    /// Without confine inference (weak updates on shared locations).
+    pub no_confine: usize,
+    /// With confine inference.
+    pub confine: usize,
+    /// Assuming every update is strong (the upper bound on recovery).
+    pub all_strong: usize,
+}
+
+impl std::ops::Add for Expected {
+    type Output = Expected;
+
+    /// Componentwise sum — module totals are the sums of their idioms.
+    fn add(self, other: Expected) -> Expected {
+        Expected {
+            no_confine: self.no_confine + other.no_confine,
+            confine: self.confine + other.confine,
+            all_strong: self.all_strong + other.all_strong,
+        }
+    }
+}
+
+impl Expected {
+    /// Spurious errors confine inference can potentially eliminate.
+    pub fn potential(self) -> usize {
+        self.no_confine - self.all_strong
+    }
+
+    /// Spurious errors confine inference actually eliminates.
+    pub fn eliminated(self) -> usize {
+        self.no_confine - self.confine
+    }
+}
+
+impl fmt::Display for Expected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}",
+            self.no_confine, self.confine, self.all_strong
+        )
+    }
+}
+
+/// One generated idiom: source items plus its expected signature.
+#[derive(Debug, Clone)]
+pub struct Idiom {
+    /// Top-level Mini-C items (globals, structs, functions).
+    pub source: String,
+    /// Expected error triple.
+    pub expect: Expected,
+}
+
+fn idiom(source: String, no_confine: usize, confine: usize, all_strong: usize) -> Idiom {
+    Idiom {
+        source,
+        expect: Expected {
+            no_confine,
+            confine,
+            all_strong,
+        },
+    }
+}
+
+// ---- Clean idioms (0/0/0) ---------------------------------------------------
+
+/// A driver routine guarding shared state with a single static lock —
+/// a single-object location, strongly updatable without any confine.
+pub fn clean_scalar_pair(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_mu;
+int {tag}_count;
+extern void {tag}_io();
+void {tag}_update() {{
+    spin_lock(&{tag}_mu);
+    {tag}_count = {tag}_count + 1;
+    {tag}_io();
+    spin_unlock(&{tag}_mu);
+}}
+"#
+        ),
+        0,
+        0,
+        0,
+    )
+}
+
+/// The paper's Figure 1 pattern with a `restrict`-qualified parameter:
+/// the callee works on a single-object copy of whatever lock it is given.
+pub fn clean_restrict_helper(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_locks[8];
+extern void {tag}_work();
+void {tag}_with(lock *restrict l) {{
+    spin_lock(l);
+    {tag}_work();
+    spin_unlock(l);
+}}
+void {tag}_entry(int i) {{
+    {tag}_with(&{tag}_locks[i]);
+}}
+"#
+        ),
+        0,
+        0,
+        0,
+    )
+}
+
+/// Lock-free bookkeeping code (buffers, counters, checksums).
+pub fn clean_math(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+int {tag}_buf[16];
+int {tag}_len;
+int {tag}_sum(int n) {{
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {{
+        acc = acc + {tag}_buf[i];
+    }}
+    return acc;
+}}
+void {tag}_reset(int n) {{
+    for (int i = 0; i < n; i = i + 1) {{
+        {tag}_buf[i] = 0;
+    }}
+    {tag}_len = 0;
+}}
+"#
+        ),
+        0,
+        0,
+        0,
+    )
+}
+
+/// A device struct with a scalar lock guarding its state — balanced
+/// branches under the lock.
+pub fn clean_branchy(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_state_mu;
+int {tag}_state;
+extern void {tag}_tx();
+extern void {tag}_rx();
+void {tag}_irq(int kind) {{
+    spin_lock(&{tag}_state_mu);
+    if (kind == 1) {{
+        {tag}_tx();
+        {tag}_state = 1;
+    }} else {{
+        {tag}_rx();
+        {tag}_state = 2;
+    }}
+    spin_unlock(&{tag}_state_mu);
+}}
+"#
+        ),
+        0,
+        0,
+        0,
+    )
+}
+
+/// A hand-annotated driver using the C99-style `restrict` declaration:
+/// already clean without inference.
+pub fn clean_restrict_decl(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_locks[8];
+extern void {tag}_poll();
+void {tag}_service(int i) {{
+    restrict lock *l = &{tag}_locks[i];
+    spin_lock(l);
+    {tag}_poll();
+    spin_unlock(l);
+}}
+"#
+        ),
+        0,
+        0,
+        0,
+    )
+}
+
+/// An interrupt-handler shape: early return on a spurious interrupt, the
+/// main path does guarded work — all under a scalar lock, all balanced.
+pub fn clean_irq_early_return(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_irq_mu;
+int {tag}_pending;
+extern int {tag}_spurious();
+extern void {tag}_ack();
+void {tag}_isr() {{
+    spin_lock(&{tag}_irq_mu);
+    if ({tag}_spurious()) {{
+        spin_unlock(&{tag}_irq_mu);
+        return;
+    }}
+    {tag}_pending = {tag}_pending + 1;
+    {tag}_ack();
+    spin_unlock(&{tag}_irq_mu);
+}}
+"#
+        ),
+        0,
+        0,
+        0,
+    )
+}
+
+/// A two-level helper chain: the leaf takes a `restrict` lock parameter,
+/// the middle helper forwards it, the entry point passes an array element.
+pub fn clean_helper_chain(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_locks[8];
+extern void {tag}_body();
+void {tag}_leaf(lock *restrict l) {{
+    spin_lock(l);
+    {tag}_body();
+    spin_unlock(l);
+}}
+void {tag}_mid(lock *restrict l, int times) {{
+    for (int k = 0; k < times; k = k + 1) {{
+        {tag}_leaf(l);
+    }}
+}}
+void {tag}_entry(int i) {{
+    {tag}_mid(&{tag}_locks[i], 2);
+}}
+"#
+        ),
+        0,
+        0,
+        0,
+    )
+}
+
+// ---- Weak-update idioms (recoverable by confine) ----------------------------
+
+/// `k` sequential lock/unlock pairs on one element of a per-device lock
+/// array, in one function. Weak updates verify only the very first
+/// acquire; confine inference recovers everything.
+///
+/// Signature: `(2k-1, 0, 0)`.
+pub fn straight_pairs(tag: &str, k: usize) -> Idiom {
+    assert!(k >= 1);
+    let mut body = String::new();
+    for step in 0..k {
+        body.push_str(&format!(
+            "    spin_lock(&{tag}_locks[i]);\n    {tag}_step{step}();\n    spin_unlock(&{tag}_locks[i]);\n"
+        ));
+    }
+    let mut externs = String::new();
+    for step in 0..k {
+        externs.push_str(&format!("extern void {tag}_step{step}();\n"));
+    }
+    idiom(
+        format!(
+            r#"
+lock {tag}_locks[16];
+{externs}void {tag}_service(int i) {{
+{body}}}
+"#
+        ),
+        2 * k - 1,
+        0,
+        0,
+    )
+}
+
+/// A lock/unlock pair inside a loop over the device array. The loop-head
+/// join drives the weak state to ⊤, failing both sites; confine inference
+/// recovers both.
+///
+/// Signature: `(2, 0, 0)`.
+pub fn loop_pair(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_locks[16];
+extern void {tag}_flush();
+void {tag}_flush_all(int n) {{
+    for (int i = 0; i < n; i = i + 1) {{
+        spin_lock(&{tag}_locks[i]);
+        {tag}_flush();
+        spin_unlock(&{tag}_locks[i]);
+    }}
+}}
+"#
+        ),
+        2,
+        0,
+        0,
+    )
+}
+
+/// `k` pairs through a device-struct field (`&d->mu`), field-based
+/// aliasing conflating all instances.
+///
+/// Signature: `(2k-1, 0, 0)`.
+pub fn struct_pairs(tag: &str, k: usize) -> Idiom {
+    assert!(k >= 1);
+    let mut body = String::new();
+    for step in 0..k {
+        body.push_str(&format!(
+            "    spin_lock(&d->mu);\n    d->n = d->n + {step};\n    spin_unlock(&d->mu);\n"
+        ));
+    }
+    idiom(
+        format!(
+            r#"
+struct {tag}_dev {{ lock mu; int n; }};
+struct {tag}_dev {tag}_devs[8];
+void {tag}_touch(int i) {{
+    struct {tag}_dev *d = &{tag}_devs[i];
+{body}}}
+"#
+        ),
+        2 * k - 1,
+        0,
+        0,
+    )
+}
+
+/// A device-scan loop with an early `break` on the first hit — each
+/// iteration locks one device struct's lock, through field-based
+/// aliasing. Weak updates fail the loop-carried state; confine inference
+/// covers the whole body including the break path.
+///
+/// Signature: `(3, 0, 0)`.
+pub fn scan_loop(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+struct {tag}_dev {{ lock mu; int id; }};
+struct {tag}_dev {tag}_devs[8];
+extern void {tag}_claim();
+void {tag}_find(int want, int n) {{
+    for (int i = 0; i < n; i = i + 1) {{
+        struct {tag}_dev *d = &{tag}_devs[i];
+        spin_lock(&d->mu);
+        if (d->id == want) {{
+            {tag}_claim();
+            spin_unlock(&d->mu);
+            break;
+        }}
+        spin_unlock(&d->mu);
+    }}
+}}
+"#
+        ),
+        3,
+        0,
+        0,
+    )
+}
+
+// ---- Confine-resistant idioms (Figure 7 failure modes) ----------------------
+
+/// The lock pointer is laundered through an incompatible cast before the
+/// pair; the may-alias analysis loses track (taint) and confine inference
+/// cannot verify the candidate. All-strong still verifies both sites.
+///
+/// Signature: `(1, 1, 0)`.
+pub fn cast_pair(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_locks[8];
+int {tag}_cookie;
+extern void {tag}_dma();
+void {tag}_start(int i) {{
+    {tag}_cookie = (int) (&{tag}_locks[i]);
+    spin_lock(&{tag}_locks[i]);
+    {tag}_dma();
+    spin_unlock(&{tag}_locks[i]);
+}}
+"#
+        ),
+        1,
+        1,
+        0,
+    )
+}
+
+/// Hand-over-hand acquisition of two elements of the same array: the two
+/// names share one abstract location. The inner section (`j`) is still
+/// confinable — its scope contains no stale-alias access — but the outer
+/// one is not, and even all-strong updates cannot tell the elements
+/// apart, so two sites stay unverifiable in every recovery mode.
+///
+/// Signature: `(3, 2, 2)`.
+pub fn cross_elements(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_locks[8];
+extern void {tag}_move();
+void {tag}_transfer(int i, int j) {{
+    spin_lock(&{tag}_locks[i]);
+    spin_lock(&{tag}_locks[j]);
+    {tag}_move();
+    spin_unlock(&{tag}_locks[j]);
+    spin_unlock(&{tag}_locks[i]);
+}}
+"#
+        ),
+        3,
+        2,
+        2,
+    )
+}
+
+// ---- Genuine bugs (1/1/1) ----------------------------------------------------
+
+/// A real double acquire on a scalar lock — reported in every mode.
+pub fn double_acquire(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_mu;
+extern void {tag}_cfg();
+void {tag}_init() {{
+    spin_lock(&{tag}_mu);
+    {tag}_cfg();
+    spin_lock(&{tag}_mu);
+    spin_unlock(&{tag}_mu);
+}}
+"#
+        ),
+        1,
+        1,
+        1,
+    )
+}
+
+/// A lock acquired on only one path before an unconditional release — the
+/// classic forgotten-else bug.
+pub fn unbalanced_branch(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_mu;
+extern void {tag}_slow();
+void {tag}_maybe(int c) {{
+    if (c) {{
+        spin_lock(&{tag}_mu);
+        {tag}_slow();
+    }}
+    spin_unlock(&{tag}_mu);
+}}
+"#
+        ),
+        1,
+        1,
+        1,
+    )
+}
+
+/// Decomposes an eliminated-error quota into weak-update idioms: loop
+/// pairs contribute 2, straight pairs `2k-1` (odd). Any `q ≥ 1` is
+/// representable; pair counts are capped for readable functions.
+pub fn weak_update_idioms(tag: &str, mut q: usize) -> Vec<Idiom> {
+    let mut out = Vec::new();
+    let mut n = 0usize;
+    while q > 0 {
+        let sub = format!("{tag}_w{n}");
+        n += 1;
+        if q.is_multiple_of(2) {
+            out.push(loop_pair(&sub));
+            q -= 2;
+        } else if q >= 3 && n % 4 == 1 {
+            out.push(scan_loop(&sub));
+            q -= 3;
+        } else {
+            let k = q.div_ceil(2).min(8);
+            if n.is_multiple_of(3) {
+                out.push(struct_pairs(&sub, k));
+            } else {
+                out.push(straight_pairs(&sub, k));
+            }
+            q -= 2 * k - 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_arithmetic() {
+        let e = Expected {
+            no_confine: 5,
+            confine: 2,
+            all_strong: 1,
+        };
+        assert_eq!(e.potential(), 4);
+        assert_eq!(e.eliminated(), 3);
+        let sum = e + Expected {
+            no_confine: 1,
+            confine: 1,
+            all_strong: 1,
+        };
+        assert_eq!(sum.no_confine, 6);
+        assert_eq!(e.to_string(), "5/2/1");
+    }
+
+    #[test]
+    fn weak_update_decomposition_hits_quota() {
+        for q in 1..=60 {
+            let idioms = weak_update_idioms("t", q);
+            let total: usize = idioms.iter().map(|i| i.expect.no_confine).sum();
+            assert_eq!(total, q, "quota {q}");
+            assert!(idioms
+                .iter()
+                .all(|i| i.expect.confine == 0 && i.expect.all_strong == 0));
+        }
+    }
+
+    #[test]
+    fn idiom_sources_parse() {
+        let samples = [
+            clean_scalar_pair("a"),
+            clean_restrict_helper("b"),
+            clean_math("c"),
+            clean_branchy("d"),
+            clean_restrict_decl("r"),
+            clean_irq_early_return("q"),
+            clean_helper_chain("h"),
+            straight_pairs("e", 3),
+            loop_pair("f"),
+            scan_loop("s"),
+            struct_pairs("g", 2),
+            cast_pair("h"),
+            cross_elements("i"),
+            double_acquire("j"),
+            unbalanced_branch("k"),
+        ];
+        for (n, s) in samples.iter().enumerate() {
+            localias_ast::parse_module("m", &s.source)
+                .unwrap_or_else(|e| panic!("idiom {n} failed to parse: {e}\n{}", s.source));
+        }
+    }
+}

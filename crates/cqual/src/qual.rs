@@ -1,0 +1,110 @@
+//! The flow-sensitive lock-state lattice.
+//!
+//! CQual refines the `lock` type with the flow-sensitive qualifiers
+//! `locked` and `unlocked`; our abstract state per location is the
+//! four-point lattice below. `Top` is "either" — precisely the state a
+//! *weak update* leaves a location in, and the state in which no
+//! lock/unlock site can be verified.
+
+use std::fmt;
+
+/// The abstract state of one lock location at one program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LockState {
+    /// Unreachable / untouched bottom.
+    #[default]
+    Bot,
+    /// Definitely not held.
+    Unlocked,
+    /// Definitely held.
+    Locked,
+    /// May be either (the result of a weak update with conflicting
+    /// states).
+    Top,
+}
+
+impl LockState {
+    /// Least upper bound.
+    pub fn join(self, other: LockState) -> LockState {
+        use LockState::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (Unlocked, Unlocked) => Unlocked,
+            (Locked, Locked) => Locked,
+            _ => Top,
+        }
+    }
+
+    /// Does this state *verify* the given requirement? `Top` verifies
+    /// nothing; `Bot` (unreachable) verifies everything.
+    pub fn verifies(self, required: LockState) -> bool {
+        match self {
+            LockState::Bot => true,
+            s => s == required,
+        }
+    }
+
+    /// Weakly updates to `new`: the location may or may not be the one
+    /// concrete lock that changed, so the result covers both.
+    pub fn weak_update(self, new: LockState) -> LockState {
+        self.join(new)
+    }
+}
+
+impl fmt::Display for LockState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockState::Bot => "⊥",
+            LockState::Unlocked => "unlocked",
+            LockState::Locked => "locked",
+            LockState::Top => "⊤",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockState::*;
+
+    #[test]
+    fn join_is_commutative_and_idempotent() {
+        let all = [Bot, Unlocked, Locked, Top];
+        for a in all {
+            assert_eq!(a.join(a), a);
+            for b in all {
+                assert_eq!(a.join(b), b.join(a));
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_associative() {
+        let all = [Bot, Unlocked, Locked, Top];
+        for a in all {
+            for b in all {
+                for c in all {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weak_update_conflates() {
+        assert_eq!(Unlocked.weak_update(Locked), Top);
+        assert_eq!(Locked.weak_update(Locked), Locked);
+        assert_eq!(Top.weak_update(Unlocked), Top);
+        assert_eq!(Bot.weak_update(Locked), Locked);
+    }
+
+    #[test]
+    fn verification() {
+        assert!(Unlocked.verifies(Unlocked));
+        assert!(!Unlocked.verifies(Locked));
+        assert!(!Top.verifies(Locked));
+        assert!(!Top.verifies(Unlocked));
+        assert!(Bot.verifies(Locked), "unreachable code verifies anything");
+    }
+}

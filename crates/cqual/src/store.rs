@@ -1,0 +1,221 @@
+//! The abstract store: lock state per abstract location, with strong and
+//! weak updates.
+
+use crate::qual::LockState;
+use localias_alias::loc::Multiplicity;
+use localias_alias::{Loc, LocTable};
+use std::collections::BTreeMap;
+
+/// A map from canonical lock locations to their abstract state. Absent
+/// locations are implicitly [`LockState::Unlocked`] — the paper's "assume
+/// that all locks begin in the state unlocked".
+///
+/// A store can also be **unreachable** (the state after `return`,
+/// `break`, or `continue` on the current path): every lookup is
+/// [`LockState::Bot`], updates are ignored, and it is the identity of
+/// [`Store::join`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Store {
+    map: BTreeMap<Loc, LockState>,
+    unreachable: bool,
+}
+
+impl Store {
+    /// The empty (all-unlocked) store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// An unreachable store — the identity of [`Store::join`].
+    pub fn bottom() -> Self {
+        Store {
+            map: BTreeMap::new(),
+            unreachable: true,
+        }
+    }
+
+    /// Marks this path dead (after `return`/`break`/`continue`).
+    pub fn mark_unreachable(&mut self) {
+        self.map.clear();
+        self.unreachable = true;
+    }
+
+    /// Whether the current path is dead.
+    pub fn is_unreachable(&self) -> bool {
+        self.unreachable
+    }
+
+    /// Current state of `loc` (canonicalize first via `locs.find`).
+    pub fn state(&self, loc: Loc) -> LockState {
+        if self.unreachable {
+            return LockState::Bot;
+        }
+        self.map.get(&loc).copied().unwrap_or(LockState::Unlocked)
+    }
+
+    /// Sets `loc`'s state outright (used for scope copy-in).
+    pub fn set(&mut self, loc: Loc, s: LockState) {
+        if self.unreachable {
+            return;
+        }
+        self.map.insert(loc, s);
+    }
+
+    /// Updates `loc` to `new`, strongly when allowed.
+    ///
+    /// A strong update overwrites; a weak update joins with the previous
+    /// state, because the abstract location may stand for concrete locks
+    /// other than the one that changed.
+    pub fn update(&mut self, loc: Loc, new: LockState, strong: bool) {
+        if self.unreachable {
+            return;
+        }
+        let entry = self.map.entry(loc).or_insert(LockState::Unlocked);
+        *entry = if strong { new } else { entry.weak_update(new) };
+    }
+
+    /// Joins another store pointwise (control-flow merge).
+    pub fn join(&mut self, other: &Store) {
+        if other.unreachable {
+            return;
+        }
+        if self.unreachable {
+            *self = other.clone();
+            return;
+        }
+        for (&loc, &s) in &other.map {
+            let mine = self.state(loc);
+            self.map.insert(loc, mine.join(s));
+        }
+        // Locations only in self keep their state: other's implicit
+        // Unlocked must still join in.
+        let missing: Vec<Loc> = self
+            .map
+            .keys()
+            .filter(|l| !other.map.contains_key(l))
+            .copied()
+            .collect();
+        for loc in missing {
+            let mine = self.state(loc);
+            self.map.insert(loc, mine.join(LockState::Unlocked));
+        }
+    }
+
+    /// Conservatively forgets everything (e.g. after a call into a
+    /// recursive cycle).
+    pub fn havoc(&mut self) {
+        for s in self.map.values_mut() {
+            *s = LockState::Top;
+        }
+    }
+
+    /// The touched locations and their states.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, LockState)> + '_ {
+        self.map.iter().map(|(&l, &s)| (l, s))
+    }
+
+    /// Whether `loc` has ever been explicitly set/updated (used when
+    /// building call summaries to record entry requirements).
+    pub fn touched(&self, loc: Loc) -> bool {
+        self.map.contains_key(&loc)
+    }
+}
+
+/// Whether `loc` may be strongly updated: it must stand for at most one
+/// concrete object and the alias analysis must not have lost track of it.
+///
+/// `restrict`/`confine` scopes introduce fresh locations of multiplicity
+/// one — this predicate is exactly where their payoff lands.
+pub fn strong_updatable(locs: &mut LocTable, loc: Loc) -> bool {
+    locs.multiplicity(loc) <= Multiplicity::One && !locs.is_tainted(loc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localias_alias::Ty;
+
+    #[test]
+    fn default_state_is_unlocked() {
+        let s = Store::new();
+        assert_eq!(s.state(Loc(3)), LockState::Unlocked);
+    }
+
+    #[test]
+    fn strong_vs_weak() {
+        let mut s = Store::new();
+        s.update(Loc(0), LockState::Locked, true);
+        assert_eq!(s.state(Loc(0)), LockState::Locked);
+        s.update(Loc(0), LockState::Unlocked, true);
+        assert_eq!(s.state(Loc(0)), LockState::Unlocked);
+
+        let mut w = Store::new();
+        w.update(Loc(1), LockState::Locked, false);
+        assert_eq!(
+            w.state(Loc(1)),
+            LockState::Top,
+            "weak acquire from unlocked leaves either-state"
+        );
+    }
+
+    #[test]
+    fn join_merges_pointwise() {
+        let mut a = Store::new();
+        a.update(Loc(0), LockState::Locked, true);
+        let b = Store::new(); // implicit unlocked
+        a.join(&b);
+        assert_eq!(a.state(Loc(0)), LockState::Top);
+
+        let mut c = Store::new();
+        c.update(Loc(0), LockState::Locked, true);
+        let mut d = Store::new();
+        d.update(Loc(0), LockState::Locked, true);
+        c.join(&d);
+        assert_eq!(c.state(Loc(0)), LockState::Locked);
+    }
+
+    #[test]
+    fn havoc_tops_everything_touched() {
+        let mut s = Store::new();
+        s.update(Loc(0), LockState::Locked, true);
+        s.havoc();
+        assert_eq!(s.state(Loc(0)), LockState::Top);
+        // Untouched stays implicitly unlocked (it was never mentioned).
+        assert_eq!(s.state(Loc(9)), LockState::Unlocked);
+    }
+
+    #[test]
+    fn bottom_is_join_identity_and_inert() {
+        let mut b = Store::bottom();
+        assert!(b.is_unreachable());
+        assert_eq!(b.state(Loc(0)), LockState::Bot);
+        b.update(Loc(0), LockState::Locked, true);
+        assert_eq!(b.state(Loc(0)), LockState::Bot, "updates on ⊥ ignored");
+
+        let mut s = Store::new();
+        s.update(Loc(1), LockState::Locked, true);
+        let snapshot = s.clone();
+        s.join(&Store::bottom());
+        assert_eq!(s, snapshot, "⊥ is the right identity");
+
+        let mut b2 = Store::bottom();
+        b2.join(&snapshot);
+        assert_eq!(b2, snapshot, "⊥ is the left identity");
+    }
+
+    #[test]
+    fn strong_updatability() {
+        let mut t = LocTable::new();
+        let single = t.fresh_with("x", Ty::Lock, Multiplicity::One);
+        let many = t.fresh_with("arr[]", Ty::Lock, Multiplicity::Many);
+        assert!(strong_updatable(&mut t, single));
+        assert!(!strong_updatable(&mut t, many));
+        let tainted = t.fresh_with("y", Ty::Lock, Multiplicity::One);
+        t.taint(tainted);
+        assert!(!strong_updatable(&mut t, tainted));
+        // Merging a single with another single makes both Many.
+        let s2 = t.fresh_with("z", Ty::Lock, Multiplicity::One);
+        t.union_raw(single, s2);
+        assert!(!strong_updatable(&mut t, single));
+    }
+}

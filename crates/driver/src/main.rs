@@ -1,0 +1,261 @@
+//! `localias` — command-line interface to the local non-aliasing
+//! analyses.
+//!
+//! ```text
+//! localias parse   <file.mc>          # parse & pretty-print
+//! localias check   <file.mc>          # check explicit restrict/confine annotations
+//! localias infer   <file.mc>          # restrict + confine inference
+//! localias locks   <file.mc> [mode]   # flow-sensitive lock checking
+//! localias run     <file.mc> [arg]    # execute under the §3.2 semantics
+//! localias corpus  <dir> [seed]       # dump the synthetic driver corpus
+//! localias experiment [seed]          # run the full Section 7 experiment
+//! ```
+//!
+//! Modes for `locks`: `noconfine` (default), `confine`, `allstrong`.
+
+use localias_ast::span::LineMap;
+use localias_ast::{parse_module, pretty, Module, NodeId};
+use localias_cqual::{check_locks, Mode};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Formats `node`'s position as `line:col`, when known.
+fn at(m: &Module, lines: &LineMap, node: NodeId) -> String {
+    let span = m.span_of(node);
+    if span == localias_ast::Span::DUMMY {
+        return String::new();
+    }
+    let (line, col) = lines.location(span.lo);
+    format!(" (line {line}:{col})")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("parse") => cmd_parse(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("infer") => cmd_infer(&args[1..]),
+        Some("locks") => cmd_locks(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("experiment") => cmd_experiment(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: localias <parse|check|infer|locks|corpus|experiment> [args]\n\
+                 \n\
+                 parse   <file.mc>          parse and pretty-print a module\n\
+                 check   <file.mc>          check explicit restrict/confine annotations\n\
+                 infer   <file.mc> [--general]  run restrict and confine inference\n\
+                 locks   <file.mc> [mode]   lock checking (noconfine|confine|allstrong)\n\
+                 run     <file.mc> [arg]    execute every function (restrict = copy-and-poison)\n\
+                 corpus  <dir> [seed]       write the synthetic driver corpus to <dir>\n\
+                 experiment [seed]          run the full Section 7 experiment"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("localias: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(args: &[String]) -> Result<(String, Module, LineMap), String> {
+    let path = args.first().ok_or("missing input file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("module")
+        .to_string();
+    let module = parse_module(&name, &src).map_err(|e| format!("{path}: {e}"))?;
+    let lines = LineMap::new(&src);
+    Ok((name, module, lines))
+}
+
+fn cmd_parse(args: &[String]) -> Result<String, String> {
+    let (_, m, _) = load(args)?;
+    Ok(pretty::print_module(&m))
+}
+
+fn cmd_check(args: &[String]) -> Result<String, String> {
+    let (name, m, lines) = load(args)?;
+    let a = localias_core::check(&m);
+    let mut out = String::new();
+    let _ = writeln!(out, "module {name}:");
+    for e in &a.state.mismatches {
+        let _ = writeln!(out, "  type error: {e}");
+    }
+    for d in &a.diags {
+        let _ = writeln!(out, "  error: {d}");
+    }
+    for r in &a.restricts {
+        let pos = at(&m, &lines, r.at);
+        if r.ok() {
+            let _ = writeln!(out, "  restrict {}{pos}: ok", r.name);
+        } else {
+            for reason in &r.reasons {
+                let _ = writeln!(out, "  restrict {}{pos}: REJECTED — {reason}", r.name);
+            }
+        }
+    }
+    for c in a.confines.iter().filter(|c| c.explicit) {
+        let pos = match c.site {
+            localias_core::ConfineSite::Stmt(id) => at(&m, &lines, id),
+            localias_core::ConfineSite::Range { block, .. } => at(&m, &lines, block),
+        };
+        if c.ok() {
+            let _ = writeln!(out, "  confine {}{pos}: ok", c.expr);
+        } else {
+            for reason in &c.reasons {
+                let _ = writeln!(out, "  confine {}{pos}: REJECTED — {reason}", c.expr);
+            }
+        }
+    }
+    if a.clean() {
+        let _ = writeln!(out, "  all annotations check");
+    }
+    Ok(out)
+}
+
+fn cmd_infer(args: &[String]) -> Result<String, String> {
+    let (name, m, _lines) = load(args)?;
+    let general = args.iter().any(|a| a == "--general");
+    let mut out = String::new();
+    let _ = writeln!(out, "module {name}:");
+
+    let ra = localias_core::infer_restricts(&m);
+    for c in &ra.candidates {
+        let verdict = if c.restricted { "restrict" } else { "let" };
+        let _ = writeln!(out, "  binding {} ({}): {verdict}", c.name, c.at);
+    }
+
+    let inf = if general {
+        localias_core::infer_confines_general(&m)
+    } else {
+        localias_core::infer_confines(&m)
+    };
+    for (i, cand) in inf.candidates.iter().enumerate() {
+        let chosen = inf.chosen.contains(&i);
+        let outcome = &inf.analysis.confines[i];
+        let verdict = if chosen {
+            "CONFINED (outermost)"
+        } else if outcome.ok() {
+            "confinable (inner)"
+        } else {
+            "rejected"
+        };
+        let _ = writeln!(
+            out,
+            "  confine? {} @ block {} stmts {}..={}: {verdict}",
+            cand.key, cand.block, cand.start, cand.end
+        );
+        for reason in &outcome.reasons {
+            let _ = writeln!(out, "      reason: {reason}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_locks(args: &[String]) -> Result<String, String> {
+    let (name, m, lines) = load(args)?;
+    let mode = match args.get(1).map(String::as_str) {
+        None | Some("noconfine") => Mode::NoConfine,
+        Some("confine") => Mode::Confine,
+        Some("allstrong") => Mode::AllStrong,
+        Some(other) => return Err(format!("unknown mode `{other}`")),
+    };
+    let r = check_locks(&m, mode);
+    let mut out = String::new();
+    let _ = writeln!(out, "module {name} ({mode:?}): {r}");
+    for e in &r.errors {
+        let pos = at(&m, &lines, e.site);
+        let _ = writeln!(out, "  {e}{pos}");
+    }
+    Ok(out)
+}
+
+fn cmd_run(args: &[String]) -> Result<String, String> {
+    let (name, m, _lines) = load(args)?;
+    let arg: i64 = match args.get(1) {
+        Some(s) => s.parse().map_err(|_| format!("bad argument `{s}`"))?,
+        None => 1,
+    };
+    let mut out = String::new();
+    let mut interp = localias_interp::Interp::new(&m, 1_000_000);
+    match interp.run_all(arg) {
+        Ok(()) => {
+            let _ = writeln!(out, "module {name}: ran all functions with arg {arg}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "module {name}: runtime error: {e}");
+        }
+    }
+    for fault in &interp.lock_faults {
+        let _ = writeln!(out, "  dynamic lock fault: {fault:?}");
+    }
+    if interp.lock_faults.is_empty() {
+        let _ = writeln!(out, "  no dynamic lock faults");
+    }
+    Ok(out)
+}
+
+fn cmd_corpus(args: &[String]) -> Result<String, String> {
+    let dir = args.first().ok_or("missing output directory")?;
+    let seed = match args.get(1) {
+        Some(s) => s.parse().map_err(|_| format!("bad seed `{s}`"))?,
+        None => localias_corpus::DEFAULT_SEED,
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let corpus = localias_corpus::generate(seed);
+    for m in &corpus {
+        let path = format!("{dir}/{}.mc", m.name);
+        std::fs::write(&path, &m.source).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(format!("wrote {} modules to {dir}\n", corpus.len()))
+}
+
+fn cmd_experiment(args: &[String]) -> Result<String, String> {
+    let seed = match args.first() {
+        Some(s) => s.parse().map_err(|_| format!("bad seed `{s}`"))?,
+        None => localias_corpus::DEFAULT_SEED,
+    };
+    let corpus = localias_corpus::generate(seed);
+    let mut out = String::new();
+    let (mut clean, mut real, mut full, mut partial) = (0, 0, 0, 0);
+    let (mut potential, mut eliminated) = (0usize, 0usize);
+    for m in &corpus {
+        let p = m.parse();
+        let nc = check_locks(&p, Mode::NoConfine).error_count();
+        let cf = check_locks(&p, Mode::Confine).error_count();
+        let st = check_locks(&p, Mode::AllStrong).error_count();
+        potential += nc.saturating_sub(st);
+        eliminated += nc.saturating_sub(cf);
+        if nc == 0 {
+            clean += 1;
+        } else if nc == st {
+            real += 1;
+        } else if cf == st {
+            full += 1;
+        } else {
+            partial += 1;
+        }
+    }
+    let _ = writeln!(out, "{} modules (seed {seed}):", corpus.len());
+    let _ = writeln!(out, "  error-free without confine:        {clean}");
+    let _ = writeln!(out, "  errors unrelated to weak updates:  {real}");
+    let _ = writeln!(out, "  fully recovered by confine:        {full}");
+    let _ = writeln!(out, "  partially recovered (Figure 7):    {partial}");
+    let _ = writeln!(
+        out,
+        "  spurious errors: {eliminated} of {potential} eliminated ({:.0}%)",
+        100.0 * eliminated as f64 / potential as f64
+    );
+    Ok(out)
+}

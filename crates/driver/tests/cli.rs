@@ -1,0 +1,164 @@
+//! End-to-end tests of the `localias` CLI binary.
+
+use std::process::Command;
+
+fn localias(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_localias"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_temp(name: &str, src: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("localias-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, src).unwrap();
+    path
+}
+
+const FIG1: &str = r#"
+lock locks[8];
+extern void work();
+void do_with_lock(lock *restrict l) {
+    spin_lock(l);
+    work();
+    spin_unlock(l);
+}
+void foo(int i) { do_with_lock(&locks[i]); }
+"#;
+
+#[test]
+fn usage_without_args() {
+    let (_, err, ok) = localias(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn parse_pretty_prints() {
+    let p = write_temp("fig1.mc", FIG1);
+    let (out, _, ok) = localias(&["parse", p.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("lock* restrict l"), "{out}");
+    assert!(out.contains("spin_lock"));
+}
+
+#[test]
+fn check_reports_ok() {
+    let p = write_temp("fig1b.mc", FIG1);
+    let (out, _, ok) = localias(&["check", p.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("restrict l") && out.contains(": ok"), "{out}");
+    assert!(out.contains("all annotations check"), "{out}");
+}
+
+#[test]
+fn check_reports_rejection() {
+    let p = write_temp(
+        "bad.mc",
+        "void f(int *q) { restrict p = q { *p = 1; *q = 2; } }",
+    );
+    let (out, _, ok) = localias(&["check", p.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("REJECTED"), "{out}");
+}
+
+#[test]
+fn locks_modes() {
+    let p = write_temp(
+        "arr.mc",
+        r#"
+        lock locks[8];
+        extern void work();
+        void f(int i) {
+            spin_lock(&locks[i]);
+            work();
+            spin_unlock(&locks[i]);
+        }
+        "#,
+    );
+    let (out, _, ok) = localias(&["locks", p.to_str().unwrap(), "noconfine"]);
+    assert!(ok);
+    assert!(out.contains("1 of 2 lock sites"), "{out}");
+    let (out, _, _) = localias(&["locks", p.to_str().unwrap(), "confine"]);
+    assert!(out.contains("0 of 2 lock sites"), "{out}");
+    let (_, err, ok) = localias(&["locks", p.to_str().unwrap(), "bogus"]);
+    assert!(!ok);
+    assert!(err.contains("unknown mode"));
+}
+
+#[test]
+fn infer_lists_confines() {
+    let p = write_temp(
+        "inf.mc",
+        r#"
+        lock locks[8];
+        extern void work();
+        void f(int i) {
+            spin_lock(&locks[i]);
+            work();
+            spin_unlock(&locks[i]);
+        }
+        "#,
+    );
+    let (out, _, ok) = localias(&["infer", p.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("CONFINED"), "{out}");
+}
+
+#[test]
+fn run_executes_and_reports_faults() {
+    let p = write_temp(
+        "buggy.mc",
+        r#"
+        lock mu;
+        void f() {
+            spin_lock(&mu);
+            spin_lock(&mu);
+            spin_unlock(&mu);
+        }
+        "#,
+    );
+    let (out, _, ok) = localias(&["run", p.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("dynamic lock fault"), "{out}");
+
+    let p = write_temp("clean.mc", FIG1);
+    let (out, _, ok) = localias(&["run", p.to_str().unwrap(), "3"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("no dynamic lock faults"), "{out}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (_, err, ok) = localias(&["check", "/nonexistent/definitely.mc"]);
+    assert!(!ok);
+    assert!(err.contains("localias:"));
+}
+
+#[test]
+fn diagnostics_carry_line_numbers() {
+    let p = write_temp(
+        "lines.mc",
+        "lock locks[8];\nextern void work();\nvoid f(int i) {\n    spin_lock(&locks[i]);\n    work();\n    spin_unlock(&locks[i]);\n}\n",
+    );
+    let (out, _, ok) = localias(&["locks", p.to_str().unwrap(), "noconfine"]);
+    assert!(ok, "{out}");
+    assert!(
+        out.contains("(line 6:"),
+        "the failing unlock is on line 6: {out}"
+    );
+
+    let p = write_temp(
+        "lines2.mc",
+        "void f(int *q) {\n    restrict p = q {\n        *p = 1;\n        *q = 2;\n    }\n}\n",
+    );
+    let (out, _, _) = localias(&["check", p.to_str().unwrap()]);
+    assert!(out.contains("(line 2:"), "the restrict is on line 2: {out}");
+}

@@ -1,0 +1,916 @@
+//! Solving effect constraint systems: least solutions, the Figure 5
+//! `CHECK-SAT` reachability query, conditional-constraint fixpoints, and
+//! verification of checked disinclusions.
+//!
+//! ## Least solutions
+//!
+//! A solution maps every effect variable to a set of kinded atoms such
+//! that all inclusions hold. Least solutions exist (the system is
+//! monotone) and are computed by worklist propagation over the constraint
+//! graph; an intersection node passes an atom `K(ρ)` only once `ρ` has
+//! arrived on *both* of its inputs — the role played by the arrival
+//! counter in the paper's Figure 5.
+//!
+//! ## Conditional constraints (§5, §6)
+//!
+//! Inference introduces one-shot conditionals `guard ⇒ action` whose
+//! actions may unify locations and add inclusions. [`solve`] iterates:
+//! compute the least solution, fire every newly-true guard, repeat. Each
+//! round fires at least one guard or terminates, and guards never
+//! "unfire" (solutions only grow, locations only merge), so the loop runs
+//! at most `#conditionals + 1` rounds — this is the worklist the paper
+//! charges `O(n)` re-computation per fired constraint to, giving the
+//! overall `O(n²)` inference bound.
+
+use crate::constraint::{Action, ConstraintSystem, Guard, NotIn};
+use crate::effect::{EffVar, Effect, KindMask};
+use crate::graph::{build, Graph, NodeIx, Port};
+use localias_alias::{Loc, LocTable};
+use std::collections::HashMap;
+
+/// Per-node solution state during propagation.
+#[derive(Debug, Clone, Default)]
+struct NodeState {
+    /// For plain nodes: the solved atom set. For intersection nodes: the
+    /// *output* (gated) set.
+    sol: HashMap<Loc, KindMask>,
+    /// Intersection nodes only: atoms seen on the left input.
+    left: HashMap<Loc, KindMask>,
+    /// Intersection nodes only: locations seen on the right input.
+    right: HashMap<Loc, KindMask>,
+}
+
+/// The result of [`solve`].
+#[derive(Debug)]
+pub struct Solution {
+    /// Final per-node sets (internal layout).
+    node_sets: Vec<HashMap<Loc, KindMask>>,
+    /// Node of each canonical effect variable at the end of solving.
+    var_node: HashMap<EffVar, NodeIx>,
+    /// Flag values set by fired conditionals.
+    flags: Vec<bool>,
+    /// Violated disinclusion checks.
+    violations: Vec<Violation>,
+    /// How many solver rounds ran.
+    pub rounds: usize,
+    /// How many conditional constraints fired.
+    pub fired: usize,
+}
+
+/// A violated `ρ ∉ ε` check.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The caller's tag from [`ConstraintSystem::check_not_in`].
+    pub tag: u32,
+    /// The offending (canonical) location.
+    pub loc: Loc,
+    /// The kinds under which it was found.
+    pub found: KindMask,
+}
+
+impl Solution {
+    /// Is `K(ρ)` (for any `K` in `kinds`) in `var`'s least solution?
+    pub fn contains(
+        &self,
+        cs: &ConstraintSystem,
+        locs: &LocTable,
+        var: EffVar,
+        loc: Loc,
+        kinds: KindMask,
+    ) -> bool {
+        let r = cs.find_const(var);
+        let Some(&node) = self.var_node.get(&r) else {
+            return false;
+        };
+        let l = locs.find_const(loc);
+        self.node_sets[node as usize]
+            .get(&l)
+            .is_some_and(|m| m.overlaps(kinds))
+    }
+
+    /// The solved atom set of `var` as `(location, kinds)` pairs.
+    pub fn set(&self, cs: &ConstraintSystem, var: EffVar) -> Vec<(Loc, KindMask)> {
+        let r = cs.find_const(var);
+        match self.var_node.get(&r) {
+            Some(&node) => {
+                let mut v: Vec<_> = self.node_sets[node as usize]
+                    .iter()
+                    .map(|(&l, &m)| (l, m))
+                    .collect();
+                v.sort_by_key(|&(l, _)| l);
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether `flag` was set by a fired conditional.
+    pub fn flag(&self, flag: crate::constraint::FlagId) -> bool {
+        self.flags.get(flag.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// The violated checks, in generation order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// The registry tying abstract locations to their memoized `ε_ρ`
+/// variables (`locs(τ)` memoization, paper §4).
+///
+/// When solving unifies two locations (a §5/§6 demotion), the two
+/// locations' `ε` variables must come to denote the same set; the solver
+/// achieves this by adding mutual inclusion edges between them, which
+/// preserves least solutions without disturbing the already-built graph.
+#[derive(Debug, Default)]
+pub struct LocVars {
+    map: HashMap<Loc, EffVar>,
+}
+
+impl LocVars {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        LocVars::default()
+    }
+
+    /// The `ε_ρ` variable for `loc`'s class, creating one (named from the
+    /// location) on first use. Pass the canonical representative.
+    pub fn var_for(&mut self, cs: &mut ConstraintSystem, canonical: Loc) -> EffVar {
+        match self.map.get(&canonical) {
+            Some(&v) => v,
+            None => {
+                let v = cs.fresh_var(format!("ε_{canonical}"));
+                self.map.insert(canonical, v);
+                v
+            }
+        }
+    }
+
+    /// The variable for `loc`'s class if one exists.
+    pub fn get(&self, canonical: Loc) -> Option<EffVar> {
+        self.map.get(&canonical).copied()
+    }
+
+    /// All `(location, variable)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, EffVar)> + '_ {
+        self.map.iter().map(|(&l, &v)| (l, v))
+    }
+
+    /// Reconciles the registry after `loser`'s class merged into
+    /// `winner`'s, returning inclusions the caller must add so both
+    /// variables denote the same set.
+    pub fn merge(&mut self, winner: Loc, loser: Loc) -> Vec<(Effect, EffVar)> {
+        match (
+            self.map.get(&winner).copied(),
+            self.map.get(&loser).copied(),
+        ) {
+            (Some(a), Some(b)) if a != b => {
+                vec![(Effect::var(a), b), (Effect::var(b), a)]
+            }
+            (Some(_), Some(_)) => Vec::new(),
+            (Some(a), None) => {
+                self.map.insert(loser, a);
+                Vec::new()
+            }
+            (None, Some(b)) => {
+                self.map.insert(winner, b);
+                Vec::new()
+            }
+            (None, None) => Vec::new(),
+        }
+    }
+}
+
+/// [`solve_with`] without a location-variable registry.
+pub fn solve(cs: &mut ConstraintSystem, locs: &mut LocTable) -> Solution {
+    let mut loc_vars = LocVars::new();
+    solve_with(cs, locs, &mut loc_vars)
+}
+
+/// Computes the least solution of `cs`'s constraints, fires conditional
+/// constraints to fixpoint (mutating `locs` as demotions unify
+/// locations), and verifies all checked disinclusions.
+///
+/// `loc_vars` keeps the memoized per-location `ε_ρ` variables coherent
+/// across mid-solve location unifications.
+pub fn solve_with(
+    cs: &mut ConstraintSystem,
+    locs: &mut LocTable,
+    loc_vars: &mut LocVars,
+) -> Solution {
+    let mut graph = build(cs);
+    let mut fired = vec![false; cs.conditionals.len()];
+    let mut flags = vec![false; cs.flag_count() as usize];
+    let mut rounds = 0;
+
+    // Merges that happened before solving are the caller's to handle;
+    // drop them so we only react to our own.
+    let _ = locs.take_merges();
+
+    // Initial propagation; later rounds extend the same state
+    // *incrementally* — the paper's O(n) work per fired conditional
+    // rather than a full re-propagation.
+    let mut engine = Engine::new(graph.node_count());
+    let _ = graph.take_additions(); // initial atoms are seeded in bulk
+    for &(atom, node, port) in &graph.atoms {
+        let l = locs.find(atom.loc);
+        engine.deliver(node, port, l, atom.kind.mask());
+    }
+    engine.run(&graph);
+
+    let states = loop {
+        rounds += 1;
+
+        let mut any = false;
+        // Indexed loop: the body mutates `cs` (adding constraints), so an
+        // iterator over `cs.conditionals` cannot be held across it.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..cs.conditionals.len() {
+            if fired[i] {
+                continue;
+            }
+            let guard_true = {
+                let cond = &cs.conditionals[i];
+                eval_guard(&cond.guard, cs, locs, &graph, &engine.states)
+            };
+            if guard_true {
+                fired[i] = true;
+                any = true;
+                let action = cs.conditionals[i].action.clone();
+                apply_action(&action, cs, locs, &mut graph, &mut flags);
+                for (winner, loser) in locs.take_merges() {
+                    for (l, v) in loc_vars.merge(winner, loser) {
+                        cs.includes.push((l.clone(), v));
+                        graph.include(cs, &l, v);
+                    }
+                    engine.merge_loc(winner, loser);
+                }
+                // Seed whatever the action added to the graph.
+                let (atoms, edges) = graph.take_additions();
+                engine.grow(graph.node_count());
+                for (atom, node, port) in atoms {
+                    let l = locs.find(atom.loc);
+                    engine.deliver(node, port, l, atom.kind.mask());
+                }
+                for (from, to, port) in edges {
+                    engine.deliver_edge(from, to, port);
+                }
+                engine.run(&graph);
+            }
+        }
+        if !any {
+            break std::mem::take(&mut engine.states);
+        }
+    };
+
+    // Verify the checked disinclusions against the final least solution.
+    let mut violations = Vec::new();
+    let not_ins: Vec<NotIn> = cs.not_ins.clone();
+    for check in &not_ins {
+        let node = var_node_of(&graph, cs, check.var);
+        if let Some(node) = node {
+            let l = locs.find(check.loc);
+            if let Some(&m) = states[node as usize].sol.get(&l) {
+                let found = m.inter(check.kinds);
+                if !found.is_empty() {
+                    violations.push(Violation {
+                        tag: check.tag,
+                        loc: l,
+                        found,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut var_node = HashMap::new();
+    for raw in 0..cs.var_count() as u32 {
+        let r = cs.find(EffVar(raw));
+        if let Some(n) = var_node_of(&graph, cs, r) {
+            var_node.insert(r, n);
+        }
+    }
+
+    Solution {
+        node_sets: states.into_iter().map(|s| s.sol).collect(),
+        var_node,
+        flags,
+        violations,
+        rounds,
+        fired: fired.iter().filter(|f| **f).count(),
+    }
+}
+
+fn var_node_of(graph: &Graph, cs: &ConstraintSystem, v: EffVar) -> Option<NodeIx> {
+    // Read-only lookup mirroring Graph::var_node without creating nodes.
+    let r = cs.find_const(v);
+    graph_var_node(graph, r)
+}
+
+fn graph_var_node(graph: &Graph, canonical: EffVar) -> Option<NodeIx> {
+    graph.var_node_readonly(canonical)
+}
+
+fn apply_action(
+    action: &Action,
+    cs: &mut ConstraintSystem,
+    locs: &mut LocTable,
+    graph: &mut Graph,
+    flags: &mut Vec<bool>,
+) {
+    for &(a, b) in &action.unify {
+        let ta = locs.content(a);
+        let tb = locs.content(b);
+        // Unify the classes and their contents; mismatches here mean the
+        // program was already ill-typed and have been reported elsewhere.
+        let mut mismatches = Vec::new();
+        localias_alias::unify(
+            locs,
+            &localias_alias::Ty::Ref(a),
+            &localias_alias::Ty::Ref(b),
+            &mut mismatches,
+        );
+        let _ = (ta, tb);
+    }
+    for (l, v) in &action.include {
+        cs.includes.push((l.clone(), *v));
+        graph.include(cs, l, *v);
+    }
+    for f in &action.flags {
+        if f.0 as usize >= flags.len() {
+            flags.resize(f.0 as usize + 1, false);
+        }
+        flags[f.0 as usize] = true;
+    }
+}
+
+fn eval_guard(
+    guard: &Guard,
+    cs: &ConstraintSystem,
+    locs: &mut LocTable,
+    graph: &Graph,
+    states: &[NodeState],
+) -> bool {
+    let sol_of = |v: EffVar| -> Option<&HashMap<Loc, KindMask>> {
+        var_node_of(graph, cs, v).map(|n| &states[n as usize].sol)
+    };
+    match guard {
+        Guard::LocIn { loc, kinds, var } => {
+            let l = locs.find(*loc);
+            sol_of(*var)
+                .and_then(|s| s.get(&l))
+                .is_some_and(|m| m.overlaps(*kinds))
+        }
+        Guard::AnyKind { var, kinds } => sol_of(*var)
+            .map(|s| s.values().any(|m| m.overlaps(*kinds)))
+            .unwrap_or(false),
+        Guard::Overlap {
+            left,
+            left_kinds,
+            right,
+            right_kinds,
+        } => {
+            let (Some(ls), Some(rs)) = (sol_of(*left), sol_of(*right)) else {
+                return false;
+            };
+            let (small, big, small_kinds, big_kinds) = if ls.len() <= rs.len() {
+                (ls, rs, *left_kinds, *right_kinds)
+            } else {
+                (rs, ls, *right_kinds, *left_kinds)
+            };
+            small.iter().any(|(l, m)| {
+                m.overlaps(small_kinds) && big.get(l).is_some_and(|bm| bm.overlaps(big_kinds))
+            })
+        }
+    }
+}
+
+/// The incremental propagation engine used by [`solve_with`]: state
+/// persists across conditional-constraint rounds, new atoms/edges are
+/// seeded individually, and location merges re-key the per-node maps —
+/// `O(n)` per fired constraint, the paper's §5 cost model.
+#[derive(Debug, Default)]
+struct Engine {
+    states: Vec<NodeState>,
+    work: Vec<(NodeIx, Loc)>,
+}
+
+impl Engine {
+    fn new(nodes: usize) -> Self {
+        Engine {
+            states: vec![NodeState::default(); nodes],
+            work: Vec::new(),
+        }
+    }
+
+    fn grow(&mut self, nodes: usize) {
+        if nodes > self.states.len() {
+            self.states.resize(nodes, NodeState::default());
+        }
+    }
+
+    fn deliver(&mut self, node: NodeIx, port: Port, loc: Loc, mask: KindMask) {
+        deliver(&mut self.states, &mut self.work, node, port, loc, mask);
+    }
+
+    /// Pushes everything `from` currently holds along a newly added edge.
+    fn deliver_edge(&mut self, from: NodeIx, to: NodeIx, port: Port) {
+        let entries: Vec<(Loc, KindMask)> = self.states[from as usize]
+            .sol
+            .iter()
+            .map(|(&l, &m)| (l, m))
+            .collect();
+        for (l, m) in entries {
+            self.deliver(to, port, l, m);
+        }
+    }
+
+    /// Re-keys every per-node map after `loser`'s class merged into
+    /// `winner`'s, re-checking intersection gates for the merged key.
+    /// Conservatively re-enqueues every touched node for the merged key
+    /// (monotone, so spurious work is harmless).
+    fn merge_loc(&mut self, winner: Loc, loser: Loc) {
+        for node in 0..self.states.len() {
+            let st = &mut self.states[node];
+            let mut touched = false;
+            if let Some(m) = st.sol.remove(&loser) {
+                let cur = st.sol.entry(winner).or_default();
+                *cur = cur.union(m);
+                touched = true;
+            }
+            if let Some(m) = st.left.remove(&loser) {
+                let cur = st.left.entry(winner).or_default();
+                *cur = cur.union(m);
+                touched = true;
+            }
+            if let Some(m) = st.right.remove(&loser) {
+                let cur = st.right.entry(winner).or_default();
+                *cur = cur.union(m);
+                touched = true;
+            }
+            // Re-check the gate: the merge may newly align a left-side
+            // atom with a right-side presence.
+            if (touched || st.left.contains_key(&winner)) && st.right.contains_key(&winner) {
+                if let Some(&lm) = st.left.get(&winner) {
+                    let out = st.sol.entry(winner).or_default();
+                    let gated = out.union(lm);
+                    if gated != *out {
+                        *out = gated;
+                        touched = true;
+                    }
+                }
+            }
+            if touched {
+                self.work.push((node as NodeIx, winner));
+            }
+        }
+    }
+
+    /// Drains the worklist to a fixpoint.
+    fn run(&mut self, graph: &Graph) {
+        while let Some((node, loc)) = self.work.pop() {
+            let mask = self.states[node as usize]
+                .sol
+                .get(&loc)
+                .copied()
+                .unwrap_or_default();
+            if mask.is_empty() {
+                continue;
+            }
+            for &(to, port) in &graph.out[node as usize] {
+                deliver(&mut self.states, &mut self.work, to, port, loc, mask);
+            }
+        }
+    }
+}
+
+/// Delivers `mask` for `loc` to `node` on `port`, updating intersection
+/// gating and scheduling further propagation.
+fn deliver(
+    states: &mut [NodeState],
+    work: &mut Vec<(NodeIx, Loc)>,
+    node: NodeIx,
+    port: Port,
+    loc: Loc,
+    mask: KindMask,
+) {
+    let st = &mut states[node as usize];
+    match port {
+        Port::Normal => {
+            let cur = st.sol.entry(loc).or_default();
+            let new = cur.union(mask);
+            if new != *cur {
+                *cur = new;
+                work.push((node, loc));
+            }
+        }
+        Port::Left => {
+            let cur = st.left.entry(loc).or_default();
+            let new = cur.union(mask);
+            if new != *cur {
+                *cur = new;
+                // Re-gate: pass left kinds if the right side has the loc.
+                if st.right.contains_key(&loc) {
+                    let out = st.sol.entry(loc).or_default();
+                    let gated = out.union(new);
+                    if gated != *out {
+                        *out = gated;
+                        work.push((node, loc));
+                    }
+                }
+            }
+        }
+        Port::Right => {
+            let cur = st.right.entry(loc).or_default();
+            let new = cur.union(mask);
+            if new != *cur {
+                let first_arrival = cur.is_empty();
+                *cur = new;
+                if first_arrival {
+                    if let Some(&lm) = st.left.get(&loc) {
+                        let out = st.sol.entry(loc).or_default();
+                        let gated = out.union(lm);
+                        if gated != *out {
+                            *out = gated;
+                            work.push((node, loc));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Figure 5 `CHECK-SAT` query: does `K(ρ)` (for any `K` in `kinds`)
+/// reach `var` in the least solution?
+///
+/// This runs a *single-location* counting search — `O(n)` per query — and
+/// is the fast path `localias-core` uses for pure `restrict` *checking*
+/// (`k` annotations → `O(kn)` total, the paper's §4 bound). It answers
+/// identically to full propagation **when no intersection gate depends on
+/// other locations' presence** — true by construction here, because gates
+/// test presence of the *same* location on the right input.
+pub fn reaches(
+    graph: &Graph,
+    cs: &ConstraintSystem,
+    locs: &mut LocTable,
+    loc: Loc,
+    kinds: KindMask,
+    var: EffVar,
+) -> bool {
+    let Some(target) = var_node_of(graph, cs, var) else {
+        return false;
+    };
+    let l = locs.find(loc);
+
+    let mut states: Vec<NodeState> = vec![NodeState::default(); graph.node_count()];
+    let mut work: Vec<(NodeIx, Loc)> = Vec::new();
+    for &(atom, node, port) in &graph.atoms {
+        if locs.find(atom.loc) == l {
+            deliver(&mut states, &mut work, node, port, l, atom.kind.mask());
+        }
+    }
+    while let Some((node, loc)) = work.pop() {
+        if node == target
+            && states[node as usize]
+                .sol
+                .get(&loc)
+                .is_some_and(|m| m.overlaps(kinds))
+        {
+            return true;
+        }
+        let mask = states[node as usize]
+            .sol
+            .get(&loc)
+            .copied()
+            .unwrap_or_default();
+        if mask.is_empty() {
+            continue;
+        }
+        for &(to, port) in &graph.out[node as usize] {
+            deliver(&mut states, &mut work, to, port, loc, mask);
+        }
+    }
+    states[target as usize]
+        .sol
+        .get(&l)
+        .is_some_and(|m| m.overlaps(kinds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::FlagId;
+    use crate::effect::{Effect, EffectKind};
+    use localias_alias::Ty;
+
+    fn setup() -> (ConstraintSystem, LocTable) {
+        (ConstraintSystem::new(), LocTable::new())
+    }
+
+    #[test]
+    fn atoms_flow_through_var_chains() {
+        let (mut cs, mut locs) = setup();
+        let l = locs.fresh("l", Ty::Int);
+        let a = cs.fresh_var("a");
+        let b = cs.fresh_var("b");
+        let c = cs.fresh_var("c");
+        cs.include(Effect::atom(EffectKind::Read, l), a);
+        cs.include(Effect::var(a), b);
+        cs.include(Effect::var(b), c);
+        let sol = solve(&mut cs, &mut locs);
+        assert!(sol.contains(&cs, &locs, c, l, KindMask::READ));
+        assert!(!sol.contains(&cs, &locs, c, l, KindMask::WRITE));
+    }
+
+    #[test]
+    fn intersection_gates_by_location() {
+        let (mut cs, mut locs) = setup();
+        let l1 = locs.fresh("l1", Ty::Int);
+        let l2 = locs.fresh("l2", Ty::Int);
+        let eff = cs.fresh_var("eff");
+        let vis = cs.fresh_var("vis");
+        let out = cs.fresh_var("out");
+        // eff = {read l1, write l2}; vis = {mention l1}; out ⊇ eff ∩ vis.
+        cs.include(Effect::atom(EffectKind::Read, l1), eff);
+        cs.include(Effect::atom(EffectKind::Write, l2), eff);
+        cs.include(Effect::atom(EffectKind::Mention, l1), vis);
+        cs.include(Effect::inter(Effect::var(eff), Effect::var(vis)), out);
+        let sol = solve(&mut cs, &mut locs);
+        assert!(sol.contains(&cs, &locs, out, l1, KindMask::READ));
+        assert!(
+            !sol.contains(&cs, &locs, out, l2, KindMask::ALL),
+            "l2 is not visible, so the Down-style mask drops it"
+        );
+        // Kinds pass from the left only.
+        assert!(!sol.contains(&cs, &locs, out, l1, KindMask::MENTION));
+    }
+
+    #[test]
+    fn cyclic_constraints_terminate() {
+        let (mut cs, mut locs) = setup();
+        let l = locs.fresh("l", Ty::Int);
+        let a = cs.fresh_var("a");
+        let b = cs.fresh_var("b");
+        cs.include(Effect::var(a), b);
+        cs.include(Effect::var(b), a);
+        cs.include(Effect::atom(EffectKind::Write, l), a);
+        let sol = solve(&mut cs, &mut locs);
+        assert!(sol.contains(&cs, &locs, a, l, KindMask::WRITE));
+        assert!(sol.contains(&cs, &locs, b, l, KindMask::WRITE));
+    }
+
+    #[test]
+    fn checked_disinclusion_violations() {
+        let (mut cs, mut locs) = setup();
+        let l = locs.fresh("l", Ty::Int);
+        let a = cs.fresh_var("a");
+        cs.include(Effect::atom(EffectKind::Read, l), a);
+        cs.check_not_in(l, KindMask::ACCESS, a, 7);
+        cs.check_not_in(l, KindMask::MENTION, a, 8);
+        let sol = solve(&mut cs, &mut locs);
+        assert_eq!(sol.violations().len(), 1);
+        assert_eq!(sol.violations()[0].tag, 7);
+        assert_eq!(sol.violations()[0].found, KindMask::READ);
+    }
+
+    #[test]
+    fn conditional_loc_in_fires_and_unifies() {
+        let (mut cs, mut locs) = setup();
+        let rho = locs.fresh("rho", Ty::Int);
+        let rho_p = locs.fresh("rho'", Ty::Int);
+        let body = cs.fresh_var("body");
+        cs.include(Effect::atom(EffectKind::Read, rho), body);
+        let flag = cs.fresh_flag();
+        cs.conditional(
+            Guard::LocIn {
+                loc: rho,
+                kinds: KindMask::ACCESS,
+                var: body,
+            },
+            Action {
+                unify: vec![(rho, rho_p)],
+                include: vec![],
+                flags: vec![flag],
+            },
+        );
+        let sol = solve(&mut cs, &mut locs);
+        assert!(sol.flag(flag), "guard must fire");
+        assert!(locs.same(rho, rho_p), "demotion unifies ρ and ρ'");
+        assert!(sol.rounds >= 2);
+    }
+
+    #[test]
+    fn conditional_does_not_fire_when_guard_false() {
+        let (mut cs, mut locs) = setup();
+        let rho = locs.fresh("rho", Ty::Int);
+        let rho_p = locs.fresh("rho'", Ty::Int);
+        let other = locs.fresh("other", Ty::Int);
+        let body = cs.fresh_var("body");
+        cs.include(Effect::atom(EffectKind::Read, other), body);
+        let flag = cs.fresh_flag();
+        cs.conditional(
+            Guard::LocIn {
+                loc: rho,
+                kinds: KindMask::ACCESS,
+                var: body,
+            },
+            Action {
+                unify: vec![(rho, rho_p)],
+                include: vec![],
+                flags: vec![flag],
+            },
+        );
+        let sol = solve(&mut cs, &mut locs);
+        assert!(!sol.flag(flag));
+        assert!(!locs.same(rho, rho_p));
+    }
+
+    #[test]
+    fn cascading_conditionals() {
+        // Firing one guard unifies locations, which makes a second guard
+        // true on the next round.
+        let (mut cs, mut locs) = setup();
+        let a = locs.fresh("a", Ty::Int);
+        let b = locs.fresh("b", Ty::Int);
+        let c = locs.fresh("c", Ty::Int);
+        let v = cs.fresh_var("v");
+        cs.include(Effect::atom(EffectKind::Write, a), v);
+        let f1 = cs.fresh_flag();
+        let f2 = cs.fresh_flag();
+        // write(a) ∈ v ⇒ b = a  (so write(b) ∈ v next round)
+        cs.conditional(
+            Guard::LocIn {
+                loc: a,
+                kinds: KindMask::WRITE,
+                var: v,
+            },
+            Action {
+                unify: vec![(a, b)],
+                include: vec![],
+                flags: vec![f1],
+            },
+        );
+        // write(b) ∈ v ⇒ set f2 and unify c.
+        cs.conditional(
+            Guard::LocIn {
+                loc: b,
+                kinds: KindMask::WRITE,
+                var: v,
+            },
+            Action {
+                unify: vec![(b, c)],
+                include: vec![],
+                flags: vec![f2],
+            },
+        );
+        let sol = solve(&mut cs, &mut locs);
+        assert!(sol.flag(f1) && sol.flag(f2));
+        assert!(locs.same(a, c));
+        assert_eq!(sol.fired, 2);
+    }
+
+    #[test]
+    fn overlap_guard() {
+        let (mut cs, mut locs) = setup();
+        let l = locs.fresh("l", Ty::Int);
+        let m = locs.fresh("m", Ty::Int);
+        let l1 = cs.fresh_var("L1");
+        let l2 = cs.fresh_var("L2");
+        cs.include(Effect::atom(EffectKind::Read, l), l1);
+        cs.include(Effect::atom(EffectKind::Write, m), l2);
+        let f = cs.fresh_flag();
+        cs.conditional(
+            Guard::Overlap {
+                left: l1,
+                left_kinds: KindMask::READ,
+                right: l2,
+                right_kinds: KindMask::WRITE_OR_ALLOC,
+            },
+            Action {
+                unify: vec![],
+                include: vec![],
+                flags: vec![f],
+            },
+        );
+        let sol = solve(&mut cs, &mut locs);
+        assert!(!sol.flag(f), "no shared location yet");
+
+        // Now make the locations alias and re-solve: the RT conflict
+        // appears.
+        let (mut cs2, mut locs2) = setup();
+        let l = locs2.fresh("l", Ty::Int);
+        let l12 = cs2.fresh_var("L1");
+        let l22 = cs2.fresh_var("L2");
+        cs2.include(Effect::atom(EffectKind::Read, l), l12);
+        cs2.include(Effect::atom(EffectKind::Write, l), l22);
+        let f2 = cs2.fresh_flag();
+        cs2.conditional(
+            Guard::Overlap {
+                left: l12,
+                left_kinds: KindMask::READ,
+                right: l22,
+                right_kinds: KindMask::WRITE_OR_ALLOC,
+            },
+            Action {
+                unify: vec![],
+                include: vec![],
+                flags: vec![f2],
+            },
+        );
+        let sol2 = solve(&mut cs2, &mut locs2);
+        assert!(sol2.flag(f2));
+    }
+
+    #[test]
+    fn any_kind_guard() {
+        let (mut cs, mut locs) = setup();
+        let l = locs.fresh("l", Ty::Int);
+        let v = cs.fresh_var("v");
+        cs.include(Effect::atom(EffectKind::Alloc, l), v);
+        let f = cs.fresh_flag();
+        cs.conditional(
+            Guard::AnyKind {
+                var: v,
+                kinds: KindMask::WRITE_OR_ALLOC,
+            },
+            Action {
+                unify: vec![],
+                include: vec![],
+                flags: vec![f],
+            },
+        );
+        let sol = solve(&mut cs, &mut locs);
+        assert!(sol.flag(f));
+    }
+
+    #[test]
+    fn conditional_include_extends_solution() {
+        let (mut cs, mut locs) = setup();
+        let l = locs.fresh("l", Ty::Int);
+        let trigger = cs.fresh_var("trigger");
+        let sink = cs.fresh_var("sink");
+        cs.include(Effect::atom(EffectKind::Read, l), trigger);
+        cs.conditional(
+            Guard::LocIn {
+                loc: l,
+                kinds: KindMask::READ,
+                var: trigger,
+            },
+            Action {
+                unify: vec![],
+                include: vec![(Effect::atom(EffectKind::Write, l), sink)],
+                flags: vec![FlagId(0)],
+            },
+        );
+        // Allocate the flag referenced above.
+        let _ = cs.fresh_flag();
+        let sol = solve(&mut cs, &mut locs);
+        assert!(sol.contains(&cs, &locs, sink, l, KindMask::WRITE));
+    }
+
+    #[test]
+    fn reaches_matches_full_propagation() {
+        let (mut cs, mut locs) = setup();
+        let l1 = locs.fresh("l1", Ty::Int);
+        let l2 = locs.fresh("l2", Ty::Int);
+        let a = cs.fresh_var("a");
+        let b = cs.fresh_var("b");
+        let vis = cs.fresh_var("vis");
+        let out = cs.fresh_var("out");
+        cs.include(Effect::atom(EffectKind::Read, l1), a);
+        cs.include(Effect::atom(EffectKind::Write, l2), a);
+        cs.include(Effect::var(a), b);
+        cs.include(Effect::atom(EffectKind::Mention, l1), vis);
+        cs.include(Effect::inter(Effect::var(b), Effect::var(vis)), out);
+        let graph = build(&mut cs);
+        let sol = {
+            let mut cs2 = ConstraintSystem::new();
+            std::mem::swap(&mut cs2, &mut cs);
+            let s = solve(&mut cs2, &mut locs);
+            std::mem::swap(&mut cs2, &mut cs);
+            s
+        };
+        for (loc, var) in [(l1, a), (l1, b), (l1, out), (l2, out), (l2, b)] {
+            for kinds in [KindMask::READ, KindMask::WRITE, KindMask::ACCESS] {
+                assert_eq!(
+                    reaches(&graph, &cs, &mut locs, loc, kinds, var),
+                    sol.contains(&cs, &locs, var, loc, kinds),
+                    "reaches vs full propagation disagree for {loc} {kinds} {var}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unified_locations_share_atoms() {
+        let (mut cs, mut locs) = setup();
+        let a = locs.fresh("a", Ty::Int);
+        let b = locs.fresh("b", Ty::Int);
+        let v = cs.fresh_var("v");
+        cs.include(Effect::atom(EffectKind::Read, a), v);
+        locs.union_raw(a, b);
+        let sol = solve(&mut cs, &mut locs);
+        assert!(sol.contains(&cs, &locs, v, b, KindMask::READ));
+    }
+}

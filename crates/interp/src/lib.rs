@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! A reference interpreter for Mini-C implementing the operational
+//! semantics of *Checking and Inferring Local Non-Aliasing* (PLDI 2003),
+//! §3.2.
+//!
+//! The semantic payload is `restrict`'s copy-and-poison rule: entering
+//! `restrict x = e1 in e2` copies the referent to a fresh cell and binds
+//! the original to `err`; any access through a stale alias inside the
+//! scope faults with [`RuntimeError::RestrictViolation`]. The paper's
+//! soundness theorem (a program that type checks never evaluates to
+//! `err`) is tested empirically against this interpreter.
+//!
+//! The interpreter also performs *dynamic* lock checking (double
+//! acquire/release detection), giving the static analysis in
+//! `localias-cqual` a runtime ground truth to compare against.
+//!
+//! # Example
+//!
+//! ```
+//! use localias_ast::parse_module;
+//! use localias_interp::{Interp, RuntimeError};
+//!
+//! // A restrict violation the checker would reject: executing it faults.
+//! let m = parse_module(
+//!     "m",
+//!     "void f(int *q) { restrict p = q { *p = 1; *q = 2; } }",
+//! )?;
+//! let mut interp = Interp::new(&m, 10_000);
+//! let err = interp.call_with_default_args("f", 0).unwrap_err();
+//! assert!(matches!(err, RuntimeError::RestrictViolation { .. }));
+//! # Ok::<(), localias_ast::ParseError>(())
+//! ```
+
+pub mod eval;
+pub mod memory;
+
+pub use eval::{Interp, LockFault, RuntimeError};
+pub use memory::{Addr, Cell, Memory, Value};

@@ -1,0 +1,75 @@
+//! Confine inference in detail: candidate proposal (the §7 block
+//! heuristic), verification, and §6.2 outermost-scope selection.
+//!
+//! Run with `cargo run --example confine_scopes`.
+
+use localias::ast::parse_module;
+use localias::core::infer_confines;
+
+const SOURCE: &str = r#"
+lock locks[16];
+extern void work();
+extern void log_it();
+
+// Simple case: one pair, one scope.
+void simple(int i) {
+    spin_lock(&locks[i]);
+    work();
+    spin_unlock(&locks[i]);
+}
+
+// The pair sits inside an if; the confine can float to the function
+// body (the outermost scope where `i` is visible), and inference
+// prefers it.
+void nested(int i, int c) {
+    log_it();
+    if (c) {
+        spin_lock(&locks[i]);
+        work();
+        spin_unlock(&locks[i]);
+    }
+}
+
+// Not confinable: the index is recomputed between the sites, so
+// &locks[i] is not referentially transparent.
+void mutated(int i) {
+    spin_lock(&locks[i]);
+    i = i + 1;
+    spin_unlock(&locks[i]);
+}
+
+// Not confinable: a second element of the same array is touched inside
+// the would-be scope (an alias access).
+void crossed(int i, int j) {
+    spin_lock(&locks[i]);
+    spin_lock(&locks[j]);
+    spin_unlock(&locks[j]);
+    spin_unlock(&locks[i]);
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = parse_module("scopes", SOURCE)?;
+    let inf = infer_confines(&m);
+
+    println!("{} candidates proposed:", inf.candidates.len());
+    for (i, cand) in inf.candidates.iter().enumerate() {
+        let outcome = &inf.analysis.confines[i];
+        let status = if inf.chosen.contains(&i) {
+            "CHOSEN (outermost success)".to_string()
+        } else if outcome.ok() {
+            "succeeds (inner scope, shadowed)".to_string()
+        } else {
+            let reasons: Vec<String> = outcome.reasons.iter().map(|r| r.to_string()).collect();
+            format!("rejected: {}", reasons.join("; "))
+        };
+        println!(
+            "  confine? {:<16} block {} stmts {}..={}  →  {status}",
+            cand.key, cand.block, cand.start, cand.end
+        );
+    }
+
+    println!("\n{} confines placed.", inf.chosen.len());
+    assert!(!inf.chosen.is_empty());
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Shared test infrastructure: re-exports the corpus crate's random
+//! Mini-C program generator.
+
+#![allow(dead_code)]
+
+pub use localias::corpus::random_module_source;

@@ -1,0 +1,191 @@
+//! Empirical soundness (the paper's Theorem 1): a program that type
+//! checks never evaluates to `err`.
+//!
+//! The checker's verdict is compared against the §3.2 reference
+//! interpreter, which implements `restrict` literally as copy-and-poison:
+//! a runtime [`RuntimeError::RestrictViolation`] *is* the semantics'
+//! `err`. For randomly generated annotated programs:
+//!
+//! * if every explicit annotation checks, execution must not raise a
+//!   restrict violation (soundness);
+//! * contrapositively, any run that does violate must come from a program
+//!   the checker rejected.
+//!
+//! The suite also cross-validates the static lock checker against the
+//! interpreter's dynamic lock fault detection on the corpus.
+
+mod common;
+
+use common::random_module_source;
+use localias::ast::parse_module;
+use localias::core;
+use localias::corpus::{generate, Category, DEFAULT_SEED};
+use localias::interp::{Interp, RuntimeError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn checked_programs_never_violate_restrict(
+        seed in any::<u64>(),
+        stmts in 1usize..10,
+        arg in 0i64..4,
+    ) {
+        let src = random_module_source(seed, stmts);
+        let m = parse_module("sound", &src).expect("generated modules parse");
+        let analysis = core::check(&m);
+        let accepted = analysis.clean();
+
+        let mut interp = Interp::new(&m, 200_000);
+        let result = interp.run_all(arg);
+
+        // Other faults (null derefs, fuel) are outside the theorem's
+        // scope; acceptance says nothing about them.
+        if let Err(RuntimeError::RestrictViolation { detail }) = result {
+            // Theorem 1: this must only happen to rejected programs.
+            prop_assert!(
+                !accepted,
+                "checker accepted a program that violates at runtime \
+                 (arg {arg}): {detail}\n{src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_examples_validate_both_directions() {
+    // Accepted by the checker — and executes cleanly.
+    let good = parse_module(
+        "good",
+        r#"
+        int main() {
+            int *q = new (1);
+            restrict p = q {
+                int *r = p;
+                *r = 2;
+            }
+            return *q;
+        }
+        "#,
+    )
+    .unwrap();
+    assert!(core::check(&good).clean());
+    let mut interp = Interp::new(&good, 10_000);
+    interp.call_with_default_args("main", 0).unwrap();
+
+    // Rejected by the checker — and faults at runtime.
+    let bad = parse_module(
+        "bad",
+        r#"
+        int main() {
+            int *q = new (1);
+            restrict p = q {
+                *p = 2;
+                *q = 3;
+            }
+            return 0;
+        }
+        "#,
+    )
+    .unwrap();
+    assert!(!core::check(&bad).clean());
+    let mut interp = Interp::new(&bad, 10_000);
+    let err = interp.call_with_default_args("main", 0).unwrap_err();
+    assert!(matches!(err, RuntimeError::RestrictViolation { .. }));
+}
+
+#[test]
+fn corpus_clean_modules_have_no_dynamic_lock_faults() {
+    let corpus = generate(DEFAULT_SEED);
+    let mut checked = 0;
+    for m in corpus.iter().filter(|m| m.category == Category::Clean) {
+        if checked >= 8 {
+            break;
+        }
+        checked += 1;
+        let parsed = m.parse();
+        for arg in 0..3 {
+            let mut interp = Interp::new(&parsed, 500_000);
+            let result = interp.run_all(arg);
+            assert!(
+                !matches!(result, Err(RuntimeError::RestrictViolation { .. })),
+                "{}: restrict violation with arg {arg}: {result:?}",
+                m.name
+            );
+            assert!(
+                interp.lock_faults.is_empty(),
+                "{}: dynamic lock fault with arg {arg}: {:?}",
+                m.name,
+                interp.lock_faults
+            );
+        }
+    }
+    assert_eq!(checked, 8);
+}
+
+#[test]
+fn corpus_bug_modules_fault_dynamically() {
+    // The static analysis reports genuine bugs in these modules; the
+    // interpreter confirms them on at least one input.
+    let corpus = generate(DEFAULT_SEED);
+    let mut checked = 0;
+    for m in corpus.iter().filter(|m| m.category == Category::RealBugs) {
+        if checked >= 8 {
+            break;
+        }
+        checked += 1;
+        let parsed = m.parse();
+        let mut any_fault = false;
+        for arg in 0..3 {
+            let mut interp = Interp::new(&parsed, 500_000);
+            let _ = interp.run_all(arg);
+            if !interp.lock_faults.is_empty() {
+                any_fault = true;
+                break;
+            }
+        }
+        assert!(
+            any_fault,
+            "{}: statically reported bug never manifests dynamically",
+            m.name
+        );
+    }
+    assert_eq!(checked, 8);
+}
+
+#[test]
+fn recovered_modules_execute_cleanly() {
+    // Weak-update (spurious) errors must NOT correspond to dynamic
+    // faults: the code is correct, the static analysis was just
+    // imprecise — exactly what makes those errors "spurious".
+    let corpus = generate(DEFAULT_SEED);
+    let mut checked = 0;
+    for m in corpus.iter().filter(|m| m.category == Category::Recovered) {
+        if checked >= 8 {
+            break;
+        }
+        let parsed = m.parse();
+        // Skip recovered modules that also carry injected genuine bugs.
+        if m.expect.all_strong > 0 {
+            continue;
+        }
+        checked += 1;
+        for arg in 0..3 {
+            let mut interp = Interp::new(&parsed, 500_000);
+            let result = interp.run_all(arg);
+            assert!(
+                !matches!(result, Err(RuntimeError::RestrictViolation { .. })),
+                "{}: {result:?}",
+                m.name
+            );
+            assert!(
+                interp.lock_faults.is_empty(),
+                "{}: spurious static errors must not fault dynamically: {:?}",
+                m.name,
+                interp.lock_faults
+            );
+        }
+    }
+    assert!(checked >= 4, "sampled {checked}");
+}
