@@ -30,11 +30,13 @@
 //! ```
 
 pub mod andersen;
+pub mod fx;
 pub mod loc;
 pub mod steensgaard;
 pub mod ty;
 pub mod union_find;
 
+pub use fx::{FxHasher, FxMap, FxSet};
 pub use loc::{Loc, LocTable};
 pub use steensgaard::{
     analyze, analyze_with, BindSite, FunSig, Hooks, ModuleAliases, NoHooks, ScopeKind, State,

@@ -37,7 +37,7 @@ use localias_ast::{
     BinOp, BindingKind, Block, Expr, ExprKind, FunDef, Ident, ItemKind, Module, NodeId, Param,
     Stmt, StmtKind, TypeExpr, UnOp,
 };
-use std::collections::{HashMap, HashSet};
+use crate::fx::{FxMap, FxSet};
 
 /// A dense identifier for a variable binding (global, parameter or local).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,16 +136,16 @@ pub struct State {
     /// All variable bindings.
     pub vars: Vec<VarInfo>,
     /// Field-based field locations: `(struct name, field name) → loc`.
-    pub fields: HashMap<(String, String), Loc>,
+    pub fields: FxMap<(String, String), Loc>,
     /// Function signatures by name.
-    pub funs: HashMap<String, FunSig>,
+    pub funs: FxMap<String, FunSig>,
     /// Type mismatches found (standard typing errors; the analyses treat
     /// the involved locations as tainted rather than aborting).
     pub mismatches: Vec<TypeMismatch>,
     /// Scope stack of name → var bindings.
-    env: Vec<HashMap<String, VarId>>,
+    env: Vec<FxMap<String, VarId>>,
     /// Names of variables whose address is taken somewhere in the module.
-    addr_taken: HashSet<String>,
+    addr_taken: FxSet<String>,
     /// Current function name during body walks.
     current_fun: Option<String>,
 }
@@ -158,11 +158,11 @@ impl State {
             expr_lval: vec![None; m.node_count as usize],
             var_of_expr: vec![None; m.node_count as usize],
             vars: Vec::new(),
-            fields: HashMap::new(),
-            funs: HashMap::new(),
+            fields: FxMap::default(),
+            funs: FxMap::default(),
             mismatches: Vec::new(),
             env: Vec::new(),
-            addr_taken: HashSet::new(),
+            addr_taken: FxSet::default(),
             current_fun: None,
         }
     }
@@ -220,7 +220,7 @@ impl State {
     }
 
     fn push_scope(&mut self) {
-        self.env.push(HashMap::new());
+        self.env.push(FxMap::default());
     }
 
     fn pop_scope(&mut self) {
@@ -449,7 +449,7 @@ impl<H: Hooks> Walker<H> {
     }
 
     fn collect_addr_taken(&mut self, m: &Module) {
-        struct Collect<'a>(&'a mut HashSet<String>);
+        struct Collect<'a>(&'a mut FxSet<String>);
         impl localias_ast::visit::Visitor for Collect<'_> {
             fn visit_expr(&mut self, e: &Expr) {
                 if let ExprKind::Unary(UnOp::AddrOf, inner) = &e.kind {

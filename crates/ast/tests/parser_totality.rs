@@ -1,47 +1,74 @@
 //! Totality fuzzing: the lexer and parser must never panic — any input is
 //! either parsed or rejected with a located error.
+//!
+//! Inputs are driven by the in-repo deterministic PRNG (`localias-prng`)
+//! rather than proptest, so the suite runs in fully offline builds; every
+//! case is reproducible from the fixed seeds.
 
 use localias_ast::{parse_module, Lexer};
-use proptest::prelude::*;
+use localias_prng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random string of printable characters (ASCII plus a sprinkle of
+/// multibyte code points, to shake out byte-vs-char span bugs).
+fn random_text(rng: &mut Rng64, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    let mut s = String::new();
+    for _ in 0..len {
+        let c = match rng.gen_range(0..10u32) {
+            0..=6 => char::from(rng.gen_range(0x20..0x7Fu32) as u8),
+            7 => '\n',
+            8 => ['λ', 'π', '∈', '→', 'ß', '中'][rng.gen_range(0..6usize)],
+            _ => char::from(rng.gen_range(0x09..0x0Eu32) as u8),
+        };
+        s.push(c);
+    }
+    s
+}
 
-    #[test]
-    fn lexer_never_panics(src in "\\PC*") {
+#[test]
+fn lexer_never_panics() {
+    let mut rng = Rng64::seed_from_u64(0x1e5);
+    for _ in 0..256 {
+        let src = random_text(&mut rng, 300);
         let _ = Lexer::new(&src).tokenize();
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(src in "\\PC*") {
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    let mut rng = Rng64::seed_from_u64(0x9a9);
+    for _ in 0..256 {
+        let src = random_text(&mut rng, 300);
         let _ = parse_module("fuzz", &src);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_c_like_soup(
-        toks in proptest::collection::vec(
-            prop_oneof![
-                Just("int"), Just("lock"), Just("void"), Just("struct"),
-                Just("restrict"), Just("confine"), Just("if"), Just("else"),
-                Just("while"), Just("for"), Just("return"), Just("new"),
-                Just("break"), Just("continue"), Just("extern"),
-                Just("("), Just(")"), Just("{"), Just("}"), Just("["),
-                Just("]"), Just(";"), Just(","), Just("*"), Just("&"),
-                Just("="), Just("=="), Just("->"), Just("."), Just("+"),
-                Just("x"), Just("y"), Just("f"), Just("0"), Just("42"),
-            ],
-            0..64,
-        )
-    ) {
-        let src = toks.join(" ");
+#[test]
+fn parser_never_panics_on_c_like_soup() {
+    const TOKENS: [&str; 34] = [
+        "int", "lock", "void", "struct", "restrict", "confine", "if", "else", "while", "for",
+        "return", "new", "break", "continue", "extern", "(", ")", "{", "}", "[", "]", ";", ",",
+        "*", "&", "=", "==", "->", ".", "+", "x", "y", "f", "42",
+    ];
+    let mut rng = Rng64::seed_from_u64(0x50f7);
+    for _ in 0..256 {
+        let n = rng.gen_range(0..64usize);
+        let soup: Vec<&str> = (0..n)
+            .map(|_| TOKENS[rng.gen_range(0..TOKENS.len())])
+            .collect();
+        let src = soup.join(" ");
         let _ = parse_module("soup", &src);
     }
+}
 
-    #[test]
-    fn error_spans_are_in_bounds(src in "\\PC{0,200}") {
+#[test]
+fn error_spans_are_in_bounds() {
+    let mut rng = Rng64::seed_from_u64(0x5ba5);
+    for _ in 0..256 {
+        let src = random_text(&mut rng, 200);
         if let Err(e) = parse_module("fuzz", &src) {
-            prop_assert!(e.span.lo as usize <= src.len() + 1, "{e}");
-            prop_assert!(e.span.lo <= e.span.hi, "{e}");
+            assert!(e.span.lo as usize <= src.len() + 1, "{e}\n{src:?}");
+            assert!(e.span.lo <= e.span.hi, "{e}\n{src:?}");
         }
     }
 }

@@ -4,40 +4,35 @@
 //! Two sweeps: program size `n` at fixed `k` (expect ~linear growth), and
 //! annotation count `k` at fixed `n` (expect ~linear growth).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use localias_bench::checking_workload;
+use localias_bench::harness::BenchGroup;
 
-fn bench_size_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("check_scaling/n");
+fn bench_size_sweep() {
+    let mut g = BenchGroup::new("check_scaling/n");
     g.sample_size(10);
     for n in [100usize, 200, 400, 800, 1600] {
         let m = checking_workload(n, 8);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
-            b.iter(|| {
-                let a = localias_core::check(m);
-                assert!(a.restricts.iter().all(|r| r.ok()));
-                a.restricts.len()
-            })
+        g.bench(n, || {
+            let a = localias_core::check(&m);
+            assert!(a.restricts.iter().all(|r| r.ok()));
+            a.restricts.len()
         });
     }
-    g.finish();
 }
 
-fn bench_annotation_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("check_scaling/k");
+fn bench_annotation_sweep() {
+    let mut g = BenchGroup::new("check_scaling/k");
     g.sample_size(10);
     for k in [1usize, 4, 16, 64] {
         let m = checking_workload(800, k);
-        g.bench_with_input(BenchmarkId::from_parameter(k), &m, |b, m| {
-            b.iter(|| {
-                let a = localias_core::check(m);
-                a.restricts.len()
-            })
+        g.bench(k, || {
+            let a = localias_core::check(&m);
+            a.restricts.len()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_size_sweep, bench_annotation_sweep);
-criterion_main!(benches);
+fn main() {
+    bench_size_sweep();
+    bench_annotation_sweep();
+}

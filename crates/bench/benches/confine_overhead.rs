@@ -6,11 +6,11 @@
 //! checking) on the largest corpus module and on the `ide_tape`
 //! analogue, with and without confine inference.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use localias_bench::harness::BenchGroup;
 use localias_corpus::{generate, DEFAULT_SEED};
 use localias_cqual::{check_locks, Mode};
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     let corpus = generate(DEFAULT_SEED);
     let largest = corpus
         .iter()
@@ -21,21 +21,15 @@ fn bench_overhead(c: &mut Criterion) {
         .find(|m| m.name == "ide_tape")
         .expect("ide_tape module");
 
-    let mut g = c.benchmark_group("confine_overhead");
+    let mut g = BenchGroup::new("confine_overhead");
     g.sample_size(20);
     for m in [largest, ide] {
         let parsed = m.parse();
-        g.bench_with_input(
-            BenchmarkId::new("without", &m.name),
-            &parsed,
-            |b, parsed| b.iter(|| check_locks(parsed, Mode::NoConfine).error_count()),
-        );
-        g.bench_with_input(BenchmarkId::new("with", &m.name), &parsed, |b, parsed| {
-            b.iter(|| check_locks(parsed, Mode::Confine).error_count())
+        g.bench(format!("without/{}", m.name), || {
+            check_locks(&parsed, Mode::NoConfine).error_count()
+        });
+        g.bench(format!("with/{}", m.name), || {
+            check_locks(&parsed, Mode::Confine).error_count()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

@@ -4,25 +4,18 @@
 //! confine inference; the `solver` bench holds the matching
 //! full-propagation vs. targeted-query ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use localias_bench::confine_workload;
+use localias_bench::harness::BenchGroup;
 
-fn bench_confine_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("infer_confines/pairs");
+fn main() {
+    let mut g = BenchGroup::new("infer_confines/pairs");
     g.sample_size(10);
     for pairs in [4usize, 16, 64, 128] {
         let m = confine_workload(pairs);
-        g.throughput(Throughput::Elements(pairs as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(pairs), &m, |b, m| {
-            b.iter(|| {
-                let inf = localias_core::infer_confines(m);
-                assert_eq!(inf.chosen.len(), pairs);
-                inf.chosen.len()
-            })
+        g.bench(pairs, || {
+            let inf = localias_core::infer_confines(&m);
+            assert_eq!(inf.chosen.len(), pairs);
+            inf.chosen.len()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_confine_sweep);
-criterion_main!(benches);

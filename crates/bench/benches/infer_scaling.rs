@@ -4,24 +4,17 @@
 //! Sweep program size with every pointer declaration a `let-or-restrict`
 //! candidate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use localias_bench::checking_workload;
+use localias_bench::harness::BenchGroup;
 
-fn bench_inference_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("infer_restricts/n");
+fn main() {
+    let mut g = BenchGroup::new("infer_restricts/n");
     g.sample_size(10);
     for n in [100usize, 200, 400, 800] {
         let m = checking_workload(n, 0);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
-            b.iter(|| {
-                let a = localias_core::infer_restricts(m);
-                a.candidates.len()
-            })
+        g.bench(n, || {
+            let a = localias_core::infer_restricts(&m);
+            a.candidates.len()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_inference_sweep);
-criterion_main!(benches);

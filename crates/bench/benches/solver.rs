@@ -5,15 +5,14 @@
 //! Figure 5 search (`O(kn)` — "usually more efficient" because each query
 //! touches a small portion of the graph).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use localias_alias::{LocTable, Ty};
+use localias_bench::harness::BenchGroup;
 use localias_effects::{build, reaches, solve, ConstraintSystem, Effect, EffectKind, KindMask};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use localias_prng::Rng64;
 
 /// Builds a layered random constraint system of `n` variables.
 fn layered_system(n: usize, seed: u64) -> (ConstraintSystem, LocTable) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut cs = ConstraintSystem::new();
     let mut locs = LocTable::new();
     let vars: Vec<_> = (0..n).map(|i| cs.fresh_var(format!("v{i}"))).collect();
@@ -43,63 +42,60 @@ fn layered_system(n: usize, seed: u64) -> (ConstraintSystem, LocTable) {
     (cs, locs)
 }
 
-fn bench_full_solution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver/full_least_solution");
+fn bench_full_solution() {
+    let mut g = BenchGroup::new("solver/full_least_solution");
     g.sample_size(20);
     for n in [200usize, 800, 3200] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_with_setup(
-                || layered_system(n, 42),
-                |(mut cs, mut locs)| {
-                    let sol = solve(&mut cs, &mut locs);
-                    sol.rounds
-                },
-            )
-        });
-    }
-    g.finish();
-}
-
-/// The ablation: full propagation vs `k` targeted CHECK-SAT queries.
-fn bench_targeted_vs_full(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver/checksat_ablation");
-    g.sample_size(20);
-    let n = 1600;
-    let k = 8;
-
-    g.bench_function("full_propagation", |b| {
-        b.iter_with_setup(
-            || layered_system(n, 7),
+        g.bench_with_setup(
+            n,
+            || layered_system(n, 42),
             |(mut cs, mut locs)| {
                 let sol = solve(&mut cs, &mut locs);
                 sol.rounds
             },
-        )
-    });
-
-    g.bench_function(format!("targeted_x{k}"), |b| {
-        b.iter_with_setup(
-            || {
-                let (mut cs, locs) = layered_system(n, 7);
-                let graph = build(&mut cs);
-                (cs, locs, graph)
-            },
-            |(cs, mut locs, graph)| {
-                // k queries, as checking k restrict annotations would.
-                let mut hits = 0;
-                for q in 0..k {
-                    let loc = localias_alias::Loc((q % 7) as u32);
-                    let var = localias_effects::EffVar((q * 97 % 1600) as u32);
-                    if reaches(&graph, &cs, &mut locs, loc, KindMask::ACCESS, var) {
-                        hits += 1;
-                    }
-                }
-                hits
-            },
-        )
-    });
-    g.finish();
+        );
+    }
 }
 
-criterion_group!(benches, bench_full_solution, bench_targeted_vs_full);
-criterion_main!(benches);
+/// The ablation: full propagation vs `k` targeted CHECK-SAT queries.
+fn bench_targeted_vs_full() {
+    let mut g = BenchGroup::new("solver/checksat_ablation");
+    g.sample_size(20);
+    let n = 1600;
+    let k = 8;
+
+    g.bench_with_setup(
+        "full_propagation",
+        || layered_system(n, 7),
+        |(mut cs, mut locs)| {
+            let sol = solve(&mut cs, &mut locs);
+            sol.rounds
+        },
+    );
+
+    g.bench_with_setup(
+        format!("targeted_x{k}"),
+        || {
+            let (mut cs, locs) = layered_system(n, 7);
+            let graph = build(&mut cs);
+            (cs, locs, graph)
+        },
+        |(cs, mut locs, graph)| {
+            // k queries, as checking k restrict annotations would.
+            let mut hits = 0;
+            for q in 0..k {
+                let loc = localias_alias::Loc((q % 7) as u32);
+                let var = localias_effects::EffVar((q * 97 % 1600) as u32);
+                if reaches(&graph, &cs, &mut locs, loc, KindMask::ACCESS, var) {
+                    hits += 1;
+                }
+            }
+            hits
+        },
+    );
+}
+
+fn main() {
+    bench_full_solution();
+    bench_targeted_vs_full();
+}

@@ -3,16 +3,25 @@
 //! matter.
 //!
 //! Run with `cargo run --release -p localias-bench --bin fig6`.
+//! Accepts an optional corpus seed and `--jobs N` worker threads.
 
-use localias_bench::{run_experiment, text_histogram};
+use localias_bench::{run_experiment_timed, take_jobs_flag, text_histogram};
 use localias_corpus::DEFAULT_SEED;
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match take_jobs_flag(&mut args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("fig6: {e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
-    let results = run_experiment(seed);
+    let (results, _bench) = run_experiment_timed(seed, jobs);
 
     // The modules where confine inference could make a difference.
     let eliminations: Vec<usize> = results

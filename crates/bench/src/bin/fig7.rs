@@ -3,13 +3,22 @@
 //! and compared against the paper's table.
 //!
 //! Run with `cargo run --release -p localias-bench --bin fig7`.
+//! Accepts an optional corpus seed and `--jobs N` worker threads.
 
-use localias_bench::ModuleResult;
+use localias_bench::{measure_corpus, take_jobs_flag};
 use localias_corpus::{generate, DEFAULT_SEED, FIGURE7};
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match take_jobs_flag(&mut args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("fig7: {e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
     let corpus = generate(seed);
@@ -24,13 +33,19 @@ fn main() {
         "{:<18} {:>12} {:>11} {:>12} {:>11} {:>12} {:>11}",
         "", "paper", "measured", "paper", "measured", "paper", "measured"
     );
+    let rows: Vec<localias_corpus::GeneratedModule> = FIGURE7
+        .iter()
+        .map(|&(name, ..)| {
+            corpus
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from corpus"))
+                .clone()
+        })
+        .collect();
+    let measured = measure_corpus(&rows, jobs);
     let mut exact = 0;
-    for &(name, nc, cf, as_) in FIGURE7.iter() {
-        let module = corpus
-            .iter()
-            .find(|m| m.name == name)
-            .unwrap_or_else(|| panic!("{name} missing from corpus"));
-        let r = ModuleResult::measure(module);
+    for (&(name, nc, cf, as_), r) in FIGURE7.iter().zip(&measured) {
         if (r.no_confine, r.confine, r.all_strong) == (nc, cf, as_) {
             exact += 1;
         }

@@ -7,6 +7,7 @@
 //!
 //! Run with `cargo run --release -p localias-bench --bin perf`.
 
+use localias_bench::measure_corpus;
 use localias_corpus::{generate, DEFAULT_SEED};
 use localias_cqual::{check_locks, Mode};
 use std::time::Instant;
@@ -63,4 +64,32 @@ fn main() {
     }
     println!();
     println!("(paper overhead on ide-tape: ~10%)");
+
+    // Full-sweep comparison: three independent pipelines per module (the
+    // pre-shared-analysis behaviour) vs. the shared-analysis path where
+    // no-confine and all-strong reuse one base analysis.
+    println!();
+    println!("Full corpus sweep, single thread:");
+    let t0 = Instant::now();
+    for m in &corpus {
+        let p = m.parse();
+        let _ = check_locks(&p, Mode::NoConfine).error_count();
+        let _ = check_locks(&p, Mode::Confine).error_count();
+        let _ = check_locks(&p, Mode::AllStrong).error_count();
+    }
+    let independent = t0.elapsed();
+
+    let t1 = Instant::now();
+    let _ = measure_corpus(&corpus, 1);
+    let shared = t1.elapsed();
+
+    println!(
+        "{:<38} {:>10.1?}",
+        "  three independent pipelines/module", independent
+    );
+    println!("{:<38} {:>10.1?}", "  shared base analysis", shared);
+    println!(
+        "  speedup: {:.2}x (before parallel fan-out; multiply by cores)",
+        independent.as_secs_f64() / shared.as_secs_f64()
+    );
 }

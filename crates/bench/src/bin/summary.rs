@@ -2,18 +2,26 @@
 //! headline numbers — and prints them next to the paper's values.
 //!
 //! Run with `cargo run --release -p localias-bench --bin summary`.
+//! Accepts an optional corpus seed and `--jobs N` to control the number
+//! of worker threads (default: all available cores).
 
-use localias_bench::{run_experiment, ModuleResult};
+use localias_bench::{run_experiment_timed, take_jobs_flag, ModuleResult};
 use localias_corpus::DEFAULT_SEED;
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match take_jobs_flag(&mut args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("summary: {e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
-    let t0 = std::time::Instant::now();
-    let results = run_experiment(seed);
-    let elapsed = t0.elapsed();
+    let (results, bench) = run_experiment_timed(seed, jobs);
 
     let clean = results.iter().filter(|r| r.no_confine == 0).count();
     let real = results
@@ -65,5 +73,11 @@ fn main() {
     );
     println!("{:<46} {:>7}% {:>7.0}%", "elimination rate", 95, pct);
     println!();
-    println!("(full corpus analyzed in {elapsed:.2?})");
+    println!(
+        "(full corpus analyzed in {:.2?} on {} thread{}, {:.0} modules/s)",
+        bench.wall,
+        bench.threads,
+        if bench.threads == 1 { "" } else { "s" },
+        bench.modules_per_sec()
+    );
 }

@@ -1,11 +1,17 @@
 //! Shared helpers for the benchmark harness: the experiment runner that
-//! the figure/table binaries and the Criterion benches build on, plus
-//! synthetic program generators for the complexity benches.
+//! the figure/table binaries and the complexity benches build on, plus
+//! synthetic program generators for those benches and a small in-repo
+//! timing harness ([`harness`]) standing in for criterion.
 
+pub mod harness;
+
+use localias_core::SharedAnalysis;
 use localias_ast::Module;
 use localias_corpus::GeneratedModule;
-use localias_cqual::{check_locks, Mode};
+use localias_cqual::{check_locks_shared, Mode};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Per-module measured error counts under the three modes.
 #[derive(Debug, Clone)]
@@ -20,16 +26,65 @@ pub struct ModuleResult {
     pub all_strong: usize,
 }
 
+/// Wall-clock time one module spent in each pipeline phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Lexing + parsing.
+    pub parse: Duration,
+    /// Base analysis plus the no-confine and all-strong checks (the two
+    /// modes that share one analysis).
+    pub check: Duration,
+    /// Confine inference plus its check.
+    pub confine: Duration,
+}
+
+impl PhaseTimes {
+    fn accumulate(&mut self, other: PhaseTimes) {
+        self.parse += other.parse;
+        self.check += other.check;
+        self.confine += other.confine;
+    }
+}
+
 impl ModuleResult {
     /// Measures one corpus module under all three modes.
+    ///
+    /// The no-confine and all-strong modes share one base analysis
+    /// through [`SharedAnalysis`], so this parses once and runs two (not
+    /// three) analysis pipelines.
     pub fn measure(m: &GeneratedModule) -> ModuleResult {
+        Self::measure_timed(m).0
+    }
+
+    /// [`ModuleResult::measure`], also reporting per-phase times.
+    pub fn measure_timed(m: &GeneratedModule) -> (ModuleResult, PhaseTimes) {
+        let t0 = Instant::now();
         let parsed = m.parse();
-        ModuleResult {
-            name: m.name.clone(),
-            no_confine: check_locks(&parsed, Mode::NoConfine).error_count(),
-            confine: check_locks(&parsed, Mode::Confine).error_count(),
-            all_strong: check_locks(&parsed, Mode::AllStrong).error_count(),
-        }
+        let parse = t0.elapsed();
+
+        let mut shared = SharedAnalysis::new(&parsed);
+        let t1 = Instant::now();
+        let no_confine = check_locks_shared(&mut shared, Mode::NoConfine).error_count();
+        let all_strong = check_locks_shared(&mut shared, Mode::AllStrong).error_count();
+        let check = t1.elapsed();
+
+        let t2 = Instant::now();
+        let confine = check_locks_shared(&mut shared, Mode::Confine).error_count();
+        let confine_time = t2.elapsed();
+
+        (
+            ModuleResult {
+                name: m.name.clone(),
+                no_confine,
+                confine,
+                all_strong,
+            },
+            PhaseTimes {
+                parse,
+                check,
+                confine: confine_time,
+            },
+        )
     }
 
     /// Spurious errors that strong updates could eliminate.
@@ -43,12 +98,188 @@ impl ModuleResult {
     }
 }
 
-/// Runs the whole Section 7 experiment and returns per-module results.
+/// The machine's available parallelism (≥ 1).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Extracts a `--jobs N` flag from a raw argument list, removing it.
+/// Returns `Ok(0)` (auto) when absent.
+pub fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
+    let Some(i) = args.iter().position(|a| a == "--jobs" || a == "-j") else {
+        return Ok(0);
+    };
+    let flag = args.remove(i);
+    if i >= args.len() {
+        return Err(format!("{flag} requires a thread count"));
+    }
+    let val = args.remove(i);
+    if args.iter().any(|a| a == "--jobs" || a == "-j") {
+        return Err(format!("{flag} given more than once"));
+    }
+    val.parse()
+        .map_err(|_| format!("bad thread count `{val}`"))
+}
+
+/// Aggregate timing and error statistics for one corpus sweep, ready to
+/// serialize as `BENCH_experiment.json`.
+#[derive(Debug, Clone)]
+pub struct ExperimentBench {
+    /// Corpus seed.
+    pub seed: u64,
+    /// Modules measured.
+    pub modules: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time of the sweep.
+    pub wall: Duration,
+    /// Per-phase CPU time, summed over all modules (and threads).
+    pub phases: PhaseTimes,
+    /// Total error counts per mode, summed over all modules.
+    pub errors: (usize, usize, usize),
+    /// Total spurious errors strong updates could eliminate.
+    pub potential: usize,
+    /// Total spurious errors confine inference eliminated.
+    pub eliminated: usize,
+}
+
+impl ExperimentBench {
+    /// Sweep throughput in modules per wall-clock second.
+    pub fn modules_per_sec(&self) -> f64 {
+        self.modules as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Renders the stats as a small, stable JSON document
+    /// (schema `localias-bench-experiment/v1`).
+    pub fn to_json(&self) -> String {
+        let (nc, cf, st) = self.errors;
+        format!(
+            "{{\n  \"schema\": \"localias-bench-experiment/v1\",\n  \
+             \"seed\": {},\n  \
+             \"modules\": {},\n  \
+             \"threads\": {},\n  \
+             \"wall_seconds\": {:.6},\n  \
+             \"modules_per_second\": {:.2},\n  \
+             \"phase_cpu_seconds\": {{\n    \
+             \"parse\": {:.6},\n    \
+             \"check\": {:.6},\n    \
+             \"confine\": {:.6}\n  }},\n  \
+             \"errors\": {{\n    \
+             \"no_confine\": {nc},\n    \
+             \"confine\": {cf},\n    \
+             \"all_strong\": {st}\n  }},\n  \
+             \"spurious\": {{\n    \
+             \"potential\": {},\n    \
+             \"eliminated\": {}\n  }}\n}}\n",
+            self.seed,
+            self.modules,
+            self.threads,
+            self.wall.as_secs_f64(),
+            self.modules_per_sec(),
+            self.phases.parse.as_secs_f64(),
+            self.phases.check.as_secs_f64(),
+            self.phases.confine.as_secs_f64(),
+            self.potential,
+            self.eliminated,
+        )
+    }
+}
+
+/// Measures every module of `corpus` across `jobs` worker threads
+/// (`jobs == 0` → [`default_jobs`]). Results come back in corpus order
+/// regardless of thread count or scheduling.
+pub fn measure_corpus(corpus: &[GeneratedModule], jobs: usize) -> Vec<ModuleResult> {
+    measure_corpus_timed(corpus, jobs, 0).0
+}
+
+/// [`measure_corpus`] plus aggregate timing statistics.
+///
+/// Work distribution is a shared atomic index (work stealing at module
+/// granularity); each worker keeps `(index, result)` pairs that are
+/// merged back into corpus order afterwards, so output is byte-identical
+/// for every `jobs` value.
+pub fn measure_corpus_timed(
+    corpus: &[GeneratedModule],
+    jobs: usize,
+    seed: u64,
+) -> (Vec<ModuleResult>, ExperimentBench) {
+    let threads = if jobs == 0 { default_jobs() } else { jobs };
+    let start = Instant::now();
+
+    let indexed: Vec<(usize, ModuleResult, PhaseTimes)> = if threads <= 1 {
+        corpus
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let (r, t) = ModuleResult::measure_timed(m);
+                (i, r, t)
+            })
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= corpus.len() {
+                                break out;
+                            }
+                            let (r, t) = ModuleResult::measure_timed(&corpus[i]);
+                            out.push((i, r, t));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+    };
+
+    let mut slots: Vec<Option<ModuleResult>> = vec![None; corpus.len()];
+    let mut phases = PhaseTimes::default();
+    for (i, r, t) in indexed {
+        phases.accumulate(t);
+        slots[i] = Some(r);
+    }
+    let results: Vec<ModuleResult> = slots
+        .into_iter()
+        .map(|s| s.expect("every module measured exactly once"))
+        .collect();
+
+    let errors = results.iter().fold((0, 0, 0), |(nc, cf, st), r| {
+        (nc + r.no_confine, cf + r.confine, st + r.all_strong)
+    });
+    let bench = ExperimentBench {
+        seed,
+        modules: results.len(),
+        threads,
+        wall: start.elapsed(),
+        phases,
+        errors,
+        potential: results.iter().map(ModuleResult::potential).sum(),
+        eliminated: results.iter().map(ModuleResult::eliminated).sum(),
+    };
+    (results, bench)
+}
+
+/// Runs the whole Section 7 experiment (all available cores) and returns
+/// per-module results in corpus order.
 pub fn run_experiment(seed: u64) -> Vec<ModuleResult> {
-    localias_corpus::generate(seed)
-        .iter()
-        .map(ModuleResult::measure)
-        .collect()
+    run_experiment_timed(seed, 0).0
+}
+
+/// [`run_experiment`] with an explicit thread count (`0` = auto) and
+/// aggregate timing statistics.
+pub fn run_experiment_timed(seed: u64, jobs: usize) -> (Vec<ModuleResult>, ExperimentBench) {
+    let corpus = localias_corpus::generate(seed);
+    measure_corpus_timed(&corpus, jobs, seed)
 }
 
 /// Renders a text histogram: `buckets` of `(label, count)`, scaled to
@@ -121,6 +352,7 @@ pub fn confine_workload(pairs: usize) -> Module {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use localias_cqual::check_locks;
 
     #[test]
     fn checking_workload_scales_and_checks() {

@@ -1,0 +1,99 @@
+//! Regression tests for the shared-front-end experiment pipeline: the
+//! analysis-reuse path must report exactly what three independent runs of
+//! `check_locks` report, and the parallel runner must be deterministic.
+
+use localias_bench::{measure_corpus, ModuleResult};
+use localias_corpus::{generate, DEFAULT_SEED};
+use localias_cqual::{check_locks, Mode};
+
+/// How many corpus modules the equivalence test walks. Enough to cover
+/// every generator archetype (clean, spurious-weak, real-bug, confine,
+/// and the Figure 6/7 replicas all appear well inside this prefix).
+const PREFIX: usize = 25;
+
+/// The shared-analysis fast path must be observationally identical to
+/// three independent `check_locks` pipelines — not just the same error
+/// *counts*, but byte-identical rendered reports, error for error.
+#[test]
+fn shared_analysis_matches_independent_pipelines() {
+    let corpus = generate(DEFAULT_SEED);
+    assert!(corpus.len() >= PREFIX);
+
+    for m in &corpus[..PREFIX] {
+        let parsed = m.parse();
+        let shared = ModuleResult::measure(m);
+
+        for (mode, got) in [
+            (Mode::NoConfine, shared.no_confine),
+            (Mode::Confine, shared.confine),
+            (Mode::AllStrong, shared.all_strong),
+        ] {
+            let independent = check_locks(&parsed, mode);
+            assert_eq!(
+                got,
+                independent.error_count(),
+                "module {} mode {:?}: shared pipeline disagrees with check_locks",
+                m.name,
+                mode
+            );
+        }
+    }
+}
+
+/// The rendered error text must also match, so diagnostics (not just
+/// counts) are unaffected by analysis sharing. `ModuleResult` keeps only
+/// counts, so this re-runs the shared path at the report level.
+#[test]
+fn shared_analysis_reports_are_byte_identical() {
+    use localias_core::SharedAnalysis;
+    use localias_cqual::check_locks_shared;
+
+    let corpus = generate(DEFAULT_SEED);
+    for m in &corpus[..PREFIX] {
+        let parsed = m.parse();
+        let mut shared = SharedAnalysis::new(&parsed);
+        for mode in [Mode::NoConfine, Mode::AllStrong, Mode::Confine] {
+            let a = check_locks_shared(&mut shared, mode);
+            let b = check_locks(&parsed, mode);
+            let render = |r: &localias_cqual::LockReport| {
+                let mut s = format!("{r}\n");
+                for e in &r.errors {
+                    s.push_str(&format!("{e}\n"));
+                }
+                s
+            };
+            assert_eq!(
+                render(&a),
+                render(&b),
+                "module {} mode {:?}: rendered reports differ",
+                m.name,
+                mode
+            );
+        }
+    }
+}
+
+/// The work-stealing runner must produce the same results in the same
+/// order regardless of thread count — the experiment output is part of
+/// the paper-reproduction contract and may not depend on scheduling.
+#[test]
+fn parallel_runner_is_deterministic() {
+    let corpus = generate(DEFAULT_SEED);
+    // A slice keeps this fast in debug builds while still giving the
+    // stealing loop enough items to interleave on.
+    let slice = &corpus[..60.min(corpus.len())];
+
+    let seq = measure_corpus(slice, 1);
+    let par = measure_corpus(slice, 8);
+
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.name, b.name, "module order must not depend on jobs");
+        assert_eq!(
+            (a.no_confine, a.confine, a.all_strong),
+            (b.no_confine, b.confine, b.all_strong),
+            "module {}: results differ between jobs=1 and jobs=8",
+            a.name
+        );
+    }
+}

@@ -268,8 +268,8 @@ impl Gen {
                 .push(i);
             // Units are created eagerly so indices line up with
             // `opts.confine_candidates`; variables are cheap.
-            let l2 = cs.fresh_var(format!("L2 confine? {}", cand.key));
-            let xeff = cs.fresh_var(format!("xeff confine? {}", cand.key));
+            let l2 = cs.fresh_var("L2 confine?");
+            let xeff = cs.fresh_var("xeff confine?");
             let demoted = cs.fresh_flag();
             let root = root_of(&cand.expr);
             units.push(Unit {
@@ -343,7 +343,7 @@ impl Gen {
         if let Some(&v) = self.struct_eps.get(name) {
             return v;
         }
-        let v = self.cs.fresh_var(format!("ε_struct {name}"));
+        let v = self.cs.fresh_var("ε_struct");
         self.struct_eps.insert(name.to_string(), v);
         v
     }
@@ -364,8 +364,8 @@ impl Gen {
         if let Some(&fe) = self.fun_effs.get(name) {
             return fe;
         }
-        let raw = self.cs.fresh_var(format!("raw eff {name}"));
-        let summary = self.cs.fresh_var(format!("summary eff {name}"));
+        let raw = self.cs.fresh_var("raw eff");
+        let summary = self.cs.fresh_var("summary eff");
         let fe = FunEff { raw, summary };
         self.fun_effs.insert(name.to_string(), fe);
         fe
@@ -606,9 +606,9 @@ impl Gen {
             .locs
             .fresh_with(name, content, localias_alias::loc::Multiplicity::One);
 
-        let l1 = self.cs.fresh_var(format!("L1 {}", self.units[ix].key));
+        let l1 = self.cs.fresh_var("L1");
         self.cs.include(l1_effect, l1);
-        let p_var = self.cs.fresh_var(format!("p' {}", self.units[ix].key));
+        let p_var = self.cs.fresh_var("p'");
 
         let (l2, gamma, parent_eff, xeff, explicit, demoted) = {
             let u = &self.units[ix];
@@ -748,7 +748,7 @@ impl Gen {
                 None => {
                     // Outermost pending: evaluate this occurrence raw,
                     // capturing its effect as L1.
-                    let cap = self.cs.fresh_var(format!("L1 capture {key}"));
+                    let cap = self.cs.fresh_var("L1 capture");
                     self.frames.push(Frame {
                         kind: FrameKind::Capture,
                         eff: cap,
@@ -1018,7 +1018,7 @@ impl Hooks for Gen {
             ScopeKind::Fun(_) => {
                 let name = st.current_fun().expect("in a function").to_string();
                 let fe = self.fun_eff(&name);
-                let gamma = self.cs.fresh_var(format!("ε_Γ {name}"));
+                let gamma = self.cs.fresh_var("ε_Γ");
                 self.cs.include(Effect::var(self.gamma_globals), gamma);
                 self.frames.push(Frame {
                     kind: FrameKind::Fun(name),
@@ -1026,8 +1026,8 @@ impl Hooks for Gen {
                     gamma: Some(gamma),
                 });
             }
-            ScopeKind::Block(id) | ScopeKind::RestrictBody(id) | ScopeKind::ConfineBody(id) => {
-                let eff = self.cs.fresh_var(format!("scope eff {id}"));
+            ScopeKind::Block(_) | ScopeKind::RestrictBody(_) | ScopeKind::ConfineBody(_) => {
+                let eff = self.cs.fresh_var("scope eff");
                 let gamma = self.cur_gamma();
                 self.frames.push(Frame {
                     kind: FrameKind::Scope,
@@ -1058,7 +1058,7 @@ impl Hooks for Gen {
                 if self.opts.apply_down {
                     // (Down): mask the raw body effect by the locations
                     // visible through globals and the signature.
-                    let vis = self.cs.fresh_var(format!("visible {name}"));
+                    let vis = self.cs.fresh_var("visible");
                     self.cs.include(Effect::var(self.gamma_globals), vis);
                     if let Some(sig) = st.funs.get(&name).cloned() {
                         for p in &sig.params {
@@ -1160,7 +1160,7 @@ impl Hooks for Gen {
 
         // Push this statement's frame and feed covering registrations.
         self.stmt_indices.insert(block, index);
-        let eff = self.cs.fresh_var(format!("stmt {block}.{index}"));
+        let eff = self.cs.fresh_var("stmt");
         self.frames.push(Frame {
             kind: FrameKind::Stmt { block },
             eff,
@@ -1257,7 +1257,7 @@ impl Hooks for Gen {
             }
         } else {
             let old = self.cur_gamma();
-            let new = self.cs.fresh_var(format!("ε_Γ+{}", info.name));
+            let new = self.cs.fresh_var("ε_Γ+");
             self.cs.include(Effect::var(old), new);
             for v in parts {
                 self.cs.include(Effect::var(v), new);
@@ -1287,7 +1287,7 @@ impl Hooks for Gen {
             BindSite::Param { .. } => {
                 let name = st.current_fun().expect("param binds in a function");
                 let fe = self.fun_eff(name);
-                let l2 = self.cs.fresh_var(format!("L2 param {}", info.name));
+                let l2 = self.cs.fresh_var("L2 param");
                 self.cs.include(Effect::var(fe.raw), l2);
                 // The restriction effect of a parameter belongs to the
                 // function's summary (it happens at each call).
@@ -1295,7 +1295,7 @@ impl Hooks for Gen {
             }
             BindSite::RestrictStmt => {
                 let body_eff = self.top_eff();
-                let l2 = self.cs.fresh_var(format!("L2 restrict {}", info.name));
+                let l2 = self.cs.fresh_var("L2 restrict");
                 self.cs.include(Effect::var(body_eff), l2);
                 let parent = self.frames[self.frames.len() - 2].eff;
                 (l2, parent)
@@ -1303,7 +1303,7 @@ impl Hooks for Gen {
             BindSite::Decl { .. } => {
                 // Scope: the rest of the enclosing block — all statement
                 // frames with a higher index feed this L2.
-                let l2 = self.cs.fresh_var(format!("L2 decl {}", info.name));
+                let l2 = self.cs.fresh_var("L2 decl");
                 let parent = self.top_eff();
                 if let Some(Frame {
                     kind: FrameKind::Stmt { block },
@@ -1342,7 +1342,7 @@ impl Hooks for Gen {
     }
 
     fn on_confine_start(&mut self, _st: &mut State, at: NodeId) {
-        let cap = self.cs.fresh_var(format!("L1 confine {at}"));
+        let cap = self.cs.fresh_var("L1 confine");
         self.frames.push(Frame {
             kind: FrameKind::Capture,
             eff: cap,
@@ -1360,8 +1360,8 @@ impl Hooks for Gen {
         self.cs.include(Effect::var(cap.eff), eff);
 
         let key = pretty::print_expr(expr);
-        let l2 = self.cs.fresh_var(format!("L2 confine {key}"));
-        let xeff = self.cs.fresh_var(format!("xeff confine {key}"));
+        let l2 = self.cs.fresh_var("L2 confine");
+        let xeff = self.cs.fresh_var("xeff confine");
         let demoted = self.cs.fresh_flag();
         let ix = self.units.len();
         let root = root_of(expr);

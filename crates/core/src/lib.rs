@@ -217,6 +217,60 @@ fn infer_confines_from(m: &Module, candidates: Vec<ConfineCandidate>) -> Confine
     }
 }
 
+/// Lazily computed per-module analyses, shared across experiment modes.
+///
+/// The §7 experiment measures every module under three lock-checking
+/// modes. Two of them (no-confine and all-strong) differ only in how the
+/// flow-sensitive checker treats updates — they consume the *same* base
+/// analysis — and only confine mode needs the separate
+/// [`infer_confines`] run (candidate confines re-type in-scope
+/// expressions to fresh `ρ'` locations, which must not leak into the
+/// other modes). `SharedAnalysis` memoizes both, so a three-mode sweep
+/// runs two analysis pipelines per module instead of three.
+///
+/// Sharing the base analysis across modes is sound because the checker
+/// only mutates it through union-find path compression (lookups via
+/// `locs.find`), which never changes which locations are equal.
+#[derive(Debug)]
+pub struct SharedAnalysis<'m> {
+    module: &'m Module,
+    base: Option<Analysis>,
+    confine: Option<ConfineInference>,
+}
+
+impl<'m> SharedAnalysis<'m> {
+    /// Creates an empty cache for `module`; nothing is computed yet.
+    pub fn new(module: &'m Module) -> Self {
+        SharedAnalysis {
+            module,
+            base: None,
+            confine: None,
+        }
+    }
+
+    /// The module under analysis.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// The plain checking analysis ([`check`]), computed on first use.
+    pub fn base(&mut self) -> &mut Analysis {
+        if self.base.is_none() {
+            self.base = Some(check(self.module));
+        }
+        self.base.as_mut().expect("just computed")
+    }
+
+    /// The confine-inference result ([`infer_confines`]), computed on
+    /// first use.
+    pub fn confine(&mut self) -> &mut ConfineInference {
+        if self.confine.is_none() {
+            self.confine = Some(infer_confines(self.module));
+        }
+        self.confine.as_mut().expect("just computed")
+    }
+}
+
 /// Maps each block to `(parent block, index of the containing statement)`.
 /// Function bodies have no parent.
 pub fn block_parents(m: &Module) -> HashMap<NodeId, (NodeId, usize)> {

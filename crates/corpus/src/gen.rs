@@ -13,9 +13,7 @@ use crate::plan::{
     RECOVERED_WITH_BUGS, TOTAL_MODULES,
 };
 use localias_ast::{parse_module, Module};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use localias_prng::Rng64;
 
 /// The default corpus seed (the paper's publication date).
 pub const DEFAULT_SEED: u64 = 20030609;
@@ -92,7 +90,7 @@ const STEMS: [&str; 40] = [
     "depca",
 ];
 
-fn module_name(rng: &mut StdRng, idx: usize) -> String {
+fn module_name(rng: &mut Rng64, idx: usize) -> String {
     let sub = SUBSYSTEMS[rng.gen_range(0..SUBSYSTEMS.len())];
     let stem = STEMS[rng.gen_range(0..STEMS.len())];
     format!("{sub}_{stem}{idx}")
@@ -100,7 +98,7 @@ fn module_name(rng: &mut StdRng, idx: usize) -> String {
 
 /// A small pool of clean filler idioms to make modules look like real
 /// drivers rather than minimal reproducers.
-fn filler(rng: &mut StdRng, tag: &str, n: usize) -> Vec<Idiom> {
+fn filler(rng: &mut Rng64, tag: &str, n: usize) -> Vec<Idiom> {
     let mut out = Vec::new();
     for k in 0..n {
         let sub = format!("{tag}_f{k}");
@@ -118,7 +116,7 @@ fn filler(rng: &mut StdRng, tag: &str, n: usize) -> Vec<Idiom> {
     out
 }
 
-fn genuine_bugs(rng: &mut StdRng, tag: &str, n: usize) -> Vec<Idiom> {
+fn genuine_bugs(rng: &mut Rng64, tag: &str, n: usize) -> Vec<Idiom> {
     (0..n)
         .map(|k| {
             let sub = format!("{tag}_b{k}");
@@ -158,7 +156,7 @@ fn assemble(name: &str, category: Category, idioms: Vec<Idiom>) -> GeneratedModu
 /// assert_eq!(generate(DEFAULT_SEED)[17].source, corpus[17].source);
 /// ```
 pub fn generate(seed: u64) -> Vec<GeneratedModule> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut modules = Vec::with_capacity(TOTAL_MODULES);
     let mut idx = 0;
 
@@ -214,7 +212,7 @@ pub fn generate(seed: u64) -> Vec<GeneratedModule> {
     }
 
     // Interleave categories the way a directory listing would.
-    modules.shuffle(&mut rng);
+    rng.shuffle(&mut modules);
     assert_eq!(modules.len(), TOTAL_MODULES);
     modules
 }

@@ -7,13 +7,12 @@
 //! allocation, lock arrays, loops with `break`/`continue`, `restrict` and
 //! `confine` scopes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use localias_prng::Rng64;
 
 /// Stateful random program generator: emits statements that only mention
 /// names in scope.
 struct GenCtx {
-    rng: StdRng,
+    rng: Rng64,
     /// Names of `int` locals in scope (per nesting frame).
     ints: Vec<Vec<String>>,
     /// Names of `int*` locals in scope.
@@ -25,7 +24,7 @@ struct GenCtx {
 impl GenCtx {
     fn new(seed: u64) -> Self {
         GenCtx {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             ints: vec![vec!["gi".into()]],
             ptrs: vec![vec!["gp".into()]],
             next_var: 0,

@@ -31,6 +31,7 @@ use localias_alias::{State, Ty};
 use localias_ast::{intrinsics, Block, Expr, ExprKind, FunDef, Module, NodeId, Stmt, StmtKind};
 use localias_core::{Analysis, ConfineSite};
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 /// The three analysis modes of the Section 7 experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,11 +77,25 @@ struct ParamInfo {
 /// Checks the locking behaviour of `m` under `mode`, running the
 /// appropriate `localias-core` analysis first.
 pub fn check_locks(m: &Module, mode: Mode) -> LockReport {
-    let mut analysis = match mode {
-        Mode::Confine => localias_core::infer_confines(m).analysis,
-        Mode::NoConfine | Mode::AllStrong => localias_core::check(m),
+    let mut shared = localias_core::SharedAnalysis::new(m);
+    check_locks_shared(&mut shared, mode)
+}
+
+/// Checks locking under `mode`, reusing (and lazily filling) the shared
+/// per-module analysis cache.
+///
+/// `Mode::NoConfine` and `Mode::AllStrong` both consume the base
+/// analysis; `Mode::Confine` consumes the confine-inference analysis.
+/// The checker only mutates the analysis through union-find path
+/// compression, so one cached analysis serves any number of modes and
+/// produces byte-identical reports to fresh per-mode runs.
+pub fn check_locks_shared(shared: &mut localias_core::SharedAnalysis, mode: Mode) -> LockReport {
+    let m = shared.module();
+    let analysis = match mode {
+        Mode::Confine => &mut shared.confine().analysis,
+        Mode::NoConfine | Mode::AllStrong => shared.base(),
     };
-    check_locks_with(m, &mut analysis, mode)
+    check_locks_with(m, analysis, mode)
 }
 
 /// Checks locking given an already-computed analysis (the caller decides
@@ -101,8 +116,12 @@ struct Flow<'a> {
     range_scopes: HashMap<NodeId, Vec<RangeScope>>,
     /// `(ρ, ρ')` for explicit confine/restrict statements, by stmt id.
     stmt_scopes: HashMap<NodeId, (Loc, Loc)>,
-    params: HashMap<String, Vec<ParamInfo>>,
-    summaries: HashMap<String, Summary>,
+    /// Per-function parameter metadata; `Rc` so each call site shares it
+    /// instead of cloning the vector.
+    params: HashMap<String, Rc<Vec<ParamInfo>>>,
+    /// Bottom-up interprocedural summaries; `Rc` so applying a summary at
+    /// a call site is a pointer bump, not a deep copy.
+    summaries: HashMap<String, Rc<Summary>>,
     /// Functions in recursive cycles (no summary; calls havoc).
     cyclic: HashSet<String>,
     errors: Vec<LockError>,
@@ -178,7 +197,7 @@ impl<'a> Flow<'a> {
             .filter(|c| c.restricted)
             .map(|c| (c.at, c.name.as_str()))
             .collect();
-        let mut params: HashMap<String, Vec<ParamInfo>> = HashMap::new();
+        let mut params: HashMap<String, Rc<Vec<ParamInfo>>> = HashMap::new();
         for f in m.functions() {
             let mut infos = Vec::new();
             for p in &f.params {
@@ -191,7 +210,7 @@ impl<'a> Flow<'a> {
                 let restrict = p.restrict || inferred.contains(&(f.id, p.name.name.as_str()));
                 infos.push(ParamInfo { rho_p, restrict });
             }
-            params.insert(f.name.name.clone(), infos);
+            params.insert(f.name.name.clone(), Rc::new(infos));
         }
 
         Flow {
@@ -242,10 +261,10 @@ impl<'a> Flow<'a> {
         let out = store.iter().collect();
         self.summaries.insert(
             f.name.name.clone(),
-            Summary {
+            Rc::new(Summary {
                 first_req: sink.reqs,
                 out,
-            },
+            }),
         );
     }
 

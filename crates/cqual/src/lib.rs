@@ -42,7 +42,7 @@ pub mod qual;
 pub mod report;
 pub mod store;
 
-pub use flow::{check_locks, check_locks_with, Mode};
+pub use flow::{check_locks, check_locks_shared, check_locks_with, Mode};
 pub use qual::LockState;
 pub use report::{LockError, LockOp, LockReport};
 pub use store::{strong_updatable, Store};

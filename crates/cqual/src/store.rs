@@ -4,7 +4,6 @@
 use crate::qual::LockState;
 use localias_alias::loc::Multiplicity;
 use localias_alias::{Loc, LocTable};
-use std::collections::BTreeMap;
 
 /// A map from canonical lock locations to their abstract state. Absent
 /// locations are implicitly [`LockState::Unlocked`] — the paper's "assume
@@ -14,9 +13,14 @@ use std::collections::BTreeMap;
 /// `break`, or `continue` on the current path): every lookup is
 /// [`LockState::Bot`], updates are ignored, and it is the identity of
 /// [`Store::join`].
+///
+/// Internally a sorted vector: a module tracks only a handful of lock
+/// locations, and the flow checker clones stores at every branch and
+/// joins them at every merge — a flat array keeps a clone at one
+/// allocation (a `memcpy`) and keeps equality canonical.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Store {
-    map: BTreeMap<Loc, LockState>,
+    map: Vec<(Loc, LockState)>,
     unreachable: bool,
 }
 
@@ -29,9 +33,15 @@ impl Store {
     /// An unreachable store — the identity of [`Store::join`].
     pub fn bottom() -> Self {
         Store {
-            map: BTreeMap::new(),
+            map: Vec::new(),
             unreachable: true,
         }
+    }
+
+    /// Index of `loc` in the sorted entry list, or where to insert it.
+    #[inline]
+    fn pos(&self, loc: Loc) -> Result<usize, usize> {
+        self.map.binary_search_by_key(&loc, |&(l, _)| l)
     }
 
     /// Marks this path dead (after `return`/`break`/`continue`).
@@ -50,7 +60,10 @@ impl Store {
         if self.unreachable {
             return LockState::Bot;
         }
-        self.map.get(&loc).copied().unwrap_or(LockState::Unlocked)
+        match self.pos(loc) {
+            Ok(i) => self.map[i].1,
+            Err(_) => LockState::Unlocked,
+        }
     }
 
     /// Sets `loc`'s state outright (used for scope copy-in).
@@ -58,7 +71,10 @@ impl Store {
         if self.unreachable {
             return;
         }
-        self.map.insert(loc, s);
+        match self.pos(loc) {
+            Ok(i) => self.map[i].1 = s,
+            Err(i) => self.map.insert(i, (loc, s)),
+        }
     }
 
     /// Updates `loc` to `new`, strongly when allowed.
@@ -70,8 +86,20 @@ impl Store {
         if self.unreachable {
             return;
         }
-        let entry = self.map.entry(loc).or_insert(LockState::Unlocked);
-        *entry = if strong { new } else { entry.weak_update(new) };
+        match self.pos(loc) {
+            Ok(i) => {
+                let cur = self.map[i].1;
+                self.map[i].1 = if strong { new } else { cur.weak_update(new) };
+            }
+            Err(i) => {
+                let s = if strong {
+                    new
+                } else {
+                    LockState::Unlocked.weak_update(new)
+                };
+                self.map.insert(i, (loc, s));
+            }
+        }
     }
 
     /// Joins another store pointwise (control-flow merge).
@@ -83,41 +111,36 @@ impl Store {
             *self = other.clone();
             return;
         }
-        for (&loc, &s) in &other.map {
+        for &(loc, s) in &other.map {
             let mine = self.state(loc);
-            self.map.insert(loc, mine.join(s));
+            self.set(loc, mine.join(s));
         }
         // Locations only in self keep their state: other's implicit
         // Unlocked must still join in.
-        let missing: Vec<Loc> = self
-            .map
-            .keys()
-            .filter(|l| !other.map.contains_key(l))
-            .copied()
-            .collect();
-        for loc in missing {
-            let mine = self.state(loc);
-            self.map.insert(loc, mine.join(LockState::Unlocked));
+        for e in &mut self.map {
+            if other.pos(e.0).is_err() {
+                e.1 = e.1.join(LockState::Unlocked);
+            }
         }
     }
 
     /// Conservatively forgets everything (e.g. after a call into a
     /// recursive cycle).
     pub fn havoc(&mut self) {
-        for s in self.map.values_mut() {
-            *s = LockState::Top;
+        for e in &mut self.map {
+            e.1 = LockState::Top;
         }
     }
 
     /// The touched locations and their states.
     pub fn iter(&self) -> impl Iterator<Item = (Loc, LockState)> + '_ {
-        self.map.iter().map(|(&l, &s)| (l, s))
+        self.map.iter().copied()
     }
 
     /// Whether `loc` has ever been explicitly set/updated (used when
     /// building call summaries to record entry requirements).
     pub fn touched(&self, loc: Loc) -> bool {
-        self.map.contains_key(&loc)
+        self.pos(loc).is_ok()
     }
 }
 

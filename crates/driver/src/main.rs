@@ -8,7 +8,8 @@
 //! localias locks   <file.mc> [mode]   # flow-sensitive lock checking
 //! localias run     <file.mc> [arg]    # execute under the §3.2 semantics
 //! localias corpus  <dir> [seed]       # dump the synthetic driver corpus
-//! localias experiment [seed]          # run the full Section 7 experiment
+//! localias experiment [seed] [--jobs N] [--bench-out FILE]
+//!                                     # run the full Section 7 experiment
 //! ```
 //!
 //! Modes for `locks`: `noconfine` (default), `confine`, `allstrong`.
@@ -49,7 +50,8 @@ fn main() -> ExitCode {
                  locks   <file.mc> [mode]   lock checking (noconfine|confine|allstrong)\n\
                  run     <file.mc> [arg]    execute every function (restrict = copy-and-poison)\n\
                  corpus  <dir> [seed]       write the synthetic driver corpus to <dir>\n\
-                 experiment [seed]          run the full Section 7 experiment"
+                 experiment [seed] [--jobs N] [--bench-out FILE]\n\
+                 \x20                          run the full Section 7 experiment in parallel"
             );
             return ExitCode::from(2);
         }
@@ -222,40 +224,61 @@ fn cmd_corpus(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_experiment(args: &[String]) -> Result<String, String> {
+    let mut args: Vec<String> = args.to_vec();
+    let jobs = localias_bench::take_jobs_flag(&mut args)?;
+    let bench_out = match args.iter().position(|a| a == "--bench-out") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                return Err("--bench-out requires a file path".into());
+            }
+            Some(args.remove(i))
+        }
+        None => None,
+    };
     let seed = match args.first() {
         Some(s) => s.parse().map_err(|_| format!("bad seed `{s}`"))?,
         None => localias_corpus::DEFAULT_SEED,
     };
-    let corpus = localias_corpus::generate(seed);
-    let mut out = String::new();
+
+    let (results, bench) = localias_bench::run_experiment_timed(seed, jobs);
     let (mut clean, mut real, mut full, mut partial) = (0, 0, 0, 0);
-    let (mut potential, mut eliminated) = (0usize, 0usize);
-    for m in &corpus {
-        let p = m.parse();
-        let nc = check_locks(&p, Mode::NoConfine).error_count();
-        let cf = check_locks(&p, Mode::Confine).error_count();
-        let st = check_locks(&p, Mode::AllStrong).error_count();
-        potential += nc.saturating_sub(st);
-        eliminated += nc.saturating_sub(cf);
-        if nc == 0 {
+    for r in &results {
+        if r.no_confine == 0 {
             clean += 1;
-        } else if nc == st {
+        } else if r.no_confine == r.all_strong {
             real += 1;
-        } else if cf == st {
+        } else if r.confine == r.all_strong {
             full += 1;
         } else {
             partial += 1;
         }
     }
-    let _ = writeln!(out, "{} modules (seed {seed}):", corpus.len());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} modules (seed {seed}):", results.len());
     let _ = writeln!(out, "  error-free without confine:        {clean}");
     let _ = writeln!(out, "  errors unrelated to weak updates:  {real}");
     let _ = writeln!(out, "  fully recovered by confine:        {full}");
     let _ = writeln!(out, "  partially recovered (Figure 7):    {partial}");
     let _ = writeln!(
         out,
-        "  spurious errors: {eliminated} of {potential} eliminated ({:.0}%)",
-        100.0 * eliminated as f64 / potential as f64
+        "  spurious errors: {} of {} eliminated ({:.0}%)",
+        bench.eliminated,
+        bench.potential,
+        100.0 * bench.eliminated as f64 / bench.potential as f64
     );
+    let _ = writeln!(
+        out,
+        "  analyzed in {:.2?} on {} thread{} ({:.0} modules/s)",
+        bench.wall,
+        bench.threads,
+        if bench.threads == 1 { "" } else { "s" },
+        bench.modules_per_sec()
+    );
+    if let Some(path) = bench_out {
+        std::fs::write(&path, bench.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "  wrote {path}");
+    }
     Ok(out)
 }

@@ -2,6 +2,7 @@
 //! disinclusions, and the conditional constraints of §5/§6.
 
 use crate::effect::{EffVar, Effect, KindMask};
+use std::borrow::Cow;
 use localias_alias::{Loc, UnionFind};
 use std::fmt;
 
@@ -95,7 +96,7 @@ pub struct Conditional {
 #[derive(Debug, Default)]
 pub struct ConstraintSystem {
     evars: UnionFind,
-    names: Vec<String>,
+    names: Vec<Cow<'static, str>>,
     /// Unconditional inclusions `L ⊆ ε`.
     pub includes: Vec<(Effect, EffVar)>,
     /// Checked disinclusions.
@@ -112,7 +113,11 @@ impl ConstraintSystem {
     }
 
     /// Allocates a fresh effect variable; `name` is for diagnostics.
-    pub fn fresh_var(&mut self, name: impl Into<String>) -> EffVar {
+    ///
+    /// Names are never consulted on the analysis hot path, so callers
+    /// should pass a `&'static str` (free) rather than a formatted
+    /// `String` — dynamic context belongs in diagnostics, not here.
+    pub fn fresh_var(&mut self, name: impl Into<Cow<'static, str>>) -> EffVar {
         let v = EffVar(self.evars.push());
         self.names.push(name.into());
         v
@@ -161,7 +166,7 @@ impl ConstraintSystem {
 
     /// Diagnostic name of `v`.
     pub fn name(&self, v: EffVar) -> &str {
-        &self.names[v.index()]
+        self.names[v.index()].as_ref()
     }
 
     /// Adds a checked disinclusion `ρ ∉_κ ε` tagged `tag`.

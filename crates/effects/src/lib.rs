@@ -40,4 +40,4 @@ pub mod solve;
 pub use constraint::{Action, Conditional, ConstraintSystem, FlagId, Guard, NotIn};
 pub use effect::{Atom, EffVar, Effect, EffectKind, KindMask};
 pub use graph::{build, Graph, NodeIx, NodeKind, Port};
-pub use solve::{reaches, solve, solve_with, LocVars, Solution, Violation};
+pub use solve::{reaches, solve, solve_with, FxHasher, FxMap, LocVars, Solution, Violation};

@@ -26,27 +26,112 @@ use crate::constraint::{Action, ConstraintSystem, Guard, NotIn};
 use crate::effect::{EffVar, Effect, KindMask};
 use crate::graph::{build, Graph, NodeIx, Port};
 use localias_alias::{Loc, LocTable};
-use std::collections::HashMap;
+
+pub use localias_alias::{FxHasher, FxMap};
+
+/// A dense `Loc → KindMask` set.
+///
+/// Locations are small dense indices (a module tops out at a few hundred
+/// even on the largest corpus members), so per-node sets are flat byte
+/// arrays indexed by `Loc::index` — membership tests and unions on the
+/// propagation hot path are a single array access with no hashing at
+/// all. A side list of touched locations keeps iteration proportional to
+/// the set's size rather than the table's.
+#[derive(Debug, Clone, Default)]
+struct LocSet {
+    /// `masks[loc.index()]`: low bits are the [`KindMask`], the top bit
+    /// records membership in `present` (so re-inserting a removed
+    /// location does not duplicate the list entry).
+    masks: Vec<u8>,
+    /// Insertion-ordered list of locations ever inserted; entries whose
+    /// mask has gone back to empty are skipped on iteration.
+    present: Vec<Loc>,
+    /// Number of locations with a non-empty mask.
+    len: usize,
+}
+
+/// Top bit of a `LocSet` mask byte: "already in the `present` list".
+const IN_LIST: u8 = 0x80;
+
+impl LocSet {
+    #[inline]
+    fn get(&self, loc: Loc) -> KindMask {
+        KindMask(self.masks.get(loc.index()).copied().unwrap_or(0) & !IN_LIST)
+    }
+
+    /// Unions `mask` into `loc`'s entry, returning `(old, new)` masks.
+    #[inline]
+    fn union_insert(&mut self, loc: Loc, mask: KindMask) -> (KindMask, KindMask) {
+        let i = loc.index();
+        if i >= self.masks.len() {
+            self.masks.resize(i + 1, 0);
+        }
+        let raw = self.masks[i];
+        let old = raw & !IN_LIST;
+        let new = old | (mask.0 & !IN_LIST);
+        if new != old {
+            if old == 0 {
+                self.len += 1;
+                if raw & IN_LIST == 0 {
+                    self.present.push(loc);
+                }
+            }
+            self.masks[i] = new | IN_LIST;
+        }
+        (KindMask(old), KindMask(new))
+    }
+
+    /// Empties `loc`'s entry, returning its previous non-empty mask.
+    #[inline]
+    fn remove(&mut self, loc: Loc) -> Option<KindMask> {
+        let raw = self.masks.get_mut(loc.index())?;
+        let old = *raw & !IN_LIST;
+        if old == 0 {
+            return None;
+        }
+        *raw &= IN_LIST;
+        self.len -= 1;
+        Some(KindMask(old))
+    }
+
+    #[inline]
+    fn contains(&self, loc: Loc) -> bool {
+        !self.get(loc).is_empty()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Iterates the non-empty entries in insertion order.
+    fn iter(&self) -> impl Iterator<Item = (Loc, KindMask)> + '_ {
+        self.present.iter().filter_map(move |&l| {
+            let m = self.masks[l.index()] & !IN_LIST;
+            (m != 0).then_some((l, KindMask(m)))
+        })
+    }
+}
 
 /// Per-node solution state during propagation.
 #[derive(Debug, Clone, Default)]
 struct NodeState {
     /// For plain nodes: the solved atom set. For intersection nodes: the
     /// *output* (gated) set.
-    sol: HashMap<Loc, KindMask>,
+    sol: LocSet,
     /// Intersection nodes only: atoms seen on the left input.
-    left: HashMap<Loc, KindMask>,
+    left: LocSet,
     /// Intersection nodes only: locations seen on the right input.
-    right: HashMap<Loc, KindMask>,
+    right: LocSet,
 }
 
 /// The result of [`solve`].
 #[derive(Debug)]
 pub struct Solution {
     /// Final per-node sets (internal layout).
-    node_sets: Vec<HashMap<Loc, KindMask>>,
+    node_sets: Vec<LocSet>,
     /// Node of each canonical effect variable at the end of solving.
-    var_node: HashMap<EffVar, NodeIx>,
+    var_node: FxMap<EffVar, NodeIx>,
     /// Flag values set by fired conditionals.
     flags: Vec<bool>,
     /// Violated disinclusion checks.
@@ -83,25 +168,43 @@ impl Solution {
             return false;
         };
         let l = locs.find_const(loc);
-        self.node_sets[node as usize]
-            .get(&l)
-            .is_some_and(|m| m.overlaps(kinds))
+        self.node_sets[node as usize].get(l).overlaps(kinds)
     }
 
-    /// The solved atom set of `var` as `(location, kinds)` pairs.
+    /// The solved atom set of `var` as sorted `(location, kinds)` pairs.
+    ///
+    /// Allocates and sorts; callers that only need to scan the set should
+    /// prefer [`Solution::set_iter`].
     pub fn set(&self, cs: &ConstraintSystem, var: EffVar) -> Vec<(Loc, KindMask)> {
+        let mut v: Vec<_> = self.set_iter(cs, var).collect();
+        v.sort_by_key(|&(l, _)| l);
+        v
+    }
+
+    /// Iterates `var`'s solved atom set without allocating.
+    ///
+    /// Iteration order is the set's insertion order (an artifact of
+    /// propagation scheduling); use [`Solution::set`] when a sorted order
+    /// matters.
+    pub fn set_iter<'a>(
+        &'a self,
+        cs: &ConstraintSystem,
+        var: EffVar,
+    ) -> impl Iterator<Item = (Loc, KindMask)> + 'a {
         let r = cs.find_const(var);
-        match self.var_node.get(&r) {
-            Some(&node) => {
-                let mut v: Vec<_> = self.node_sets[node as usize]
-                    .iter()
-                    .map(|(&l, &m)| (l, m))
-                    .collect();
-                v.sort_by_key(|&(l, _)| l);
-                v
-            }
-            None => Vec::new(),
-        }
+        self.var_node
+            .get(&r)
+            .map(|&node| self.node_sets[node as usize].iter())
+            .into_iter()
+            .flatten()
+    }
+
+    /// The number of atoms in `var`'s solved set.
+    pub fn set_len(&self, cs: &ConstraintSystem, var: EffVar) -> usize {
+        let r = cs.find_const(var);
+        self.var_node
+            .get(&r)
+            .map_or(0, |&node| self.node_sets[node as usize].len())
     }
 
     /// Whether `flag` was set by a fired conditional.
@@ -124,7 +227,7 @@ impl Solution {
 /// preserves least solutions without disturbing the already-built graph.
 #[derive(Debug, Default)]
 pub struct LocVars {
-    map: HashMap<Loc, EffVar>,
+    map: FxMap<Loc, EffVar>,
 }
 
 impl LocVars {
@@ -139,7 +242,7 @@ impl LocVars {
         match self.map.get(&canonical) {
             Some(&v) => v,
             None => {
-                let v = cs.fresh_var(format!("ε_{canonical}"));
+                let v = cs.fresh_var("ε_ρ");
                 self.map.insert(canonical, v);
                 v
             }
@@ -270,20 +373,18 @@ pub fn solve_with(
         let node = var_node_of(&graph, cs, check.var);
         if let Some(node) = node {
             let l = locs.find(check.loc);
-            if let Some(&m) = states[node as usize].sol.get(&l) {
-                let found = m.inter(check.kinds);
-                if !found.is_empty() {
-                    violations.push(Violation {
-                        tag: check.tag,
-                        loc: l,
-                        found,
-                    });
-                }
+            let found = states[node as usize].sol.get(l).inter(check.kinds);
+            if !found.is_empty() {
+                violations.push(Violation {
+                    tag: check.tag,
+                    loc: l,
+                    found,
+                });
             }
         }
     }
 
-    let mut var_node = HashMap::new();
+    let mut var_node = FxMap::default();
     for raw in 0..cs.var_count() as u32 {
         let r = cs.find(EffVar(raw));
         if let Some(n) = var_node_of(&graph, cs, r) {
@@ -351,18 +452,16 @@ fn eval_guard(
     graph: &Graph,
     states: &[NodeState],
 ) -> bool {
-    let sol_of = |v: EffVar| -> Option<&HashMap<Loc, KindMask>> {
+    let sol_of = |v: EffVar| -> Option<&LocSet> {
         var_node_of(graph, cs, v).map(|n| &states[n as usize].sol)
     };
     match guard {
         Guard::LocIn { loc, kinds, var } => {
             let l = locs.find(*loc);
-            sol_of(*var)
-                .and_then(|s| s.get(&l))
-                .is_some_and(|m| m.overlaps(*kinds))
+            sol_of(*var).is_some_and(|s| s.get(l).overlaps(*kinds))
         }
         Guard::AnyKind { var, kinds } => sol_of(*var)
-            .map(|s| s.values().any(|m| m.overlaps(*kinds)))
+            .map(|s| s.iter().any(|(_, m)| m.overlaps(*kinds)))
             .unwrap_or(false),
         Guard::Overlap {
             left,
@@ -378,9 +477,9 @@ fn eval_guard(
             } else {
                 (rs, ls, *right_kinds, *left_kinds)
             };
-            small.iter().any(|(l, m)| {
-                m.overlaps(small_kinds) && big.get(l).is_some_and(|bm| bm.overlaps(big_kinds))
-            })
+            small
+                .iter()
+                .any(|(l, m)| m.overlaps(small_kinds) && big.get(l).overlaps(big_kinds))
         }
     }
 }
@@ -393,6 +492,9 @@ fn eval_guard(
 struct Engine {
     states: Vec<NodeState>,
     work: Vec<(NodeIx, Loc)>,
+    /// Reused buffer for [`Engine::deliver_edge`], so each new edge does
+    /// not allocate a fresh snapshot vector.
+    scratch: Vec<(Loc, KindMask)>,
 }
 
 impl Engine {
@@ -400,6 +502,7 @@ impl Engine {
         Engine {
             states: vec![NodeState::default(); nodes],
             work: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -415,14 +518,15 @@ impl Engine {
 
     /// Pushes everything `from` currently holds along a newly added edge.
     fn deliver_edge(&mut self, from: NodeIx, to: NodeIx, port: Port) {
-        let entries: Vec<(Loc, KindMask)> = self.states[from as usize]
-            .sol
-            .iter()
-            .map(|(&l, &m)| (l, m))
-            .collect();
-        for (l, m) in entries {
+        // Snapshot into the reusable scratch buffer (delivery mutates
+        // `states`, so the source set cannot be borrowed across it).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(self.states[from as usize].sol.iter());
+        for &(l, m) in &scratch {
             self.deliver(to, port, l, m);
         }
+        self.scratch = scratch;
     }
 
     /// Re-keys every per-node map after `loser`'s class merged into
@@ -433,29 +537,25 @@ impl Engine {
         for node in 0..self.states.len() {
             let st = &mut self.states[node];
             let mut touched = false;
-            if let Some(m) = st.sol.remove(&loser) {
-                let cur = st.sol.entry(winner).or_default();
-                *cur = cur.union(m);
+            if let Some(m) = st.sol.remove(loser) {
+                st.sol.union_insert(winner, m);
                 touched = true;
             }
-            if let Some(m) = st.left.remove(&loser) {
-                let cur = st.left.entry(winner).or_default();
-                *cur = cur.union(m);
+            if let Some(m) = st.left.remove(loser) {
+                st.left.union_insert(winner, m);
                 touched = true;
             }
-            if let Some(m) = st.right.remove(&loser) {
-                let cur = st.right.entry(winner).or_default();
-                *cur = cur.union(m);
+            if let Some(m) = st.right.remove(loser) {
+                st.right.union_insert(winner, m);
                 touched = true;
             }
             // Re-check the gate: the merge may newly align a left-side
             // atom with a right-side presence.
-            if (touched || st.left.contains_key(&winner)) && st.right.contains_key(&winner) {
-                if let Some(&lm) = st.left.get(&winner) {
-                    let out = st.sol.entry(winner).or_default();
-                    let gated = out.union(lm);
-                    if gated != *out {
-                        *out = gated;
+            if (touched || st.left.contains(winner)) && st.right.contains(winner) {
+                let lm = st.left.get(winner);
+                if !lm.is_empty() {
+                    let (old, new) = st.sol.union_insert(winner, lm);
+                    if new != old {
                         touched = true;
                     }
                 }
@@ -469,11 +569,7 @@ impl Engine {
     /// Drains the worklist to a fixpoint.
     fn run(&mut self, graph: &Graph) {
         while let Some((node, loc)) = self.work.pop() {
-            let mask = self.states[node as usize]
-                .sol
-                .get(&loc)
-                .copied()
-                .unwrap_or_default();
+            let mask = self.states[node as usize].sol.get(loc);
             if mask.is_empty() {
                 continue;
             }
@@ -497,43 +593,31 @@ fn deliver(
     let st = &mut states[node as usize];
     match port {
         Port::Normal => {
-            let cur = st.sol.entry(loc).or_default();
-            let new = cur.union(mask);
-            if new != *cur {
-                *cur = new;
+            let (old, new) = st.sol.union_insert(loc, mask);
+            if new != old {
                 work.push((node, loc));
             }
         }
         Port::Left => {
-            let cur = st.left.entry(loc).or_default();
-            let new = cur.union(mask);
-            if new != *cur {
-                *cur = new;
+            let (old, new) = st.left.union_insert(loc, mask);
+            if new != old {
                 // Re-gate: pass left kinds if the right side has the loc.
-                if st.right.contains_key(&loc) {
-                    let out = st.sol.entry(loc).or_default();
-                    let gated = out.union(new);
-                    if gated != *out {
-                        *out = gated;
+                if st.right.contains(loc) {
+                    let (out_old, out_new) = st.sol.union_insert(loc, new);
+                    if out_new != out_old {
                         work.push((node, loc));
                     }
                 }
             }
         }
         Port::Right => {
-            let cur = st.right.entry(loc).or_default();
-            let new = cur.union(mask);
-            if new != *cur {
-                let first_arrival = cur.is_empty();
-                *cur = new;
-                if first_arrival {
-                    if let Some(&lm) = st.left.get(&loc) {
-                        let out = st.sol.entry(loc).or_default();
-                        let gated = out.union(lm);
-                        if gated != *out {
-                            *out = gated;
-                            work.push((node, loc));
-                        }
+            let (old, new) = st.right.union_insert(loc, mask);
+            if new != old && old.is_empty() {
+                let lm = st.left.get(loc);
+                if !lm.is_empty() {
+                    let (out_old, out_new) = st.sol.union_insert(loc, lm);
+                    if out_new != out_old {
+                        work.push((node, loc));
                     }
                 }
             }
@@ -571,19 +655,10 @@ pub fn reaches(
         }
     }
     while let Some((node, loc)) = work.pop() {
-        if node == target
-            && states[node as usize]
-                .sol
-                .get(&loc)
-                .is_some_and(|m| m.overlaps(kinds))
-        {
+        if node == target && states[node as usize].sol.get(loc).overlaps(kinds) {
             return true;
         }
-        let mask = states[node as usize]
-            .sol
-            .get(&loc)
-            .copied()
-            .unwrap_or_default();
+        let mask = states[node as usize].sol.get(loc);
         if mask.is_empty() {
             continue;
         }
@@ -591,10 +666,7 @@ pub fn reaches(
             deliver(&mut states, &mut work, to, port, loc, mask);
         }
     }
-    states[target as usize]
-        .sol
-        .get(&l)
-        .is_some_and(|m| m.overlaps(kinds))
+    states[target as usize].sol.get(l).overlaps(kinds)
 }
 
 #[cfg(test)]

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Runs the full §7 experiment sweep and writes a machine-readable
+# performance report (schema localias-bench-experiment/v1) to
+# BENCH_experiment.json at the repo root.
+#
+# Usage: scripts/bench.sh [--jobs N] [SEED]
+#        (extra args are passed through to `localias experiment`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p localias-driver
+./target/release/localias experiment --bench-out BENCH_experiment.json "$@"
+
+echo
+echo "wrote $(pwd)/BENCH_experiment.json:"
+cat BENCH_experiment.json

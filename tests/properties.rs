@@ -1,8 +1,9 @@
 //! Property-based tests over randomly generated Mini-C programs.
 //!
 //! Programs are generated from a seeded grammar of well-typed snippets
-//! (proptest drives the seed and size; generation itself is an `StdRng`
-//! walk so that scoping stays well-formed). The properties:
+//! (a deterministic `localias-prng` stream drives the seed and size;
+//! generation itself is a seeded walk so that scoping stays well-formed).
+//! The properties:
 //!
 //! * the pretty-printer round-trips through the parser;
 //! * every analysis is total (no panics) and deterministic;
@@ -14,7 +15,7 @@
 use localias::ast::{parse_module, pretty, BindingKind, Module, NodeId, StmtKind};
 use localias::core;
 use localias::cqual::{check_locks, Mode};
-use proptest::prelude::*;
+use localias_prng::Rng64;
 
 mod common;
 use common::random_module_source;
@@ -23,47 +24,59 @@ fn parse(src: &str) -> Module {
     parse_module("prop", src).unwrap_or_else(|e| panic!("must parse: {e}\n{src}"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pretty_print_roundtrips(seed in any::<u64>(), stmts in 1usize..12) {
+#[test]
+fn pretty_print_roundtrips() {
+    let mut rng = Rng64::seed_from_u64(0xB00);
+    for _ in 0..48 {
+        let (seed, stmts) = (rng.next_u64(), rng.gen_range(1usize..12));
         let src = random_module_source(seed, stmts);
         let m = parse(&src);
         let printed = pretty::print_module(&m);
         let m2 = parse_module("prop", &printed)
             .unwrap_or_else(|e| panic!("printed module must parse: {e}\n{printed}"));
         let printed2 = pretty::print_module(&m2);
-        prop_assert_eq!(printed, printed2);
+        assert_eq!(printed, printed2);
     }
+}
 
-    #[test]
-    fn analyses_are_total_and_deterministic(seed in any::<u64>(), stmts in 1usize..12) {
+#[test]
+fn analyses_are_total_and_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0xB01);
+    for _ in 0..48 {
+        let (seed, stmts) = (rng.next_u64(), rng.gen_range(1usize..12));
         let src = random_module_source(seed, stmts);
         let m = parse(&src);
         let a1 = core::check(&m);
         let a2 = core::check(&m);
-        prop_assert_eq!(a1.restricts.len(), a2.restricts.len());
-        prop_assert_eq!(a1.diags.len(), a2.diags.len());
+        assert_eq!(a1.restricts.len(), a2.restricts.len());
+        assert_eq!(a1.diags.len(), a2.diags.len());
         let _ = core::infer_restricts(&m);
         let inf1 = core::infer_confines(&m);
         let inf2 = core::infer_confines(&m);
-        prop_assert_eq!(inf1.chosen, inf2.chosen);
+        assert_eq!(inf1.chosen, inf2.chosen);
     }
+}
 
-    #[test]
-    fn error_counts_are_monotone_in_update_strength(seed in any::<u64>(), stmts in 1usize..12) {
+#[test]
+fn error_counts_are_monotone_in_update_strength() {
+    let mut rng = Rng64::seed_from_u64(0xB02);
+    for _ in 0..48 {
+        let (seed, stmts) = (rng.next_u64(), rng.gen_range(1usize..12));
         let src = random_module_source(seed, stmts);
         let m = parse(&src);
         let nc = check_locks(&m, Mode::NoConfine).error_count();
         let cf = check_locks(&m, Mode::Confine).error_count();
         let st = check_locks(&m, Mode::AllStrong).error_count();
-        prop_assert!(st <= nc, "all-strong {st} > no-confine {nc}\n{src}");
-        prop_assert!(cf <= nc, "confine {cf} > no-confine {nc}\n{src}");
+        assert!(st <= nc, "all-strong {st} > no-confine {nc}\n{src}");
+        assert!(cf <= nc, "confine {cf} > no-confine {nc}\n{src}");
     }
+}
 
-    #[test]
-    fn inferred_restricts_check_when_made_explicit(seed in any::<u64>(), stmts in 1usize..10) {
+#[test]
+fn inferred_restricts_check_when_made_explicit() {
+    let mut rng = Rng64::seed_from_u64(0xB03);
+    for _ in 0..48 {
+        let (seed, stmts) = (rng.next_u64(), rng.gen_range(1usize..10));
         let src = random_module_source(seed, stmts);
         let m = parse(&src);
         let inferred = core::infer_restricts(&m);
@@ -79,7 +92,7 @@ proptest! {
             .map(|c| c.at)
             .collect();
         if restricted.is_empty() {
-            return Ok(());
+            continue;
         }
         // Rewrite the inferred lets into explicit restricts and re-check;
         // only the promoted annotations must pass (the generator may have
@@ -88,7 +101,7 @@ proptest! {
         promote_decls(&mut rewritten, &restricted);
         let checked = core::check(&rewritten);
         for r in checked.restricts.iter().filter(|r| restricted.contains(&r.at)) {
-            prop_assert!(
+            assert!(
                 r.ok(),
                 "inferred restrict `{}` fails explicit checking: {:?}\n{}",
                 r.name,
@@ -145,15 +158,15 @@ fn promote_decls(m: &mut Module, targets: &[NodeId]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Andersen refines Steensgaard: whenever the inclusion-based
-    /// analysis says two pointer variables may point to a common cell,
-    /// the unification-based analysis must have merged their pointee
-    /// classes (never the other way around).
-    #[test]
-    fn andersen_refines_steensgaard(seed in any::<u64>(), stmts in 1usize..10) {
+/// Andersen refines Steensgaard: whenever the inclusion-based
+/// analysis says two pointer variables may point to a common cell,
+/// the unification-based analysis must have merged their pointee
+/// classes (never the other way around).
+#[test]
+fn andersen_refines_steensgaard() {
+    let mut rng = Rng64::seed_from_u64(0xB04);
+    for _ in 0..32 {
+        let (seed, stmts) = (rng.next_u64(), rng.gen_range(1usize..10));
         let src = random_module_source(seed, stmts);
         let m = parse(&src);
         let pts = localias::alias::andersen::analyze(&m);
@@ -183,7 +196,7 @@ proptest! {
                         ptrs[j].0.clone(),
                     );
                     if pts.may_point_same(&a, &b) {
-                        prop_assert!(
+                        assert!(
                             uni.state.locs.same(ptrs[i].1, ptrs[j].1),
                             "Andersen aliases {} and {} but Steensgaard does not\n{}",
                             ptrs[i].0,
@@ -197,17 +210,14 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The general §7 strategy never recovers less than the heuristic:
-    /// every lock error the heuristic's confines eliminate, the general
-    /// candidate set eliminates too.
-    #[test]
-    fn general_confine_strategy_dominates_heuristic(
-        seed in any::<u64>(),
-        stmts in 1usize..10,
-    ) {
+/// The general §7 strategy never recovers less than the heuristic:
+/// every lock error the heuristic's confines eliminate, the general
+/// candidate set eliminates too.
+#[test]
+fn general_confine_strategy_dominates_heuristic() {
+    let mut rng = Rng64::seed_from_u64(0xB05);
+    for _ in 0..24 {
+        let (seed, stmts) = (rng.next_u64(), rng.gen_range(1usize..10));
         let src = random_module_source(seed, stmts);
         let m = parse(&src);
         let heuristic = {
@@ -220,7 +230,7 @@ proptest! {
             localias::cqual::check_locks_with(&m, &mut a.analysis, Mode::Confine)
                 .error_count()
         };
-        prop_assert!(
+        assert!(
             general <= heuristic,
             "general {general} > heuristic {heuristic}\n{src}"
         );

@@ -11,9 +11,7 @@ use localias::alias::{LocTable, Ty};
 use localias::effects::{
     build, reaches, solve, ConstraintSystem, EffVar, Effect, EffectKind, KindMask,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use localias_prng::Rng64;
 
 const KINDS: [EffectKind; 4] = [
     EffectKind::Read,
@@ -31,7 +29,7 @@ struct SysSpec {
 }
 
 fn random_system(seed: u64, n_vars: usize, n_locs: usize, n_cons: usize, inters: bool) -> SysSpec {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut cs = ConstraintSystem::new();
     let mut locs = LocTable::new();
     let vars: Vec<EffVar> = (0..n_vars).map(|i| cs.fresh_var(format!("v{i}"))).collect();
@@ -52,14 +50,14 @@ fn random_system(seed: u64, n_vars: usize, n_locs: usize, n_cons: usize, inters:
 }
 
 fn random_effect(
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     vars: &[EffVar],
     locs: &[localias::alias::Loc],
     inter_budget: usize,
 ) -> Effect {
     match rng.gen_range(0..5u32) {
         0 => Effect::atom(
-            KINDS[rng.gen_range(0..4)],
+            KINDS[rng.gen_range(0..4usize)],
             locs[rng.gen_range(0..locs.len())],
         ),
         1 => Effect::var(vars[rng.gen_range(0..vars.len())]),
@@ -72,7 +70,7 @@ fn random_effect(
             random_effect(rng, vars, locs, inter_budget - 1),
         ),
         _ => Effect::atom(
-            KINDS[rng.gen_range(0..4)],
+            KINDS[rng.gen_range(0..4usize)],
             locs[rng.gen_range(0..locs.len())],
         ),
     }
@@ -136,11 +134,11 @@ fn reference_solve(cs: &ConstraintSystem, locs: &LocTable) -> RefSol {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn solution_satisfies_all_inclusions(seed in any::<u64>()) {
+#[test]
+fn solution_satisfies_all_inclusions() {
+    let mut outer = Rng64::seed_from_u64(0x501);
+    for _ in 0..64 {
+        let seed = outer.next_u64();
         let SysSpec { mut cs, mut locs, .. } = random_system(seed, 6, 5, 14, true);
         let sol = solve(&mut cs, &mut locs);
         // Rebuild a reference-style view of the solver's answer.
@@ -157,16 +155,20 @@ proptest! {
             let rhs = view.get(&cs.find_const(v)).cloned().unwrap_or_default();
             for (loc, k) in lhs {
                 let have = rhs.get(&loc).copied().unwrap_or_default();
-                prop_assert_eq!(
+                assert_eq!(
                     have.union(k), have,
                     "inclusion violated at {:?}: {} ⊄ solution", loc, k
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn solution_is_least_on_intersection_free_systems(seed in any::<u64>()) {
+#[test]
+fn solution_is_least_on_intersection_free_systems() {
+    let mut outer = Rng64::seed_from_u64(0x502);
+    for _ in 0..64 {
+        let seed = outer.next_u64();
         let SysSpec { mut cs, mut locs, vars, loc_ids } = random_system(seed, 6, 5, 12, false);
         let reference = reference_solve(&cs, &locs);
         let sol = solve(&mut cs, &mut locs);
@@ -176,7 +178,7 @@ proptest! {
             // Same total mask weight both ways = equality of finite maps.
             let got_map: std::collections::HashMap<u32, KindMask> =
                 got.iter().map(|&(l, k)| (l.0, k)).collect();
-            prop_assert_eq!(&got_map, &want, "var {:?}", v);
+            assert_eq!(&got_map, &want, "var {:?}", v);
         }
         // And every membership query agrees.
         for &v in &vars {
@@ -186,7 +188,7 @@ proptest! {
                         .get(&cs.find_const(v))
                         .and_then(|m| m.get(&locs.find_const(l).0))
                         .is_some_and(|k| k.overlaps(kinds));
-                    prop_assert_eq!(
+                    assert_eq!(
                         sol.contains(&cs, &locs, v, l, kinds),
                         want
                     );
@@ -194,9 +196,13 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn targeted_reaches_agrees_with_full_solution(seed in any::<u64>()) {
+#[test]
+fn targeted_reaches_agrees_with_full_solution() {
+    let mut outer = Rng64::seed_from_u64(0x503);
+    for _ in 0..64 {
+        let seed = outer.next_u64();
         let SysSpec { mut cs, mut locs, vars, loc_ids } = random_system(seed, 5, 4, 12, true);
         let graph = build(&mut cs);
         let sol = {
@@ -211,7 +217,7 @@ proptest! {
         for &v in &vars {
             for &l in &loc_ids {
                 for kinds in [KindMask::READ, KindMask::WRITE, KindMask::ALL] {
-                    prop_assert_eq!(
+                    assert_eq!(
                         reaches(&graph, &cs, &mut locs, l, kinds, v),
                         sol.contains(&cs, &locs, v, l, kinds),
                         "loc {:?} kinds {} var {:?}", l, kinds, v
