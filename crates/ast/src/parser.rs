@@ -607,13 +607,16 @@ impl Parser {
             kind: StmtKind::While { cond, body, step },
             span,
         };
-        let outer_stmts = match init {
-            Some(init) => vec![init, while_stmt],
-            None => vec![while_stmt],
+        // The block wrapper exists only to scope the init declaration; an
+        // init-less `for` must stay a bare loop so the pretty printer's
+        // `for (; cond; step)` rendering re-parses to the same tree
+        // (the canonical-form fixpoint the analysis cache keys on).
+        let Some(init) = init else {
+            return Ok(while_stmt);
         };
         let blk = Block {
             id: self.id(),
-            stmts: outer_stmts,
+            stmts: vec![init, while_stmt],
             span,
         };
         Ok(Stmt {

@@ -3,25 +3,21 @@
 //! matter.
 //!
 //! Run with `cargo run --release -p localias-bench --bin fig6`.
-//! Accepts an optional corpus seed and `--jobs N` worker threads.
+//! Accepts an optional corpus seed, `--jobs N` worker threads, and
+//! `--cache DIR` / `--no-cache` for the incremental result cache.
 
-use localias_bench::{run_experiment_timed, take_jobs_flag, text_histogram};
-use localias_corpus::DEFAULT_SEED;
+use localias_bench::{run_experiment_cached, text_histogram, CliOpts};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = match take_jobs_flag(&mut args) {
-        Ok(j) => j,
+    let opts = match CliOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("fig6: {e}");
             std::process::exit(2);
         }
     };
-    let seed = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED);
-    let (results, _bench) = run_experiment_timed(seed, jobs);
+    let seed = opts.seed_or_default();
+    let (results, bench) = run_experiment_cached(seed, opts.jobs, &opts.cache);
 
     // The modules where confine inference could make a difference.
     let eliminations: Vec<usize> = results
@@ -63,4 +59,10 @@ fn main() {
         "total eliminated: {} (paper: 3,116)",
         eliminations.iter().sum::<usize>()
     );
+    if let Some(path) = &opts.bench_out {
+        if let Err(e) = std::fs::write(path, bench.to_json()) {
+            eprintln!("fig6: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

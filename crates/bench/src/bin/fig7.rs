@@ -3,24 +3,23 @@
 //! and compared against the paper's table.
 //!
 //! Run with `cargo run --release -p localias-bench --bin fig7`.
-//! Accepts an optional corpus seed and `--jobs N` worker threads.
+//! Accepts an optional corpus seed, `--jobs N` worker threads, and
+//! `--cache DIR` / `--no-cache` for the incremental result cache (shared
+//! with `summary`/`fig6`/`experiment`: a warm store serves the 14 rows
+//! here without re-analysis).
 
-use localias_bench::{measure_corpus, take_jobs_flag};
-use localias_corpus::{generate, DEFAULT_SEED, FIGURE7};
+use localias_bench::{measure_corpus_with_cache, CliOpts};
+use localias_corpus::{generate, FIGURE7};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = match take_jobs_flag(&mut args) {
-        Ok(j) => j,
+    let opts = match CliOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("fig7: {e}");
             std::process::exit(2);
         }
     };
-    let seed = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED);
+    let seed = opts.seed_or_default();
     let corpus = generate(seed);
 
     println!("Figure 7: modules where confine inference misses strong updates");
@@ -43,7 +42,7 @@ fn main() {
                 .clone()
         })
         .collect();
-    let measured = measure_corpus(&rows, jobs);
+    let (measured, bench) = measure_corpus_with_cache(&rows, opts.jobs, seed, &opts.cache);
     let mut exact = 0;
     for (&(name, nc, cf, as_), r) in FIGURE7.iter().zip(&measured) {
         if (r.no_confine, r.confine, r.all_strong) == (nc, cf, as_) {
@@ -56,4 +55,13 @@ fn main() {
     }
     println!();
     println!("{exact}/{} rows match the paper exactly", FIGURE7.len());
+    if let Some(c) = &bench.cache {
+        println!("(cache: {} hits, {} misses, dir {})", c.hits, c.misses, c.dir);
+    }
+    if let Some(path) = &opts.bench_out {
+        if let Err(e) = std::fs::write(path, bench.to_json()) {
+            eprintln!("fig7: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -6,14 +6,27 @@
 //! and a real C frontend vs. this reimplementation).
 //!
 //! Run with `cargo run --release -p localias-bench --bin perf`.
+//! Accepts the shared CLI surface ([`CliOpts`]) for uniformity; note that
+//! `perf` always measures the analyses themselves, so the result cache is
+//! never consulted here (`--cache`/`--no-cache` draw a warning).
 
-use localias_bench::measure_corpus;
-use localias_corpus::{generate, DEFAULT_SEED};
+use localias_bench::{measure_corpus, CliOpts};
+use localias_corpus::generate;
 use localias_cqual::{check_locks, Mode};
 use std::time::Instant;
 
 fn main() {
-    let corpus = generate(DEFAULT_SEED);
+    let opts = match CliOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            std::process::exit(2);
+        }
+    };
+    if opts.cache_explicit {
+        eprintln!("perf: note: perf measures uncached analysis; cache flags are ignored");
+    }
+    let corpus = generate(opts.seed_or_default());
 
     // The largest modules by source size, plus the paper's example.
     let mut by_size: Vec<&localias_corpus::GeneratedModule> = corpus.iter().collect();
@@ -67,9 +80,19 @@ fn main() {
 
     // Full-sweep comparison: three independent pipelines per module (the
     // pre-shared-analysis behaviour) vs. the shared-analysis path where
-    // no-confine and all-strong reuse one base analysis.
+    // no-confine and all-strong reuse one base analysis. Single-threaded
+    // by default so the two rows compare like for like (`--jobs N`
+    // parallelizes the shared row only).
+    let sweep_jobs = opts.jobs.max(1);
     println!();
-    println!("Full corpus sweep, single thread:");
+    println!(
+        "Full corpus sweep, {}:",
+        if sweep_jobs == 1 {
+            "single thread".to_string()
+        } else {
+            format!("{sweep_jobs} threads (shared row only)")
+        }
+    );
     let t0 = Instant::now();
     for m in &corpus {
         let p = m.parse();
@@ -80,7 +103,7 @@ fn main() {
     let independent = t0.elapsed();
 
     let t1 = Instant::now();
-    let _ = measure_corpus(&corpus, 1);
+    let _ = measure_corpus(&corpus, sweep_jobs);
     let shared = t1.elapsed();
 
     println!(

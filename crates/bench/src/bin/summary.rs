@@ -2,26 +2,23 @@
 //! headline numbers — and prints them next to the paper's values.
 //!
 //! Run with `cargo run --release -p localias-bench --bin summary`.
-//! Accepts an optional corpus seed and `--jobs N` to control the number
-//! of worker threads (default: all available cores).
+//! Accepts an optional corpus seed, `--jobs N` worker threads (default:
+//! all available cores), `--cache DIR` / `--no-cache` to control the
+//! incremental result cache (default: `.localias-cache/`), and
+//! `--bench-out FILE` for the machine-readable report.
 
-use localias_bench::{run_experiment_timed, take_jobs_flag, ModuleResult};
-use localias_corpus::DEFAULT_SEED;
+use localias_bench::{run_experiment_cached, CliOpts, ModuleResult};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = match take_jobs_flag(&mut args) {
-        Ok(j) => j,
+    let opts = match CliOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("summary: {e}");
             std::process::exit(2);
         }
     };
-    let seed = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED);
-    let (results, bench) = run_experiment_timed(seed, jobs);
+    let seed = opts.seed_or_default();
+    let (results, bench) = run_experiment_cached(seed, opts.jobs, &opts.cache);
 
     let clean = results.iter().filter(|r| r.no_confine == 0).count();
     let real = results
@@ -80,4 +77,17 @@ fn main() {
         if bench.threads == 1 { "" } else { "s" },
         bench.modules_per_sec()
     );
+    if let Some(c) = &bench.cache {
+        println!(
+            "(cache: {} hits, {} misses, dir {})",
+            c.hits, c.misses, c.dir
+        );
+    }
+    if let Some(path) = &opts.bench_out {
+        if let Err(e) = std::fs::write(path, bench.to_json()) {
+            eprintln!("summary: {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(wrote {path})");
+    }
 }

@@ -1,0 +1,480 @@
+//! Incremental analysis cache: content-addressed per-module results with
+//! an on-disk store, so a corpus sweep only re-analyzes modules whose
+//! source actually changed since the last sweep.
+//!
+//! # Keying
+//!
+//! The cache key is a 128-bit FNV-1a fingerprint of the module's
+//! *canonical* source — the [`localias_ast::pretty`] rendering of its
+//! parse tree — mixed with [`ANALYSIS_VERSION`] and the (seed-independent)
+//! analysis configuration. Canonicalizing through the pretty printer makes
+//! the key insensitive to comments and formatting, and the printer's
+//! fixpoint guarantee (`print ∘ parse ∘ print = print`, pinned by
+//! `tests/pretty_stability.rs`) makes it stable across round trips.
+//!
+//! Because canonicalization requires a parse, every entry also remembers
+//! the raw-source fingerprint of the text that produced it. An unchanged
+//! module hits on the raw fingerprint without being parsed at all — the
+//! fast path a fully warm sweep takes for all 589 modules. A raw miss
+//! falls back to the canonical fingerprint (catching comment-only or
+//! whitespace-only edits) before counting as a true miss.
+//!
+//! A lookup is a hit *only* on an exact fingerprint match; the raw-path
+//! shortcut is sound because the canonical fingerprint is a pure function
+//! of the raw source.
+//!
+//! # Store
+//!
+//! The store is a directory (default `.localias-cache/`) holding one
+//! JSON-lines file, `store.jsonl`: a schema header line followed by one
+//! entry per `(raw, canonical)` fingerprint pair. It is read once at sweep
+//! start and atomically rewritten (temp file + rename) at sweep end. Any
+//! deviation from the expected shape — truncation, corruption, a schema or
+//! [`ANALYSIS_VERSION`] mismatch — discards the whole store with a warning
+//! on stderr and the sweep proceeds cold; a cache can never panic a sweep
+//! or change its results.
+
+use crate::{ModuleResult, PhaseTimes};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Bumped whenever any analysis stage changes observable results, so
+/// stale caches from older binaries can never serve wrong answers. Mixed
+/// into every canonical fingerprint *and* written in the store header.
+pub const ANALYSIS_VERSION: u32 = 1;
+
+/// Store schema identifier (the header line pins this plus the version).
+const STORE_SCHEMA: &str = "localias-cache/v1";
+
+/// Seed-independent description of what one cached result covers. Keyed
+/// into the fingerprint so a config change invalidates rather than hits.
+const ANALYSIS_CONFIG: &str = "modes=no_confine,confine,all_strong";
+
+/// File name of the store inside the cache directory.
+pub const STORE_FILE: &str = "store.jsonl";
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+fn fnv1a(mut h: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of a module's raw source text (the pre-parse fast path).
+pub fn source_fingerprint(source: &str) -> u128 {
+    fnv1a(fnv1a(FNV_OFFSET, b"raw;"), source.as_bytes())
+}
+
+/// Canonical fingerprint of a parsed module: hash of its pretty-printed
+/// source, domain-separated by the analysis version and configuration.
+/// Deliberately independent of the corpus seed and the module's name.
+pub fn module_fingerprint(m: &localias_ast::Module) -> u128 {
+    let canon = localias_ast::pretty::print_module(m);
+    let domain = format!("{STORE_SCHEMA};av{ANALYSIS_VERSION};{ANALYSIS_CONFIG};");
+    fnv1a(fnv1a(FNV_OFFSET, domain.as_bytes()), canon.as_bytes())
+}
+
+/// Where (whether) a sweep keeps its cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// No cache: every sweep is cold and nothing touches the disk.
+    Disabled,
+    /// Cache under the given directory.
+    Dir(PathBuf),
+}
+
+impl CachePolicy {
+    /// The default policy: caching on, under `.localias-cache/` in the
+    /// current directory.
+    pub fn enabled_default() -> CachePolicy {
+        CachePolicy::Dir(PathBuf::from(".localias-cache"))
+    }
+}
+
+/// One cached per-module outcome: the error triple plus the phase times
+/// of the run that produced it (replayed into warm reports so the phase
+/// breakdown keeps describing the analysis cost the results represent).
+#[derive(Debug, Clone, Copy)]
+pub struct CachedOutcome {
+    /// Errors without confine inference.
+    pub no_confine: usize,
+    /// Errors with confine inference.
+    pub confine: usize,
+    /// Errors assuming all updates strong.
+    pub all_strong: usize,
+    /// Phase times of the original (cold) measurement.
+    pub times: PhaseTimes,
+}
+
+impl CachedOutcome {
+    /// Captures a freshly measured result.
+    pub fn of(r: &ModuleResult, times: PhaseTimes) -> CachedOutcome {
+        CachedOutcome {
+            no_confine: r.no_confine,
+            confine: r.confine,
+            all_strong: r.all_strong,
+            times,
+        }
+    }
+
+    /// Rehydrates a [`ModuleResult`] under the *current* module name
+    /// (names are seed-dependent and not part of the key).
+    pub fn to_result(self, name: &str) -> ModuleResult {
+        ModuleResult {
+            name: name.to_string(),
+            no_confine: self.no_confine,
+            confine: self.confine,
+            all_strong: self.all_strong,
+        }
+    }
+}
+
+/// Cache statistics for one sweep, reported in
+/// `localias-bench-experiment/v2` documents.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Modules served from the cache (raw or canonical fingerprint).
+    pub hits: usize,
+    /// Modules analyzed from scratch this sweep.
+    pub misses: usize,
+    /// Cache directory, as given.
+    pub dir: String,
+    /// Time spent reading + parsing the store at sweep start.
+    pub load: Duration,
+    /// Time spent serializing + atomically rewriting it at sweep end.
+    pub store: Duration,
+}
+
+/// The in-memory index over the on-disk store.
+#[derive(Debug)]
+pub struct AnalysisCache {
+    dir: PathBuf,
+    /// canonical fingerprint → outcome.
+    entries: HashMap<u128, CachedOutcome>,
+    /// raw-source fingerprint → canonical fingerprint.
+    by_raw: HashMap<u128, u128>,
+    load_time: Duration,
+    store_time: Duration,
+    dirty: bool,
+}
+
+impl AnalysisCache {
+    /// Loads the store under `dir`, or starts empty when there is none.
+    /// A corrupt, truncated, or version-mismatched store is discarded
+    /// with a warning — never an error.
+    pub fn load(dir: &Path) -> AnalysisCache {
+        let t0 = Instant::now();
+        let mut cache = AnalysisCache {
+            dir: dir.to_path_buf(),
+            entries: HashMap::new(),
+            by_raw: HashMap::new(),
+            load_time: Duration::ZERO,
+            store_time: Duration::ZERO,
+            dirty: false,
+        };
+        let path = dir.join(STORE_FILE);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match parse_store(&text) {
+                Ok((entries, by_raw)) => {
+                    cache.entries = entries;
+                    cache.by_raw = by_raw;
+                }
+                Err(why) => {
+                    eprintln!(
+                        "localias-bench: warning: ignoring cache {} ({why}); running cold",
+                        path.display()
+                    );
+                    // The broken store will be atomically replaced at
+                    // sweep end even if this sweep adds nothing new.
+                    cache.dirty = true;
+                }
+            },
+            // No store yet (first run) — silently cold.
+            Err(_) => {}
+        }
+        cache.load_time = t0.elapsed();
+        cache
+    }
+
+    /// The directory this cache persists under, for display.
+    pub fn dir_display(&self) -> String {
+        self.dir.display().to_string()
+    }
+
+    /// Time [`AnalysisCache::load`] spent on the store file.
+    pub fn load_time(&self) -> Duration {
+        self.load_time
+    }
+
+    /// Time the last [`AnalysisCache::persist`] spent writing.
+    pub fn store_time(&self) -> Duration {
+        self.store_time
+    }
+
+    /// Number of distinct cached module outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fast-path lookup by raw-source fingerprint (no parse needed).
+    pub fn lookup_raw(&self, raw: u128) -> Option<&CachedOutcome> {
+        self.entries.get(self.by_raw.get(&raw)?)
+    }
+
+    /// Lookup by canonical fingerprint.
+    pub fn lookup_fp(&self, fp: u128) -> Option<&CachedOutcome> {
+        self.entries.get(&fp)
+    }
+
+    /// Records a freshly measured outcome under both fingerprints.
+    pub fn record(&mut self, fp: u128, raw: u128, outcome: CachedOutcome) {
+        self.entries.insert(fp, outcome);
+        self.by_raw.insert(raw, fp);
+        self.dirty = true;
+    }
+
+    /// Remembers that `raw` canonicalizes to the already-cached `fp`, so
+    /// the next sweep takes the no-parse fast path for this source.
+    pub fn alias_raw(&mut self, raw: u128, fp: u128) {
+        if self.by_raw.get(&raw) != Some(&fp) {
+            self.by_raw.insert(raw, fp);
+            self.dirty = true;
+        }
+    }
+
+    /// Atomically rewrites the on-disk store (temp file + rename in the
+    /// same directory). A no-op when nothing changed since load.
+    pub fn persist(&mut self) -> std::io::Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let mut out = String::with_capacity(64 + self.by_raw.len() * 128);
+        out.push_str(&header_line());
+        out.push('\n');
+        // One line per raw alias; sorted so the store is byte-stable for
+        // a given contents regardless of hash-map iteration order.
+        let mut aliases: Vec<(&u128, &u128)> = self.by_raw.iter().collect();
+        aliases.sort();
+        for (raw, fp) in aliases {
+            let Some(e) = self.entries.get(fp) else {
+                continue;
+            };
+            out.push_str(&entry_line(*fp, *raw, e));
+            out.push('\n');
+        }
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self
+            .dir
+            .join(format!("{STORE_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &out)?;
+        let result = std::fs::rename(&tmp, self.dir.join(STORE_FILE));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result?;
+        self.dirty = false;
+        self.store_time = t0.elapsed();
+        Ok(())
+    }
+}
+
+fn header_line() -> String {
+    format!("{{\"schema\":\"{STORE_SCHEMA}\",\"analysis_version\":{ANALYSIS_VERSION}}}")
+}
+
+fn entry_line(fp: u128, raw: u128, e: &CachedOutcome) -> String {
+    format!(
+        "{{\"fp\":\"{fp:032x}\",\"raw\":\"{raw:032x}\",\"nc\":{},\"cf\":{},\"as\":{},\
+         \"parse_ns\":{},\"check_ns\":{},\"confine_ns\":{}}}",
+        e.no_confine,
+        e.confine,
+        e.all_strong,
+        e.times.parse.as_nanos(),
+        e.times.check.as_nanos(),
+        e.times.confine.as_nanos(),
+    )
+}
+
+type StoreIndex = (HashMap<u128, CachedOutcome>, HashMap<u128, u128>);
+
+/// Strictly parses a store file. Any deviation from the written shape is
+/// an error (the caller discards the whole store): a half-written or
+/// hand-edited store must degrade to a cold run, not half-hit.
+fn parse_store(text: &str) -> Result<StoreIndex, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == header_line() => {}
+        Some(_) => return Err("schema or analysis-version mismatch".into()),
+        None => return Err("empty store".into()),
+    }
+    if !text.ends_with('\n') {
+        return Err("truncated store (no trailing newline)".into());
+    }
+    let mut entries = HashMap::new();
+    let mut by_raw = HashMap::new();
+    for (n, line) in lines.enumerate() {
+        let (fp, raw, outcome) =
+            parse_entry(line).ok_or_else(|| format!("malformed entry on line {}", n + 2))?;
+        entries.insert(fp, outcome);
+        by_raw.insert(raw, fp);
+    }
+    Ok((entries, by_raw))
+}
+
+/// A minimal strict scanner over one entry line (we parse only what
+/// [`entry_line`] writes; anything else is corruption).
+struct Scan<'a>(&'a str);
+
+impl<'a> Scan<'a> {
+    fn lit(&mut self, l: &str) -> Option<()> {
+        self.0 = self.0.strip_prefix(l)?;
+        Some(())
+    }
+
+    fn hex(&mut self) -> Option<u128> {
+        let end = self.0.find(|c: char| !c.is_ascii_hexdigit())?;
+        let (digits, rest) = self.0.split_at(end);
+        if digits.len() != 32 {
+            return None;
+        }
+        self.0 = rest;
+        u128::from_str_radix(digits, 16).ok()
+    }
+
+    fn int(&mut self) -> Option<u64> {
+        let end = self
+            .0
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.0.len());
+        let (digits, rest) = self.0.split_at(end);
+        if digits.is_empty() {
+            return None;
+        }
+        self.0 = rest;
+        digits.parse().ok()
+    }
+
+    fn end(&self) -> Option<()> {
+        self.0.is_empty().then_some(())
+    }
+}
+
+fn parse_entry(line: &str) -> Option<(u128, u128, CachedOutcome)> {
+    let mut s = Scan(line);
+    s.lit("{\"fp\":\"")?;
+    let fp = s.hex()?;
+    s.lit("\",\"raw\":\"")?;
+    let raw = s.hex()?;
+    s.lit("\",\"nc\":")?;
+    let nc = s.int()?;
+    s.lit(",\"cf\":")?;
+    let cf = s.int()?;
+    s.lit(",\"as\":")?;
+    let as_ = s.int()?;
+    s.lit(",\"parse_ns\":")?;
+    let parse = s.int()?;
+    s.lit(",\"check_ns\":")?;
+    let check = s.int()?;
+    s.lit(",\"confine_ns\":")?;
+    let confine = s.int()?;
+    s.lit("}")?;
+    s.end()?;
+    Some((
+        fp,
+        raw,
+        CachedOutcome {
+            no_confine: nc as usize,
+            confine: cf as usize,
+            all_strong: as_ as usize,
+            times: PhaseTimes {
+                parse: Duration::from_nanos(parse),
+                check: Duration::from_nanos(check),
+                confine: Duration::from_nanos(confine),
+            },
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localias_ast::parse_module;
+
+    #[test]
+    fn canonical_fingerprint_ignores_comments_and_whitespace() {
+        let a = parse_module("a", "int g;\nvoid f() { g = 1; }\n").unwrap();
+        let b = parse_module(
+            "b",
+            "// a comment\nint   g;\nvoid f()   {\n\n    g = 1;\n}\n",
+        )
+        .unwrap();
+        assert_eq!(module_fingerprint(&a), module_fingerprint(&b));
+
+        let c = parse_module("c", "int g;\nvoid f() { g = 2; }\n").unwrap();
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&c));
+    }
+
+    #[test]
+    fn raw_fingerprint_is_exact() {
+        assert_eq!(source_fingerprint("int g;"), source_fingerprint("int g;"));
+        assert_ne!(source_fingerprint("int g;"), source_fingerprint("int g; "));
+    }
+
+    #[test]
+    fn entry_lines_round_trip() {
+        let outcome = CachedOutcome {
+            no_confine: 22,
+            confine: 16,
+            all_strong: 15,
+            times: PhaseTimes {
+                parse: Duration::from_nanos(123_456),
+                check: Duration::from_nanos(789),
+                confine: Duration::from_nanos(1_000_000_001),
+            },
+        };
+        let line = entry_line(u128::MAX - 7, 42, &outcome);
+        let (fp, raw, back) = parse_entry(&line).expect("round trip");
+        assert_eq!(fp, u128::MAX - 7);
+        assert_eq!(raw, 42);
+        assert_eq!(
+            (back.no_confine, back.confine, back.all_strong),
+            (22, 16, 15)
+        );
+        assert_eq!(back.times.parse, outcome.times.parse);
+        assert_eq!(back.times.confine, outcome.times.confine);
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            "{\"fp\":\"zz\",...}",
+            "{\"fp\":\"00000000000000000000000000000000\",\"raw\":\"0\",\"nc\":1,\"cf\":1,\"as\":1,\"parse_ns\":1,\"check_ns\":1,\"confine_ns\":1}",
+            "garbage",
+        ] {
+            assert!(parse_entry(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn store_header_mismatch_is_an_error() {
+        assert!(parse_store("{\"schema\":\"localias-cache/v0\",\"analysis_version\":1}\n").is_err());
+        assert!(parse_store("").is_err());
+        let good = format!("{}\n", header_line());
+        assert!(parse_store(&good).is_ok());
+        // Truncation (missing trailing newline) is corruption.
+        assert!(parse_store(good.trim_end()).is_err());
+    }
+}

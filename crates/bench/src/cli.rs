@@ -1,0 +1,167 @@
+//! Shared command-line parsing for the experiment entry points.
+//!
+//! `experiment` (the `localias` CLI), `summary`, `fig6`, `fig7`, and
+//! `perf` all accept the same surface:
+//!
+//! ```text
+//! [SEED] [--jobs N | -j N] [--cache DIR | --no-cache] [--bench-out FILE]
+//! ```
+//!
+//! so the cache flags land in exactly one place instead of being re-wired
+//! per binary (which is how `--jobs` used to work).
+
+use crate::cache::CachePolicy;
+use localias_corpus::DEFAULT_SEED;
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct CliOpts {
+    /// Worker threads (`0` = all available cores).
+    pub jobs: usize,
+    /// Corpus seed, when given positionally.
+    pub seed: Option<u64>,
+    /// Result-cache policy (default: enabled under `.localias-cache/`).
+    pub cache: CachePolicy,
+    /// Whether `--cache`/`--no-cache` was given explicitly (lets binaries
+    /// that ignore the cache warn instead of silently dropping the flag).
+    pub cache_explicit: bool,
+    /// Where to write the machine-readable bench report, if anywhere.
+    pub bench_out: Option<String>,
+}
+
+impl CliOpts {
+    /// Parses an argument list (without the program name).
+    pub fn parse<I>(args: I) -> Result<CliOpts, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut jobs: Option<usize> = None;
+        let mut seed: Option<u64> = None;
+        let mut cache_dir: Option<String> = None;
+        let mut no_cache = false;
+        let mut bench_out: Option<String> = None;
+
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--jobs" | "-j" => {
+                    if jobs.is_some() {
+                        return Err(format!("{a} given more than once"));
+                    }
+                    let val = value_of(&mut it, &a, "a thread count")?;
+                    jobs = Some(
+                        val.parse()
+                            .map_err(|_| format!("bad thread count `{val}`"))?,
+                    );
+                }
+                "--cache" => {
+                    if cache_dir.is_some() {
+                        return Err("--cache given more than once".into());
+                    }
+                    cache_dir = Some(value_of(&mut it, &a, "a directory")?);
+                }
+                "--no-cache" => no_cache = true,
+                "--bench-out" => {
+                    if bench_out.is_some() {
+                        return Err("--bench-out given more than once".into());
+                    }
+                    bench_out = Some(value_of(&mut it, &a, "a file path")?);
+                }
+                flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+                positional => {
+                    if seed.is_some() {
+                        return Err(format!("unexpected extra argument `{positional}`"));
+                    }
+                    seed = Some(
+                        positional
+                            .parse()
+                            .map_err(|_| format!("bad seed `{positional}`"))?,
+                    );
+                }
+            }
+        }
+
+        if no_cache && cache_dir.is_some() {
+            return Err("--cache and --no-cache are mutually exclusive".into());
+        }
+        let cache_explicit = no_cache || cache_dir.is_some();
+        let cache = if no_cache {
+            CachePolicy::Disabled
+        } else {
+            match cache_dir {
+                Some(d) => CachePolicy::Dir(d.into()),
+                None => CachePolicy::enabled_default(),
+            }
+        };
+        Ok(CliOpts {
+            jobs: jobs.unwrap_or(0),
+            seed,
+            cache,
+            cache_explicit,
+            bench_out,
+        })
+    }
+
+    /// The seed to sweep: the positional argument, or the paper corpus
+    /// default.
+    pub fn seed_or_default(&self) -> u64 {
+        self.seed.unwrap_or(DEFAULT_SEED)
+    }
+}
+
+fn value_of<I>(it: &mut I, flag: &str, what: &str) -> Result<String, String>
+where
+    I: Iterator<Item = String>,
+{
+    it.next().ok_or_else(|| format!("{flag} requires {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOpts, String> {
+        CliOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.jobs, 0);
+        assert_eq!(o.seed, None);
+        assert_eq!(o.seed_or_default(), DEFAULT_SEED);
+        assert_eq!(o.cache, CachePolicy::enabled_default());
+        assert!(!o.cache_explicit);
+        assert_eq!(o.bench_out, None);
+    }
+
+    #[test]
+    fn full_surface() {
+        let o = parse(&["31337", "-j", "4", "--cache", "/tmp/c", "--bench-out", "b.json"]).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.seed, Some(31337));
+        assert_eq!(o.cache, CachePolicy::Dir("/tmp/c".into()));
+        assert!(o.cache_explicit);
+        assert_eq!(o.bench_out.as_deref(), Some("b.json"));
+    }
+
+    #[test]
+    fn no_cache_disables() {
+        let o = parse(&["--no-cache"]).unwrap();
+        assert_eq!(o.cache, CachePolicy::Disabled);
+        assert!(o.cache_explicit);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "x"]).is_err());
+        assert!(parse(&["-j", "1", "--jobs", "2"]).is_err());
+        assert!(parse(&["--cache"]).is_err());
+        assert!(parse(&["--cache", "d", "--no-cache"]).is_err());
+        assert!(parse(&["--bench-out"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["notanumber"]).is_err());
+        assert!(parse(&["1", "2"]).is_err());
+    }
+}

@@ -3,10 +3,16 @@
 //! synthetic program generators for those benches and a small in-repo
 //! timing harness ([`harness`]) standing in for criterion.
 
+pub mod cache;
+pub mod cli;
 pub mod harness;
 
-use localias_core::SharedAnalysis;
+pub use cache::{AnalysisCache, CachePolicy, CacheStats, ANALYSIS_VERSION};
+pub use cli::CliOpts;
+
+use cache::CachedOutcome;
 use localias_ast::Module;
+use localias_core::SharedAnalysis;
 use localias_corpus::GeneratedModule;
 use localias_cqual::{check_locks_shared, Mode};
 use std::fmt::Write as _;
@@ -61,8 +67,13 @@ impl ModuleResult {
         let t0 = Instant::now();
         let parsed = m.parse();
         let parse = t0.elapsed();
+        Self::measure_parsed(&m.name, &parsed, parse)
+    }
 
-        let mut shared = SharedAnalysis::new(&parsed);
+    /// Runs the analysis pipelines on an already-parsed module (the cache
+    /// parses first to canonicalize, so the miss path must not re-parse).
+    fn measure_parsed(name: &str, parsed: &Module, parse: Duration) -> (ModuleResult, PhaseTimes) {
+        let mut shared = SharedAnalysis::new(parsed);
         let t1 = Instant::now();
         let no_confine = check_locks_shared(&mut shared, Mode::NoConfine).error_count();
         let all_strong = check_locks_shared(&mut shared, Mode::AllStrong).error_count();
@@ -74,7 +85,7 @@ impl ModuleResult {
 
         (
             ModuleResult {
-                name: m.name.clone(),
+                name: name.to_string(),
                 no_confine,
                 confine,
                 all_strong,
@@ -105,24 +116,6 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Extracts a `--jobs N` flag from a raw argument list, removing it.
-/// Returns `Ok(0)` (auto) when absent.
-pub fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
-    let Some(i) = args.iter().position(|a| a == "--jobs" || a == "-j") else {
-        return Ok(0);
-    };
-    let flag = args.remove(i);
-    if i >= args.len() {
-        return Err(format!("{flag} requires a thread count"));
-    }
-    let val = args.remove(i);
-    if args.iter().any(|a| a == "--jobs" || a == "-j") {
-        return Err(format!("{flag} given more than once"));
-    }
-    val.parse()
-        .map_err(|_| format!("bad thread count `{val}`"))
-}
-
 /// Aggregate timing and error statistics for one corpus sweep, ready to
 /// serialize as `BENCH_experiment.json`.
 #[derive(Debug, Clone)]
@@ -133,9 +126,13 @@ pub struct ExperimentBench {
     pub modules: usize,
     /// Worker threads used.
     pub threads: usize,
-    /// End-to-end wall-clock time of the sweep.
+    /// End-to-end wall-clock time of the sweep (excluding cache store
+    /// I/O, which is reported separately in [`ExperimentBench::cache`]).
     pub wall: Duration,
-    /// Per-phase CPU time, summed over all modules (and threads).
+    /// Per-phase CPU time, summed over all modules (and threads). Cache
+    /// hits replay the phase times of the run that produced them, so this
+    /// keeps describing the analysis cost the results represent even when
+    /// `wall` collapses on a warm sweep.
     pub phases: PhaseTimes,
     /// Total error counts per mode, summed over all modules.
     pub errors: (usize, usize, usize),
@@ -143,6 +140,38 @@ pub struct ExperimentBench {
     pub potential: usize,
     /// Total spurious errors confine inference eliminated.
     pub eliminated: usize,
+    /// Result-cache statistics (`None` when the sweep ran uncached).
+    pub cache: Option<CacheStats>,
+}
+
+/// Formats an `f64` as a JSON number that parses back to the same value:
+/// Rust's shortest-round-trip representation, which is locale-independent
+/// and always a valid JSON literal for finite inputs. Non-finite values
+/// (which JSON cannot represent) degrade to `0.0`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl ExperimentBench {
@@ -152,35 +181,52 @@ impl ExperimentBench {
     }
 
     /// Renders the stats as a small, stable JSON document
-    /// (schema `localias-bench-experiment/v1`).
+    /// (schema `localias-bench-experiment/v2`).
+    ///
+    /// v2 extends v1 with the `cache` block (`null` on uncached sweeps)
+    /// and switches every float to a shortest-round-trip rendering, so
+    /// each number parses back to the exact measured value.
     pub fn to_json(&self) -> String {
         let (nc, cf, st) = self.errors;
+        let cache = match &self.cache {
+            None => "null".to_string(),
+            Some(c) => format!(
+                "{{\n    \"hits\": {},\n    \"misses\": {},\n    \"dir\": {},\n    \
+                 \"load_seconds\": {},\n    \"store_seconds\": {}\n  }}",
+                c.hits,
+                c.misses,
+                json_str(&c.dir),
+                json_f64(c.load.as_secs_f64()),
+                json_f64(c.store.as_secs_f64()),
+            ),
+        };
         format!(
-            "{{\n  \"schema\": \"localias-bench-experiment/v1\",\n  \
+            "{{\n  \"schema\": \"localias-bench-experiment/v2\",\n  \
              \"seed\": {},\n  \
              \"modules\": {},\n  \
              \"threads\": {},\n  \
-             \"wall_seconds\": {:.6},\n  \
-             \"modules_per_second\": {:.2},\n  \
+             \"wall_seconds\": {},\n  \
+             \"modules_per_second\": {},\n  \
              \"phase_cpu_seconds\": {{\n    \
-             \"parse\": {:.6},\n    \
-             \"check\": {:.6},\n    \
-             \"confine\": {:.6}\n  }},\n  \
+             \"parse\": {},\n    \
+             \"check\": {},\n    \
+             \"confine\": {}\n  }},\n  \
              \"errors\": {{\n    \
              \"no_confine\": {nc},\n    \
              \"confine\": {cf},\n    \
              \"all_strong\": {st}\n  }},\n  \
              \"spurious\": {{\n    \
              \"potential\": {},\n    \
-             \"eliminated\": {}\n  }}\n}}\n",
+             \"eliminated\": {}\n  }},\n  \
+             \"cache\": {cache}\n}}\n",
             self.seed,
             self.modules,
             self.threads,
-            self.wall.as_secs_f64(),
-            self.modules_per_sec(),
-            self.phases.parse.as_secs_f64(),
-            self.phases.check.as_secs_f64(),
-            self.phases.confine.as_secs_f64(),
+            json_f64(self.wall.as_secs_f64()),
+            json_f64(self.modules_per_sec()),
+            json_f64(self.phases.parse.as_secs_f64()),
+            json_f64(self.phases.check.as_secs_f64()),
+            json_f64(self.phases.confine.as_secs_f64()),
             self.potential,
             self.eliminated,
         )
@@ -194,67 +240,157 @@ pub fn measure_corpus(corpus: &[GeneratedModule], jobs: usize) -> Vec<ModuleResu
     measure_corpus_timed(corpus, jobs, 0).0
 }
 
-/// [`measure_corpus`] plus aggregate timing statistics.
-///
-/// Work distribution is a shared atomic index (work stealing at module
-/// granularity); each worker keeps `(index, result)` pairs that are
-/// merged back into corpus order afterwards, so output is byte-identical
-/// for every `jobs` value.
+/// [`measure_corpus`] plus aggregate timing statistics (uncached).
 pub fn measure_corpus_timed(
     corpus: &[GeneratedModule],
     jobs: usize,
     seed: u64,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
+    measure_corpus_cached(corpus, jobs, seed, None)
+}
+
+/// What a worker learned about one pending module, beyond its result.
+enum CacheNote {
+    /// Sweep ran uncached.
+    Uncached,
+    /// Raw source changed but the canonical fingerprint still hit; the
+    /// new raw fingerprint should alias it for the next sweep.
+    CanonHit(u128),
+    /// True miss: record the fresh measurement under this fingerprint.
+    Miss(u128),
+}
+
+/// The work-stealing sweep, optionally backed by an [`AnalysisCache`].
+///
+/// Work distribution is a shared atomic index (work stealing at module
+/// granularity); each worker keeps `(index, result)` pairs that are
+/// merged back into corpus order afterwards, so output is byte-identical
+/// for every `jobs` value.
+///
+/// With a cache, a pre-pass resolves every module whose raw source
+/// fingerprint is already known — those hits skip the pool entirely, and
+/// a fully warm sweep never parses a module. The remaining modules fan
+/// out to the workers as usual; after the (timed) parse each worker
+/// checks the canonical fingerprint, so a formatting-only change is still
+/// a hit and only genuine content changes pay for analysis. The cache is
+/// updated in memory afterwards; persisting it is the caller's job
+/// (see [`measure_corpus_with_cache`]).
+pub fn measure_corpus_cached(
+    corpus: &[GeneratedModule],
+    jobs: usize,
+    seed: u64,
+    mut cache: Option<&mut AnalysisCache>,
+) -> (Vec<ModuleResult>, ExperimentBench) {
     let threads = if jobs == 0 { default_jobs() } else { jobs };
     let start = Instant::now();
 
-    let indexed: Vec<(usize, ModuleResult, PhaseTimes)> = if threads <= 1 {
-        corpus
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
-                let (r, t) = ModuleResult::measure_timed(m);
-                (i, r, t)
-            })
-            .collect()
+    let mut slots: Vec<Option<(ModuleResult, PhaseTimes)>> =
+        corpus.iter().map(|_| None).collect();
+    let mut raws: Vec<u128> = Vec::new();
+    let mut pending: Vec<usize> = Vec::new();
+    let mut hits = 0usize;
+
+    if let Some(c) = cache.as_deref() {
+        for (i, m) in corpus.iter().enumerate() {
+            let raw = cache::source_fingerprint(&m.source);
+            raws.push(raw);
+            if let Some(e) = c.lookup_raw(raw) {
+                slots[i] = Some((e.to_result(&m.name), e.times));
+                hits += 1;
+            } else {
+                pending.push(i);
+            }
+        }
     } else {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= corpus.len() {
-                                break out;
+        pending.extend(0..corpus.len());
+    }
+
+    let measured: Vec<(usize, ModuleResult, PhaseTimes, CacheNote)> = {
+        let snapshot: Option<&AnalysisCache> = cache.as_deref();
+        let work = |i: usize| {
+            let m = &corpus[i];
+            let t0 = Instant::now();
+            let parsed = m.parse();
+            let parse = t0.elapsed();
+            if let Some(c) = snapshot {
+                let fp = cache::module_fingerprint(&parsed);
+                if let Some(e) = c.lookup_fp(fp) {
+                    return (i, e.to_result(&m.name), e.times, CacheNote::CanonHit(fp));
+                }
+                let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse);
+                (i, r, t, CacheNote::Miss(fp))
+            } else {
+                let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse);
+                (i, r, t, CacheNote::Uncached)
+            }
+        };
+
+        if threads <= 1 {
+            pending.iter().map(|&i| work(i)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut out = Vec::new();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= pending.len() {
+                                    break out;
+                                }
+                                out.push(work(pending[k]));
                             }
-                            let (r, t) = ModuleResult::measure_timed(&corpus[i]);
-                            out.push((i, r, t));
-                        }
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            })
+        }
     };
 
-    let mut slots: Vec<Option<ModuleResult>> = vec![None; corpus.len()];
-    let mut phases = PhaseTimes::default();
-    for (i, r, t) in indexed {
-        phases.accumulate(t);
-        slots[i] = Some(r);
+    let mut misses = 0usize;
+    for (i, r, t, note) in measured {
+        match note {
+            CacheNote::Uncached => {}
+            CacheNote::CanonHit(fp) => {
+                hits += 1;
+                if let Some(c) = cache.as_deref_mut() {
+                    c.alias_raw(raws[i], fp);
+                }
+            }
+            CacheNote::Miss(fp) => {
+                misses += 1;
+                if let Some(c) = cache.as_deref_mut() {
+                    c.record(fp, raws[i], CachedOutcome::of(&r, t));
+                }
+            }
+        }
+        slots[i] = Some((r, t));
     }
+
+    let mut phases = PhaseTimes::default();
     let results: Vec<ModuleResult> = slots
         .into_iter()
-        .map(|s| s.expect("every module measured exactly once"))
+        .map(|s| {
+            let (r, t) = s.expect("every module measured exactly once");
+            phases.accumulate(t);
+            r
+        })
         .collect();
 
     let errors = results.iter().fold((0, 0, 0), |(nc, cf, st), r| {
         (nc + r.no_confine, cf + r.confine, st + r.all_strong)
+    });
+    let cache_stats = cache.as_deref().map(|c| CacheStats {
+        hits,
+        misses,
+        dir: c.dir_display(),
+        load: c.load_time(),
+        store: Duration::ZERO, // filled in after persist
     });
     let bench = ExperimentBench {
         seed,
@@ -265,12 +401,41 @@ pub fn measure_corpus_timed(
         errors,
         potential: results.iter().map(ModuleResult::potential).sum(),
         eliminated: results.iter().map(ModuleResult::eliminated).sum(),
+        cache: cache_stats,
     };
     (results, bench)
 }
 
-/// Runs the whole Section 7 experiment (all available cores) and returns
-/// per-module results in corpus order.
+/// One full cached sweep under a [`CachePolicy`]: loads the store, runs
+/// [`measure_corpus_cached`], and atomically persists the store back.
+/// Cache I/O failures degrade to warnings — results are never affected.
+pub fn measure_corpus_with_cache(
+    corpus: &[GeneratedModule],
+    jobs: usize,
+    seed: u64,
+    policy: &CachePolicy,
+) -> (Vec<ModuleResult>, ExperimentBench) {
+    match policy {
+        CachePolicy::Disabled => measure_corpus_cached(corpus, jobs, seed, None),
+        CachePolicy::Dir(dir) => {
+            let mut c = AnalysisCache::load(dir);
+            let (results, mut bench) = measure_corpus_cached(corpus, jobs, seed, Some(&mut c));
+            if let Err(e) = c.persist() {
+                eprintln!(
+                    "localias-bench: warning: cache not written to {}: {e}",
+                    dir.display()
+                );
+            }
+            if let Some(stats) = bench.cache.as_mut() {
+                stats.store = c.store_time();
+            }
+            (results, bench)
+        }
+    }
+}
+
+/// Runs the whole Section 7 experiment (all available cores, no cache)
+/// and returns per-module results in corpus order.
 pub fn run_experiment(seed: u64) -> Vec<ModuleResult> {
     run_experiment_timed(seed, 0).0
 }
@@ -280,6 +445,17 @@ pub fn run_experiment(seed: u64) -> Vec<ModuleResult> {
 pub fn run_experiment_timed(seed: u64, jobs: usize) -> (Vec<ModuleResult>, ExperimentBench) {
     let corpus = localias_corpus::generate(seed);
     measure_corpus_timed(&corpus, jobs, seed)
+}
+
+/// [`run_experiment_timed`] under a [`CachePolicy`]: the incremental
+/// entry point the `experiment`, `summary`, and `fig6` binaries use.
+pub fn run_experiment_cached(
+    seed: u64,
+    jobs: usize,
+    policy: &CachePolicy,
+) -> (Vec<ModuleResult>, ExperimentBench) {
+    let corpus = localias_corpus::generate(seed);
+    measure_corpus_with_cache(&corpus, jobs, seed, policy)
 }
 
 /// Renders a text histogram: `buckets` of `(label, count)`, scaled to
@@ -369,6 +545,80 @@ mod tests {
         let cf = check_locks(&m, Mode::Confine).error_count();
         assert_eq!(nc, 4);
         assert_eq!(cf, 0);
+    }
+
+    /// Every float in the JSON report must be locale-independent and
+    /// parse back to the exact measured value (shortest round trip) —
+    /// pinned before the schema grew the v2 cache fields.
+    #[test]
+    fn json_floats_round_trip_exactly() {
+        for x in [
+            0.0,
+            0.1,
+            0.313788,
+            1.0 / 3.0,
+            1e-9,
+            1877.06,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            -2.5,
+        ] {
+            let s = json_f64(x);
+            assert_eq!(s.parse::<f64>().unwrap(), x, "{s}");
+            assert!(!s.contains(','), "locale-dependent rendering: {s}");
+        }
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+    }
+
+    #[test]
+    fn bench_json_parses_back_field_for_field() {
+        let bench = ExperimentBench {
+            seed: 7,
+            modules: 2,
+            threads: 1,
+            wall: Duration::from_nanos(313_788_123),
+            phases: PhaseTimes {
+                parse: Duration::from_nanos(41_000_001),
+                check: Duration::from_nanos(3),
+                confine: Duration::from_nanos(148_000_000),
+            },
+            errors: (3, 2, 1),
+            potential: 2,
+            eliminated: 1,
+            cache: Some(CacheStats {
+                hits: 589,
+                misses: 0,
+                dir: ".localias-cache".into(),
+                load: Duration::from_nanos(1_234_567),
+                store: Duration::from_nanos(89),
+            }),
+        };
+        let json = bench.to_json();
+        assert!(json.contains("\"schema\": \"localias-bench-experiment/v2\""));
+        assert!(json.contains("\"hits\": 589"));
+        assert!(json.contains("\"dir\": \".localias-cache\""));
+        // Extract a float field and check exact parse-back.
+        let wall = json
+            .lines()
+            .find(|l| l.contains("\"wall_seconds\""))
+            .and_then(|l| l.split(": ").nth(1))
+            .map(|v| v.trim_end_matches(','))
+            .unwrap();
+        assert_eq!(wall.parse::<f64>().unwrap(), bench.wall.as_secs_f64());
+
+        let uncached = ExperimentBench {
+            cache: None,
+            ..bench
+        };
+        assert!(uncached.to_json().contains("\"cache\": null"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
     }
 
     #[test]

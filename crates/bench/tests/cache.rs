@@ -1,0 +1,231 @@
+//! Correctness regression tests for the incremental analysis cache: warm
+//! results must be byte-identical to cold ones, invalidation must be
+//! exact (one changed module = one miss), broken stores must degrade to
+//! cold runs, and warm sweeps must stay deterministic across thread
+//! counts and seed changes.
+
+use localias_bench::{
+    measure_corpus_cached, measure_corpus_timed, measure_corpus_with_cache, AnalysisCache,
+    CachePolicy, ModuleResult,
+};
+use localias_corpus::{generate, GeneratedModule, DEFAULT_SEED};
+use std::path::PathBuf;
+
+/// Corpus prefix the tests sweep: big enough to cover every generator
+/// archetype, small enough for debug builds.
+const PREFIX: usize = 40;
+
+/// A fresh, empty cache directory unique to this test.
+fn cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "localias-cache-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn slice() -> Vec<GeneratedModule> {
+    let corpus = generate(DEFAULT_SEED);
+    assert!(corpus.len() >= PREFIX);
+    corpus[..PREFIX].to_vec()
+}
+
+/// Renders results the way the report-diffing contract sees them: every
+/// field of every module, in order.
+fn render(results: &[ModuleResult]) -> String {
+    results
+        .iter()
+        .map(|r| {
+            format!(
+                "{} {} {} {}\n",
+                r.name, r.no_confine, r.confine, r.all_strong
+            )
+        })
+        .collect()
+}
+
+fn store_path(dir: &PathBuf) -> PathBuf {
+    dir.join(localias_bench::cache::STORE_FILE)
+}
+
+#[test]
+fn cold_then_warm_is_byte_identical_and_fully_hits() {
+    let dir = cache_dir("cold-warm");
+    let policy = CachePolicy::Dir(dir.clone());
+    let slice = slice();
+
+    let (cold, cold_bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let stats = cold_bench.cache.expect("cache stats present");
+    assert_eq!((stats.hits, stats.misses), (0, PREFIX));
+    assert!(store_path(&dir).is_file(), "store persisted");
+
+    let (warm, warm_bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let stats = warm_bench.cache.expect("cache stats present");
+    assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
+    assert_eq!(render(&cold), render(&warm), "warm report must be byte-identical");
+
+    // And both must equal an uncached run.
+    let (uncached, _) = measure_corpus_timed(&slice, 1, DEFAULT_SEED);
+    assert_eq!(render(&uncached), render(&warm));
+}
+
+#[test]
+fn perturbing_one_module_invalidates_exactly_one() {
+    let dir = cache_dir("perturb");
+    let policy = CachePolicy::Dir(dir.clone());
+    let mut slice = slice();
+
+    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+
+    // A content change (new global) must invalidate exactly its module.
+    slice[7].source.push_str("\nint cache_perturbation_g;\n");
+    let (warm, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (PREFIX - 1, 1),
+        "exactly the perturbed module must miss"
+    );
+
+    // The mixed warm/miss report must equal a cold, uncached run of the
+    // same perturbed corpus.
+    let (cold, _) = measure_corpus_timed(&slice, 1, DEFAULT_SEED);
+    assert_eq!(render(&cold), render(&warm));
+}
+
+#[test]
+fn comment_only_change_hits_via_canonical_fingerprint() {
+    let dir = cache_dir("comment");
+    let policy = CachePolicy::Dir(dir.clone());
+    let mut slice = slice();
+
+    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+
+    // Comments normalize away in the canonical form: raw fingerprint
+    // misses, canonical fingerprint hits, no re-analysis.
+    slice[3].source.push_str("\n// a trailing comment\n");
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
+
+    // The new raw fingerprint was aliased: the next sweep takes the
+    // no-parse fast path for every module again.
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
+}
+
+#[test]
+fn corrupt_store_falls_back_to_cold_run() {
+    let dir = cache_dir("corrupt");
+    let policy = CachePolicy::Dir(dir.clone());
+    let slice = slice();
+
+    let (cold, _) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    std::fs::write(store_path(&dir), b"garbage\x00not a store\n").unwrap();
+
+    let (recovered, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, PREFIX),
+        "corrupt store must be discarded, not half-used"
+    );
+    assert_eq!(render(&cold), render(&recovered));
+
+    // The rewrite healed the store.
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
+}
+
+#[test]
+fn truncated_store_falls_back_to_cold_run() {
+    let dir = cache_dir("truncated");
+    let policy = CachePolicy::Dir(dir.clone());
+    let slice = slice();
+
+    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let full = std::fs::read(store_path(&dir)).unwrap();
+    // Cut mid-entry (also severing the trailing newline) the way an
+    // interrupted write would.
+    std::fs::write(store_path(&dir), &full[..full.len() - 3]).unwrap();
+
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!((stats.hits, stats.misses), (0, PREFIX));
+}
+
+#[test]
+fn version_mismatched_store_is_discarded() {
+    let dir = cache_dir("version");
+    let policy = CachePolicy::Dir(dir.clone());
+    let slice = slice();
+
+    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let text = std::fs::read_to_string(store_path(&dir)).unwrap();
+    let bumped = text.replacen(
+        &format!("\"analysis_version\":{}", localias_bench::ANALYSIS_VERSION),
+        &format!("\"analysis_version\":{}", localias_bench::ANALYSIS_VERSION + 1),
+        1,
+    );
+    assert_ne!(text, bumped);
+    std::fs::write(store_path(&dir), bumped).unwrap();
+
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!((stats.hits, stats.misses), (0, PREFIX));
+}
+
+#[test]
+fn warm_sweep_is_deterministic_across_thread_counts() {
+    let dir = cache_dir("jobs");
+    let policy = CachePolicy::Dir(dir.clone());
+    let slice = slice();
+
+    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+
+    let (warm1, b1) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (warm8, b8) = measure_corpus_with_cache(&slice, 8, DEFAULT_SEED, &policy);
+    assert_eq!(render(&warm1), render(&warm8));
+    assert_eq!(b1.cache.unwrap().hits, PREFIX);
+    assert_eq!(b8.cache.unwrap().hits, PREFIX);
+
+    // Mixed hit/miss sweeps must also be jobs-independent.
+    let mut perturbed = slice.clone();
+    for m in perturbed.iter_mut().take(5) {
+        m.source.push_str("\nint jobs_perturbation_g;\n");
+    }
+    let (mixed1, _) = measure_corpus_cached(
+        &perturbed,
+        1,
+        DEFAULT_SEED,
+        Some(&mut AnalysisCache::load(&dir)),
+    );
+    let (mixed8, _) = measure_corpus_cached(
+        &perturbed,
+        8,
+        DEFAULT_SEED,
+        Some(&mut AnalysisCache::load(&dir)),
+    );
+    assert_eq!(render(&mixed1), render(&mixed8));
+}
+
+/// The ISSUE's cold → warm → perturbed-seed trajectory: re-running with a
+/// different seed against a warm store must report exactly what a cold,
+/// uncached run of that seed's corpus reports.
+#[test]
+fn perturbed_seed_reports_match_a_cold_run() {
+    let dir = cache_dir("seed");
+    let policy = CachePolicy::Dir(dir.clone());
+
+    let slice_a = slice();
+    let _ = measure_corpus_with_cache(&slice_a, 1, DEFAULT_SEED, &policy);
+
+    let corpus_b = generate(DEFAULT_SEED + 1);
+    let slice_b = corpus_b[..PREFIX].to_vec();
+    let (via_cache, _) = measure_corpus_with_cache(&slice_b, 1, DEFAULT_SEED + 1, &policy);
+    let (cold, _) = measure_corpus_timed(&slice_b, 1, DEFAULT_SEED + 1);
+    assert_eq!(render(&cold), render(&via_cache));
+}

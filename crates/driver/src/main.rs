@@ -8,9 +8,14 @@
 //! localias locks   <file.mc> [mode]   # flow-sensitive lock checking
 //! localias run     <file.mc> [arg]    # execute under the §3.2 semantics
 //! localias corpus  <dir> [seed]       # dump the synthetic driver corpus
-//! localias experiment [seed] [--jobs N] [--bench-out FILE]
+//! localias experiment [seed] [--jobs N] [--cache DIR | --no-cache]
+//!                    [--bench-out FILE]
 //!                                     # run the full Section 7 experiment
 //! ```
+//!
+//! `experiment` keeps an incremental result cache (default
+//! `.localias-cache/`): modules whose source is unchanged since the last
+//! sweep are served from the store instead of being re-analyzed.
 //!
 //! Modes for `locks`: `noconfine` (default), `confine`, `allstrong`.
 
@@ -50,8 +55,10 @@ fn main() -> ExitCode {
                  locks   <file.mc> [mode]   lock checking (noconfine|confine|allstrong)\n\
                  run     <file.mc> [arg]    execute every function (restrict = copy-and-poison)\n\
                  corpus  <dir> [seed]       write the synthetic driver corpus to <dir>\n\
-                 experiment [seed] [--jobs N] [--bench-out FILE]\n\
-                 \x20                          run the full Section 7 experiment in parallel"
+                 experiment [seed] [--jobs N] [--cache DIR | --no-cache] [--bench-out FILE]\n\
+                 \x20                          run the full Section 7 experiment in parallel,\n\
+                 \x20                          incrementally via the result cache (default\n\
+                 \x20                          .localias-cache/; only changed modules re-analyze)"
             );
             return ExitCode::from(2);
         }
@@ -224,24 +231,10 @@ fn cmd_corpus(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_experiment(args: &[String]) -> Result<String, String> {
-    let mut args: Vec<String> = args.to_vec();
-    let jobs = localias_bench::take_jobs_flag(&mut args)?;
-    let bench_out = match args.iter().position(|a| a == "--bench-out") {
-        Some(i) => {
-            args.remove(i);
-            if i >= args.len() {
-                return Err("--bench-out requires a file path".into());
-            }
-            Some(args.remove(i))
-        }
-        None => None,
-    };
-    let seed = match args.first() {
-        Some(s) => s.parse().map_err(|_| format!("bad seed `{s}`"))?,
-        None => localias_corpus::DEFAULT_SEED,
-    };
+    let opts = localias_bench::CliOpts::parse(args.iter().cloned())?;
+    let seed = opts.seed_or_default();
 
-    let (results, bench) = localias_bench::run_experiment_timed(seed, jobs);
+    let (results, bench) = localias_bench::run_experiment_cached(seed, opts.jobs, &opts.cache);
     let (mut clean, mut real, mut full, mut partial) = (0, 0, 0, 0);
     for r in &results {
         if r.no_confine == 0 {
@@ -276,7 +269,14 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
         if bench.threads == 1 { "" } else { "s" },
         bench.modules_per_sec()
     );
-    if let Some(path) = bench_out {
+    if let Some(c) = &bench.cache {
+        let _ = writeln!(
+            out,
+            "  cache: {} hits, {} misses (dir {}, load {:.2?}, store {:.2?})",
+            c.hits, c.misses, c.dir, c.load, c.store
+        );
+    }
+    if let Some(path) = opts.bench_out {
         std::fs::write(&path, bench.to_json()).map_err(|e| format!("{path}: {e}"))?;
         let _ = writeln!(out, "  wrote {path}");
     }

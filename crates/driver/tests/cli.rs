@@ -136,6 +136,30 @@ fn run_executes_and_reports_faults() {
 }
 
 #[test]
+fn experiment_flag_surface_is_validated() {
+    // All of these fail during argument parsing, before any sweep runs.
+    let (_, err, ok) = localias(&["experiment", "--cache"]);
+    assert!(!ok);
+    assert!(err.contains("--cache requires"), "{err}");
+
+    let (_, err, ok) = localias(&["experiment", "--cache", "d", "--no-cache"]);
+    assert!(!ok);
+    assert!(err.contains("mutually exclusive"), "{err}");
+
+    let (_, err, ok) = localias(&["experiment", "--frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag"), "{err}");
+
+    let (_, err, ok) = localias(&["experiment", "--jobs", "many"]);
+    assert!(!ok);
+    assert!(err.contains("bad thread count"), "{err}");
+
+    let (_, err, ok) = localias(&["experiment", "notaseed"]);
+    assert!(!ok);
+    assert!(err.contains("bad seed"), "{err}");
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let (_, err, ok) = localias(&["check", "/nonexistent/definitely.mc"]);
     assert!(!ok);

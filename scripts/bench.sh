@@ -1,17 +1,32 @@
 #!/bin/sh
-# Runs the full §7 experiment sweep and writes a machine-readable
-# performance report (schema localias-bench-experiment/v1) to
-# BENCH_experiment.json at the repo root.
+# Runs the full §7 experiment sweep twice — cold (fresh cache) and warm
+# (fully cached) — and writes machine-readable performance reports
+# (schema localias-bench-experiment/v2) to the repo root:
+#
+#   BENCH_experiment_cold.json   cold sweep, cache.misses == modules
+#   BENCH_experiment.json        warm sweep, cache.hits   == modules
 #
 # Usage: scripts/bench.sh [--jobs N] [SEED]
 #        (extra args are passed through to `localias experiment`)
+# The cache directory defaults to .localias-cache and is recreated so the
+# "cold" pass is genuinely cold; override with LOCALIAS_CACHE=dir.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+CACHE=${LOCALIAS_CACHE:-.localias-cache}
+
 cargo build --release -p localias-driver
-./target/release/localias experiment --bench-out BENCH_experiment.json "$@"
+
+rm -rf "$CACHE"
+./target/release/localias experiment --cache "$CACHE" \
+    --bench-out BENCH_experiment_cold.json "$@"
+./target/release/localias experiment --cache "$CACHE" \
+    --bench-out BENCH_experiment.json "$@"
 
 echo
-echo "wrote $(pwd)/BENCH_experiment.json:"
+echo "wrote $(pwd)/BENCH_experiment_cold.json (cold):"
+cat BENCH_experiment_cold.json
+echo
+echo "wrote $(pwd)/BENCH_experiment.json (warm):"
 cat BENCH_experiment.json

@@ -1,0 +1,32 @@
+#!/bin/sh
+# CI gate: tier-1 build + tests, then a warm-cache smoke sweep that proves
+# the incremental cache fully hits on an unchanged corpus.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+# Cold pass primes a throwaway cache; warm pass must hit on all 589
+# modules and miss on none.
+CACHE=$(mktemp -d)
+trap 'rm -rf "$CACHE"' EXIT
+WARM="$CACHE/warm.json"
+
+./target/release/localias experiment --jobs 1 --cache "$CACHE" >/dev/null
+./target/release/localias experiment --jobs 1 --cache "$CACHE" \
+    --bench-out "$WARM" >/dev/null
+
+grep -q '"hits": 589' "$WARM" || {
+    echo "check.sh: warm sweep did not hit on all 589 modules:" >&2
+    cat "$WARM" >&2
+    exit 1
+}
+grep -q '"misses": 0' "$WARM" || {
+    echo "check.sh: warm sweep reported misses:" >&2
+    cat "$WARM" >&2
+    exit 1
+}
+
+echo "check.sh: build, tests, and warm-cache smoke sweep all passed"
