@@ -7,6 +7,8 @@
 //!
 //! * [`union_find`] — the disjoint-set structure;
 //! * [`loc`] — abstract locations `ρ` and the [`loc::LocTable`];
+//! * [`frozen`] — immutable, `Sync` snapshots of a resolved location
+//!   table ([`loc::LocTable::freeze`]), for consumers that only query;
 //! * [`ty`] — the analysis types `τ ::= int | ref ρ(τ) | ...` and their
 //!   unification (the paper's Figure 4a);
 //! * [`steensgaard`] — the typing walk that *is* the may-alias analysis,
@@ -30,12 +32,14 @@
 //! ```
 
 pub mod andersen;
+pub mod frozen;
 pub mod fx;
 pub mod loc;
 pub mod steensgaard;
 pub mod ty;
 pub mod union_find;
 
+pub use frozen::FrozenLocs;
 pub use fx::{FxHasher, FxMap, FxSet};
 pub use loc::{Loc, LocTable};
 pub use steensgaard::{

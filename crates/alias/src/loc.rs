@@ -218,6 +218,18 @@ impl LocTable {
         std::mem::take(&mut self.merges)
     }
 
+    /// Freezes the table's current equivalence classes into an immutable
+    /// [`crate::frozen::FrozenLocs`] snapshot: one full path-compression
+    /// pass, then a read-only `Loc → representative` table (plus the
+    /// multiplicity/taint bits) whose lookups need only `&self`.
+    ///
+    /// The table itself stays usable (freezing only compresses paths);
+    /// unifications performed *after* the freeze are not reflected in the
+    /// snapshot.
+    pub fn freeze(&mut self) -> crate::frozen::FrozenLocs {
+        crate::frozen::FrozenLocs::capture(self)
+    }
+
     /// All canonical representatives currently live.
     pub fn canonical_locs(&mut self) -> Vec<Loc> {
         let mut out = Vec::new();

@@ -31,13 +31,13 @@
 //!   unifying argument types with the (per-extern) parameter types. The
 //!   corpus declares its externs, so this stays honest there.
 
+use crate::fx::{FxMap, FxSet};
 use crate::loc::{Loc, LocTable};
 use crate::ty::{unify, Ty, TypeMismatch};
 use localias_ast::{
     BinOp, BindingKind, Block, Expr, ExprKind, FunDef, Ident, ItemKind, Module, NodeId, Param,
     Stmt, StmtKind, TypeExpr, UnOp,
 };
-use crate::fx::{FxMap, FxSet};
 
 /// A dense identifier for a variable binding (global, parameter or local).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -381,7 +381,10 @@ mod tests {
         let reparsed = print_module(&parse_module("m", &printed).unwrap());
         assert_eq!(printed, reparsed, "print∘parse must fix the canonical form");
         assert!(!printed.contains("//"), "comments must normalize away");
-        assert!(printed.contains("for (; (i < 10); i = (i + 1))"), "{printed}");
+        assert!(
+            printed.contains("for (; (i < 10); i = (i + 1))"),
+            "{printed}"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn main() {
         }
     };
     let seed = opts.seed_or_default();
-    let (results, bench) = run_experiment_cached(seed, opts.jobs, &opts.cache);
+    let (results, bench) = run_experiment_cached(seed, opts.jobs, opts.intra_jobs, &opts.cache);
 
     // The modules where confine inference could make a difference.
     let eliminations: Vec<usize> = results

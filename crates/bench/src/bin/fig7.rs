@@ -42,7 +42,8 @@ fn main() {
                 .clone()
         })
         .collect();
-    let (measured, bench) = measure_corpus_with_cache(&rows, opts.jobs, seed, &opts.cache);
+    let (measured, bench) =
+        measure_corpus_with_cache(&rows, opts.jobs, opts.intra_jobs, seed, &opts.cache);
     let mut exact = 0;
     for (&(name, nc, cf, as_), r) in FIGURE7.iter().zip(&measured) {
         if (r.no_confine, r.confine, r.all_strong) == (nc, cf, as_) {
@@ -56,7 +57,10 @@ fn main() {
     println!();
     println!("{exact}/{} rows match the paper exactly", FIGURE7.len());
     if let Some(c) = &bench.cache {
-        println!("(cache: {} hits, {} misses, dir {})", c.hits, c.misses, c.dir);
+        println!(
+            "(cache: {} hits, {} misses, dir {})",
+            c.hits, c.misses, c.dir
+        );
     }
     if let Some(path) = &opts.bench_out {
         if let Err(e) = std::fs::write(path, bench.to_json()) {

@@ -1,0 +1,198 @@
+//! Benchmarks the wave-parallel intra-module checking pipeline on the
+//! synthesized mega-module: one module, hundreds of functions, a wide
+//! three-layer call DAG (see `localias_corpus::mega_module`).
+//!
+//! For each mode the frozen-analysis checker runs once sequentially
+//! (`intra_jobs = 1`) and once wave-parallel, asserts the two reports are
+//! identical (the pipeline's core invariant), and reports the speedup.
+//!
+//! Run with `cargo run --release -p localias-bench --bin intra`.
+//! Accepts `[SEED] [--funs N] [--intra-jobs N] [--bench-out FILE]`;
+//! `--intra-jobs` sets the parallel row's thread count (default: all
+//! cores). The machine-readable report (`--bench-out`, conventionally
+//! `BENCH_intra.json`) uses schema `localias-bench-intra/v1` with
+//! per-wave timings from the parallel run.
+
+use localias_bench::CliOpts;
+use localias_corpus::{mega_module, DEFAULT_MEGA_FUNS};
+use localias_cqual::{check_locks_frozen_timed, IntraStats, Mode};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const MODES: [(Mode, &str); 3] = [
+    (Mode::NoConfine, "no_confine"),
+    (Mode::Confine, "confine"),
+    (Mode::AllStrong, "all_strong"),
+];
+
+/// Timing runs per row; the minimum is reported.
+const REPS: usize = 3;
+
+/// JSON float rendering (shortest round trip; non-finite degrades to 0).
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+struct ModeRow {
+    key: &'static str,
+    sequential: f64,
+    parallel: f64,
+    stats: IntraStats,
+}
+
+fn main() {
+    // Pre-extract `--funs N`; everything else is the shared surface.
+    let mut rest = Vec::new();
+    let mut funs = DEFAULT_MEGA_FUNS;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--funs" {
+            let val = args.next().unwrap_or_default();
+            funs = match val.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("intra: bad function count `{val}`");
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            rest.push(a);
+        }
+    }
+    let opts = match CliOpts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("intra: {e}");
+            std::process::exit(2);
+        }
+    };
+    if opts.cache_explicit {
+        eprintln!("intra: note: intra measures uncached analysis; cache flags are ignored");
+    }
+    // Default (1 = the surface's sequential default) means "all cores"
+    // here: the sequential row is always measured anyway.
+    let par_jobs = if opts.intra_jobs <= 1 {
+        0
+    } else {
+        opts.intra_jobs
+    };
+    let seed = opts.seed_or_default();
+
+    let m = mega_module(seed, funs);
+    let parsed = m.parse();
+    let mut shared = localias_core::SharedAnalysis::new(&parsed);
+
+    println!("Intra-module wave parallelism on the mega-module ({funs} functions, seed {seed})");
+    println!();
+    println!(
+        "{:<12} {:>16} {:>16} {:>9} {:>7}",
+        "mode", "sequential (ms)", "parallel (ms)", "speedup", "waves"
+    );
+
+    let mut rows: Vec<ModeRow> = Vec::new();
+    for (mode, key) in MODES {
+        let (analysis, frozen) = match mode {
+            Mode::Confine => shared.confine_frozen(),
+            Mode::NoConfine | Mode::AllStrong => shared.base_frozen(),
+        };
+
+        let time = |jobs: usize| {
+            let mut best = f64::INFINITY;
+            let mut kept = None;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let (report, stats) =
+                    check_locks_frozen_timed(&parsed, analysis, frozen, mode, jobs);
+                let secs = t0.elapsed().as_secs_f64();
+                if secs < best {
+                    best = secs;
+                    kept = Some((report, stats));
+                }
+            }
+            let (report, stats) = kept.expect("at least one reap");
+            (best, report, stats)
+        };
+
+        let (sequential, seq_report, _) = time(1);
+        let (parallel, par_report, stats) = time(par_jobs);
+        assert_eq!(
+            par_report, seq_report,
+            "parallel report must be byte-identical to sequential ({mode:?})"
+        );
+
+        println!(
+            "{:<12} {:>16.3} {:>16.3} {:>8.2}x {:>7}",
+            key,
+            sequential * 1e3,
+            parallel * 1e3,
+            sequential / parallel,
+            stats.waves.len()
+        );
+        rows.push(ModeRow {
+            key,
+            sequential,
+            parallel,
+            stats,
+        });
+    }
+
+    let total_seq: f64 = rows.iter().map(|r| r.sequential).sum();
+    let total_par: f64 = rows.iter().map(|r| r.parallel).sum();
+    let threads = rows[0].stats.threads;
+    println!();
+    println!(
+        "overall: {:.3} ms sequential vs {:.3} ms on {threads} threads — {:.2}x",
+        total_seq * 1e3,
+        total_par * 1e3,
+        total_seq / total_par
+    );
+
+    if let Some(path) = &opts.bench_out {
+        let mut modes = String::new();
+        for (i, r) in rows.iter().enumerate() {
+            let waves: Vec<String> = r
+                .stats
+                .waves
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{\"functions\": {}, \"seconds\": {}}}",
+                        w.functions,
+                        jf(w.seconds)
+                    )
+                })
+                .collect();
+            let _ = write!(
+                modes,
+                "    \"{}\": {{\n      \"sequential_seconds\": {},\n      \
+                 \"parallel_seconds\": {},\n      \"speedup\": {},\n      \
+                 \"sccs\": {},\n      \"waves\": [{}]\n    }}{}\n",
+                r.key,
+                jf(r.sequential),
+                jf(r.parallel),
+                jf(r.sequential / r.parallel),
+                r.stats.sccs,
+                waves.join(", "),
+                if i + 1 < rows.len() { "," } else { "" },
+            );
+        }
+        let json = format!(
+            "{{\n  \"schema\": \"localias-bench-intra/v1\",\n  \"seed\": {seed},\n  \
+             \"funs\": {funs},\n  \"threads\": {threads},\n  \
+             \"sequential_seconds\": {},\n  \"parallel_seconds\": {},\n  \
+             \"speedup\": {},\n  \"modes\": {{\n{modes}  }}\n}}\n",
+            jf(total_seq),
+            jf(total_par),
+            jf(total_seq / total_par),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("intra: {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(wrote {path})");
+    }
+}

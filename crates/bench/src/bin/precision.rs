@@ -10,69 +10,118 @@
 //! restricts/confines.
 //!
 //! Run with `cargo run --release -p localias-bench --bin precision`.
+//! Accepts the shared CLI surface ([`CliOpts`]); the sweep shares the
+//! experiment's result store (default `.localias-cache/`) under
+//! domain-separated keys, so a warm precision sweep re-runs nothing and
+//! never collides with experiment entries.
 
 use localias_alias::andersen::{self, Cell};
 use localias_alias::steensgaard;
-use localias_corpus::{random_module_source, DEFAULT_SEED};
+use localias_bench::cache::{precision_fingerprint, PrecisionOutcome};
+use localias_bench::{AnalysisCache, CachePolicy, CliOpts};
+use localias_corpus::random_module_source;
 
 /// Number of random pointer-heavy modules to compare.
 const MODULES: u64 = 400;
 /// Statements per module.
 const STMTS: usize = 14;
 
-fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED);
+/// Measures one subject module from scratch.
+fn measure(src: &str) -> PrecisionOutcome {
+    let parsed = localias_ast::parse_module("synth", src).expect("generated modules parse");
+    let pts = andersen::analyze(&parsed);
+    let mut uni = steensgaard::analyze(&parsed);
 
-    let mut pairs_total = 0usize;
-    let mut aliased_uni = 0usize;
-    let mut aliased_incl = 0usize;
-    let mut modules_with_gap = 0usize;
+    let mut out = PrecisionOutcome {
+        pairs: 0,
+        aliased_uni: 0,
+        aliased_incl: 0,
+        gap: false,
+    };
+    for f in parsed.functions() {
+        let fun = f.name.name.as_str();
+        let ptrs: Vec<(String, localias_alias::Loc)> = uni
+            .state
+            .vars
+            .iter()
+            .filter(|v| v.fun.as_deref() == Some(fun))
+            .filter_map(|v| v.ty.pointee().map(|l| (v.name.clone(), l)))
+            .collect();
+        for i in 0..ptrs.len() {
+            for j in (i + 1)..ptrs.len() {
+                out.pairs += 1;
+                let u = uni.state.locs.same(ptrs[i].1, ptrs[j].1);
+                let a = pts.may_point_same(
+                    &Cell::Var(Some(fun.to_string()), ptrs[i].0.clone()),
+                    &Cell::Var(Some(fun.to_string()), ptrs[j].0.clone()),
+                );
+                if u {
+                    out.aliased_uni += 1;
+                }
+                if a {
+                    out.aliased_incl += 1;
+                }
+                if u && !a {
+                    out.gap = true;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let opts = match CliOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("precision: {e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = opts.seed_or_default();
+    let mut cache = match &opts.cache {
+        CachePolicy::Disabled => None,
+        CachePolicy::Dir(dir) => Some(AnalysisCache::load(dir)),
+    };
+
+    let mut pairs_total = 0u64;
+    let mut aliased_uni = 0u64;
+    let mut aliased_incl = 0u64;
+    let mut modules_with_gap = 0u64;
+    let mut hits = 0usize;
+    let mut misses = 0usize;
 
     let t0 = std::time::Instant::now();
     for k in 0..MODULES {
         let src = random_module_source(seed.wrapping_add(k), STMTS);
-        let parsed = localias_ast::parse_module("synth", &src).expect("generated modules parse");
-        let pts = andersen::analyze(&parsed);
-        let mut uni = steensgaard::analyze(&parsed);
-
-        let mut gap_here = false;
-        for f in parsed.functions() {
-            let fun = f.name.name.as_str();
-            let ptrs: Vec<(String, localias_alias::Loc)> = uni
-                .state
-                .vars
-                .iter()
-                .filter(|v| v.fun.as_deref() == Some(fun))
-                .filter_map(|v| v.ty.pointee().map(|l| (v.name.clone(), l)))
-                .collect();
-            for i in 0..ptrs.len() {
-                for j in (i + 1)..ptrs.len() {
-                    pairs_total += 1;
-                    let u = uni.state.locs.same(ptrs[i].1, ptrs[j].1);
-                    let a = pts.may_point_same(
-                        &Cell::Var(Some(fun.to_string()), ptrs[i].0.clone()),
-                        &Cell::Var(Some(fun.to_string()), ptrs[j].0.clone()),
-                    );
-                    if u {
-                        aliased_uni += 1;
-                    }
-                    if a {
-                        aliased_incl += 1;
-                    }
-                    if u && !a {
-                        gap_here = true;
-                    }
-                }
+        let key = precision_fingerprint(&src);
+        let outcome = match cache.as_ref().and_then(|c| c.lookup_values(key)) {
+            Some(v) => {
+                hits += 1;
+                PrecisionOutcome::from_values(v)
             }
-        }
-        if gap_here {
+            None => {
+                misses += 1;
+                let o = measure(&src);
+                if let Some(c) = cache.as_mut() {
+                    c.record_values(key, key, o.to_values());
+                }
+                o
+            }
+        };
+        pairs_total += outcome.pairs;
+        aliased_uni += outcome.aliased_uni;
+        aliased_incl += outcome.aliased_incl;
+        if outcome.gap {
             modules_with_gap += 1;
         }
     }
     let elapsed = t0.elapsed();
+    if let Some(c) = cache.as_mut() {
+        if let Err(e) = c.persist() {
+            eprintln!("precision: warning: cache not written ({e})");
+        }
+    }
 
     println!("Alias-analysis precision over {MODULES} random pointer-heavy modules (seed {seed})");
     println!();
@@ -95,5 +144,9 @@ fn main() {
         "modules where precision differs", modules_with_gap
     );
     println!();
-    println!("(both analyses over {MODULES} modules in {elapsed:.2?})");
+    if cache.is_some() {
+        println!("(both analyses over {MODULES} modules in {elapsed:.2?}; cache: {hits} hits, {misses} misses)");
+    } else {
+        println!("(both analyses over {MODULES} modules in {elapsed:.2?}, uncached)");
+    }
 }

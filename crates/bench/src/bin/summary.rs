@@ -18,7 +18,7 @@ fn main() {
         }
     };
     let seed = opts.seed_or_default();
-    let (results, bench) = run_experiment_cached(seed, opts.jobs, &opts.cache);
+    let (results, bench) = run_experiment_cached(seed, opts.jobs, opts.intra_jobs, &opts.cache);
 
     let clean = results.iter().filter(|r| r.no_confine == 0).count();
     let real = results

@@ -42,14 +42,21 @@ use std::time::{Duration, Instant};
 /// Bumped whenever any analysis stage changes observable results, so
 /// stale caches from older binaries can never serve wrong answers. Mixed
 /// into every canonical fingerprint *and* written in the store header.
-pub const ANALYSIS_VERSION: u32 = 1;
+///
+/// v2: the checker moved to the frozen-analysis, call-graph-scheduled
+/// pipeline and the store grew the generic `"v"` payload (see
+/// [`CachedValues`]); every v1 store is discarded whole on load.
+pub const ANALYSIS_VERSION: u32 = 2;
 
 /// Store schema identifier (the header line pins this plus the version).
-const STORE_SCHEMA: &str = "localias-cache/v1";
+const STORE_SCHEMA: &str = "localias-cache/v2";
 
 /// Seed-independent description of what one cached result covers. Keyed
 /// into the fingerprint so a config change invalidates rather than hits.
 const ANALYSIS_CONFIG: &str = "modes=no_confine,confine,all_strong";
+
+/// Seed-independent description of what one §8 precision entry covers.
+const PRECISION_CONFIG: &str = "analyses=steensgaard,andersen;metric=local-pair-aliasing";
 
 /// File name of the store inside the cache directory.
 pub const STORE_FILE: &str = "store.jsonl";
@@ -68,6 +75,15 @@ fn fnv1a(mut h: u128, bytes: &[u8]) -> u128 {
 /// Fingerprint of a module's raw source text (the pre-parse fast path).
 pub fn source_fingerprint(source: &str) -> u128 {
     fnv1a(fnv1a(FNV_OFFSET, b"raw;"), source.as_bytes())
+}
+
+/// Fingerprint of one §8 precision-sweep subject. Domain-separated from
+/// [`source_fingerprint`] (and versioned like [`module_fingerprint`]) so
+/// experiment and precision entries can share one store without a key of
+/// one kind ever hitting an entry of the other.
+pub fn precision_fingerprint(source: &str) -> u128 {
+    let domain = format!("raw;precision;{STORE_SCHEMA};av{ANALYSIS_VERSION};{PRECISION_CONFIG};");
+    fnv1a(fnv1a(FNV_OFFSET, domain.as_bytes()), source.as_bytes())
 }
 
 /// Canonical fingerprint of a parsed module: hash of its pretty-printed
@@ -95,6 +111,13 @@ impl CachePolicy {
         CachePolicy::Dir(PathBuf::from(".localias-cache"))
     }
 }
+
+/// The generic store payload: six unsigned values per entry. What they
+/// mean is the *keying domain's* business — experiment entries pack a
+/// [`CachedOutcome`], precision entries a [`PrecisionOutcome`] — and the
+/// domain-separated fingerprints guarantee a key of one kind never
+/// resolves to values of the other.
+pub type CachedValues = [u64; 6];
 
 /// One cached per-module outcome: the error triple plus the phase times
 /// of the run that produced it (replayed into warm reports so the phase
@@ -132,6 +155,69 @@ impl CachedOutcome {
             all_strong: self.all_strong,
         }
     }
+
+    /// Packs into the generic store payload.
+    pub fn to_values(self) -> CachedValues {
+        [
+            self.no_confine as u64,
+            self.confine as u64,
+            self.all_strong as u64,
+            self.times.parse.as_nanos() as u64,
+            self.times.check.as_nanos() as u64,
+            self.times.confine.as_nanos() as u64,
+        ]
+    }
+
+    /// Unpacks from the generic store payload.
+    pub fn from_values(v: CachedValues) -> CachedOutcome {
+        CachedOutcome {
+            no_confine: v[0] as usize,
+            confine: v[1] as usize,
+            all_strong: v[2] as usize,
+            times: PhaseTimes {
+                parse: Duration::from_nanos(v[3]),
+                check: Duration::from_nanos(v[4]),
+                confine: Duration::from_nanos(v[5]),
+            },
+        }
+    }
+}
+
+/// One cached §8 precision-sweep outcome (per random subject module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecisionOutcome {
+    /// Pointer-local pairs compared in the module.
+    pub pairs: u64,
+    /// Pairs aliased under unification (Steensgaard).
+    pub aliased_uni: u64,
+    /// Pairs aliased under inclusion (Andersen).
+    pub aliased_incl: u64,
+    /// Whether any pair is conflated only by unification.
+    pub gap: bool,
+}
+
+impl PrecisionOutcome {
+    /// Packs into the generic store payload.
+    pub fn to_values(self) -> CachedValues {
+        [
+            self.pairs,
+            self.aliased_uni,
+            self.aliased_incl,
+            self.gap as u64,
+            0,
+            0,
+        ]
+    }
+
+    /// Unpacks from the generic store payload.
+    pub fn from_values(v: CachedValues) -> PrecisionOutcome {
+        PrecisionOutcome {
+            pairs: v[0],
+            aliased_uni: v[1],
+            aliased_incl: v[2],
+            gap: v[3] != 0,
+        }
+    }
 }
 
 /// Cache statistics for one sweep, reported in
@@ -154,8 +240,8 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct AnalysisCache {
     dir: PathBuf,
-    /// canonical fingerprint → outcome.
-    entries: HashMap<u128, CachedOutcome>,
+    /// canonical fingerprint → generic payload.
+    entries: HashMap<u128, CachedValues>,
     /// raw-source fingerprint → canonical fingerprint.
     by_raw: HashMap<u128, u128>,
     load_time: Duration,
@@ -178,8 +264,9 @@ impl AnalysisCache {
             dirty: false,
         };
         let path = dir.join(STORE_FILE);
-        match std::fs::read_to_string(&path) {
-            Ok(text) => match parse_store(&text) {
+        // A read error means no store yet (first run) — silently cold.
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            match parse_store(&text) {
                 Ok((entries, by_raw)) => {
                     cache.entries = entries;
                     cache.by_raw = by_raw;
@@ -193,9 +280,7 @@ impl AnalysisCache {
                     // sweep end even if this sweep adds nothing new.
                     cache.dirty = true;
                 }
-            },
-            // No store yet (first run) — silently cold.
-            Err(_) => {}
+            }
         }
         cache.load_time = t0.elapsed();
         cache
@@ -227,18 +312,31 @@ impl AnalysisCache {
     }
 
     /// Fast-path lookup by raw-source fingerprint (no parse needed).
-    pub fn lookup_raw(&self, raw: u128) -> Option<&CachedOutcome> {
-        self.entries.get(self.by_raw.get(&raw)?)
+    pub fn lookup_raw(&self, raw: u128) -> Option<CachedOutcome> {
+        self.lookup_values(*self.by_raw.get(&raw)?)
+            .map(CachedOutcome::from_values)
     }
 
     /// Lookup by canonical fingerprint.
-    pub fn lookup_fp(&self, fp: u128) -> Option<&CachedOutcome> {
-        self.entries.get(&fp)
+    pub fn lookup_fp(&self, fp: u128) -> Option<CachedOutcome> {
+        self.lookup_values(fp).map(CachedOutcome::from_values)
     }
 
     /// Records a freshly measured outcome under both fingerprints.
     pub fn record(&mut self, fp: u128, raw: u128, outcome: CachedOutcome) {
-        self.entries.insert(fp, outcome);
+        self.record_values(fp, raw, outcome.to_values());
+    }
+
+    /// Generic lookup of the raw payload under a canonical key. Callers
+    /// of a given keying domain (e.g. [`precision_fingerprint`]) own the
+    /// interpretation of the six values.
+    pub fn lookup_values(&self, fp: u128) -> Option<CachedValues> {
+        self.entries.get(&fp).copied()
+    }
+
+    /// Generic record of a raw payload under `(fp, raw)`.
+    pub fn record_values(&mut self, fp: u128, raw: u128, values: CachedValues) {
+        self.entries.insert(fp, values);
         self.by_raw.insert(raw, fp);
         self.dirty = true;
     }
@@ -293,20 +391,14 @@ fn header_line() -> String {
     format!("{{\"schema\":\"{STORE_SCHEMA}\",\"analysis_version\":{ANALYSIS_VERSION}}}")
 }
 
-fn entry_line(fp: u128, raw: u128, e: &CachedOutcome) -> String {
+fn entry_line(fp: u128, raw: u128, v: &CachedValues) -> String {
     format!(
-        "{{\"fp\":\"{fp:032x}\",\"raw\":\"{raw:032x}\",\"nc\":{},\"cf\":{},\"as\":{},\
-         \"parse_ns\":{},\"check_ns\":{},\"confine_ns\":{}}}",
-        e.no_confine,
-        e.confine,
-        e.all_strong,
-        e.times.parse.as_nanos(),
-        e.times.check.as_nanos(),
-        e.times.confine.as_nanos(),
+        "{{\"fp\":\"{fp:032x}\",\"raw\":\"{raw:032x}\",\"v\":[{},{},{},{},{},{}]}}",
+        v[0], v[1], v[2], v[3], v[4], v[5],
     )
 }
 
-type StoreIndex = (HashMap<u128, CachedOutcome>, HashMap<u128, u128>);
+type StoreIndex = (HashMap<u128, CachedValues>, HashMap<u128, u128>);
 
 /// Strictly parses a store file. Any deviation from the written shape is
 /// an error (the caller discards the whole store): a half-written or
@@ -370,40 +462,23 @@ impl<'a> Scan<'a> {
     }
 }
 
-fn parse_entry(line: &str) -> Option<(u128, u128, CachedOutcome)> {
+fn parse_entry(line: &str) -> Option<(u128, u128, CachedValues)> {
     let mut s = Scan(line);
     s.lit("{\"fp\":\"")?;
     let fp = s.hex()?;
     s.lit("\",\"raw\":\"")?;
     let raw = s.hex()?;
-    s.lit("\",\"nc\":")?;
-    let nc = s.int()?;
-    s.lit(",\"cf\":")?;
-    let cf = s.int()?;
-    s.lit(",\"as\":")?;
-    let as_ = s.int()?;
-    s.lit(",\"parse_ns\":")?;
-    let parse = s.int()?;
-    s.lit(",\"check_ns\":")?;
-    let check = s.int()?;
-    s.lit(",\"confine_ns\":")?;
-    let confine = s.int()?;
-    s.lit("}")?;
+    s.lit("\",\"v\":[")?;
+    let mut v = [0u64; 6];
+    for (i, slot) in v.iter_mut().enumerate() {
+        if i > 0 {
+            s.lit(",")?;
+        }
+        *slot = s.int()?;
+    }
+    s.lit("]}")?;
     s.end()?;
-    Some((
-        fp,
-        raw,
-        CachedOutcome {
-            no_confine: nc as usize,
-            confine: cf as usize,
-            all_strong: as_ as usize,
-            times: PhaseTimes {
-                parse: Duration::from_nanos(parse),
-                check: Duration::from_nanos(check),
-                confine: Duration::from_nanos(confine),
-            },
-        },
-    ))
+    Some((fp, raw, v))
 }
 
 #[cfg(test)]
@@ -443,10 +518,11 @@ mod tests {
                 confine: Duration::from_nanos(1_000_000_001),
             },
         };
-        let line = entry_line(u128::MAX - 7, 42, &outcome);
-        let (fp, raw, back) = parse_entry(&line).expect("round trip");
+        let line = entry_line(u128::MAX - 7, 42, &outcome.to_values());
+        let (fp, raw, v) = parse_entry(&line).expect("round trip");
         assert_eq!(fp, u128::MAX - 7);
         assert_eq!(raw, 42);
+        let back = CachedOutcome::from_values(v);
         assert_eq!(
             (back.no_confine, back.confine, back.all_strong),
             (22, 16, 15)
@@ -456,12 +532,31 @@ mod tests {
     }
 
     #[test]
+    fn precision_outcomes_round_trip_through_values() {
+        let p = PrecisionOutcome {
+            pairs: 91,
+            aliased_uni: 30,
+            aliased_incl: 12,
+            gap: true,
+        };
+        assert_eq!(PrecisionOutcome::from_values(p.to_values()), p);
+        let line = entry_line(1, 2, &p.to_values());
+        let (_, _, v) = parse_entry(&line).expect("round trip");
+        assert_eq!(PrecisionOutcome::from_values(v), p);
+    }
+
+    #[test]
     fn malformed_entries_are_rejected() {
         for bad in [
             "",
             "{}",
             "{\"fp\":\"zz\",...}",
-            "{\"fp\":\"00000000000000000000000000000000\",\"raw\":\"0\",\"nc\":1,\"cf\":1,\"as\":1,\"parse_ns\":1,\"check_ns\":1,\"confine_ns\":1}",
+            // The v1 (PR-2) entry shape: named fields instead of the
+            // generic payload. Must scan as corruption, never half-parse.
+            "{\"fp\":\"00000000000000000000000000000000\",\"raw\":\"00000000000000000000000000000000\",\"nc\":1,\"cf\":1,\"as\":1,\"parse_ns\":1,\"check_ns\":1,\"confine_ns\":1}",
+            // Wrong arity.
+            "{\"fp\":\"00000000000000000000000000000000\",\"raw\":\"00000000000000000000000000000000\",\"v\":[1,2,3,4,5]}",
+            "{\"fp\":\"00000000000000000000000000000000\",\"raw\":\"00000000000000000000000000000000\",\"v\":[1,2,3,4,5,6,7]}",
             "garbage",
         ] {
             assert!(parse_entry(bad).is_none(), "accepted {bad:?}");
@@ -470,11 +565,27 @@ mod tests {
 
     #[test]
     fn store_header_mismatch_is_an_error() {
-        assert!(parse_store("{\"schema\":\"localias-cache/v0\",\"analysis_version\":1}\n").is_err());
+        assert!(
+            parse_store("{\"schema\":\"localias-cache/v0\",\"analysis_version\":1}\n").is_err()
+        );
+        // The PR-2 store header: one version behind, discarded whole.
+        assert!(
+            parse_store("{\"schema\":\"localias-cache/v1\",\"analysis_version\":1}\n").is_err()
+        );
         assert!(parse_store("").is_err());
         let good = format!("{}\n", header_line());
         assert!(parse_store(&good).is_ok());
         // Truncation (missing trailing newline) is corruption.
         assert!(parse_store(good.trim_end()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_domains_never_collide() {
+        let src = "int g;\nvoid f() { g = 1; }\n";
+        assert_ne!(
+            source_fingerprint(src),
+            precision_fingerprint(src),
+            "precision keys are domain-separated from experiment keys"
+        );
     }
 }

@@ -4,7 +4,8 @@
 //! `perf` all accept the same surface:
 //!
 //! ```text
-//! [SEED] [--jobs N | -j N] [--cache DIR | --no-cache] [--bench-out FILE]
+//! [SEED] [--jobs N | -j N] [--intra-jobs N] [--cache DIR | --no-cache]
+//! [--bench-out FILE]
 //! ```
 //!
 //! so the cache flags land in exactly one place instead of being re-wired
@@ -18,6 +19,11 @@ use localias_corpus::DEFAULT_SEED;
 pub struct CliOpts {
     /// Worker threads (`0` = all available cores).
     pub jobs: usize,
+    /// Worker threads per wave *inside* one module's lock check (`1` =
+    /// sequential, `0` = all available cores). Orthogonal to `jobs`:
+    /// `--jobs` fans out across modules, `--intra-jobs` across the
+    /// independent functions of one module's call-graph wave.
+    pub intra_jobs: usize,
     /// Corpus seed, when given positionally.
     pub seed: Option<u64>,
     /// Result-cache policy (default: enabled under `.localias-cache/`).
@@ -36,6 +42,7 @@ impl CliOpts {
         I: IntoIterator<Item = String>,
     {
         let mut jobs: Option<usize> = None;
+        let mut intra_jobs: Option<usize> = None;
         let mut seed: Option<u64> = None;
         let mut cache_dir: Option<String> = None;
         let mut no_cache = false;
@@ -50,6 +57,16 @@ impl CliOpts {
                     }
                     let val = value_of(&mut it, &a, "a thread count")?;
                     jobs = Some(
+                        val.parse()
+                            .map_err(|_| format!("bad thread count `{val}`"))?,
+                    );
+                }
+                "--intra-jobs" => {
+                    if intra_jobs.is_some() {
+                        return Err(format!("{a} given more than once"));
+                    }
+                    let val = value_of(&mut it, &a, "a thread count")?;
+                    intra_jobs = Some(
                         val.parse()
                             .map_err(|_| format!("bad thread count `{val}`"))?,
                     );
@@ -95,6 +112,7 @@ impl CliOpts {
         };
         Ok(CliOpts {
             jobs: jobs.unwrap_or(0),
+            intra_jobs: intra_jobs.unwrap_or(1),
             seed,
             cache,
             cache_explicit,
@@ -128,6 +146,10 @@ mod tests {
     fn defaults() {
         let o = parse(&[]).unwrap();
         assert_eq!(o.jobs, 0);
+        assert_eq!(
+            o.intra_jobs, 1,
+            "intra-module checking defaults to sequential"
+        );
         assert_eq!(o.seed, None);
         assert_eq!(o.seed_or_default(), DEFAULT_SEED);
         assert_eq!(o.cache, CachePolicy::enabled_default());
@@ -137,8 +159,20 @@ mod tests {
 
     #[test]
     fn full_surface() {
-        let o = parse(&["31337", "-j", "4", "--cache", "/tmp/c", "--bench-out", "b.json"]).unwrap();
+        let o = parse(&[
+            "31337",
+            "-j",
+            "4",
+            "--intra-jobs",
+            "2",
+            "--cache",
+            "/tmp/c",
+            "--bench-out",
+            "b.json",
+        ])
+        .unwrap();
         assert_eq!(o.jobs, 4);
+        assert_eq!(o.intra_jobs, 2);
         assert_eq!(o.seed, Some(31337));
         assert_eq!(o.cache, CachePolicy::Dir("/tmp/c".into()));
         assert!(o.cache_explicit);
@@ -157,6 +191,9 @@ mod tests {
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--jobs", "x"]).is_err());
         assert!(parse(&["-j", "1", "--jobs", "2"]).is_err());
+        assert!(parse(&["--intra-jobs"]).is_err());
+        assert!(parse(&["--intra-jobs", "x"]).is_err());
+        assert!(parse(&["--intra-jobs", "1", "--intra-jobs", "2"]).is_err());
         assert!(parse(&["--cache"]).is_err());
         assert!(parse(&["--cache", "d", "--no-cache"]).is_err());
         assert!(parse(&["--bench-out"]).is_err());

@@ -7,14 +7,16 @@ pub mod cache;
 pub mod cli;
 pub mod harness;
 
-pub use cache::{AnalysisCache, CachePolicy, CacheStats, ANALYSIS_VERSION};
+pub use cache::{
+    AnalysisCache, CachePolicy, CacheStats, CachedValues, PrecisionOutcome, ANALYSIS_VERSION,
+};
 pub use cli::CliOpts;
 
 use cache::CachedOutcome;
 use localias_ast::Module;
 use localias_core::SharedAnalysis;
 use localias_corpus::GeneratedModule;
-use localias_cqual::{check_locks_shared, Mode};
+use localias_cqual::{check_locks_shared_jobs, Mode};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -67,20 +69,30 @@ impl ModuleResult {
         let t0 = Instant::now();
         let parsed = m.parse();
         let parse = t0.elapsed();
-        Self::measure_parsed(&m.name, &parsed, parse)
+        Self::measure_parsed(&m.name, &parsed, parse, 1)
     }
 
     /// Runs the analysis pipelines on an already-parsed module (the cache
     /// parses first to canonicalize, so the miss path must not re-parse).
-    fn measure_parsed(name: &str, parsed: &Module, parse: Duration) -> (ModuleResult, PhaseTimes) {
+    /// `intra_jobs` fans each lock check out across the module's call-graph
+    /// waves; reports are byte-identical for every value, so cached results
+    /// are valid whatever `intra_jobs` produced them.
+    fn measure_parsed(
+        name: &str,
+        parsed: &Module,
+        parse: Duration,
+        intra_jobs: usize,
+    ) -> (ModuleResult, PhaseTimes) {
         let mut shared = SharedAnalysis::new(parsed);
         let t1 = Instant::now();
-        let no_confine = check_locks_shared(&mut shared, Mode::NoConfine).error_count();
-        let all_strong = check_locks_shared(&mut shared, Mode::AllStrong).error_count();
+        let no_confine =
+            check_locks_shared_jobs(&mut shared, Mode::NoConfine, intra_jobs).error_count();
+        let all_strong =
+            check_locks_shared_jobs(&mut shared, Mode::AllStrong, intra_jobs).error_count();
         let check = t1.elapsed();
 
         let t2 = Instant::now();
-        let confine = check_locks_shared(&mut shared, Mode::Confine).error_count();
+        let confine = check_locks_shared_jobs(&mut shared, Mode::Confine, intra_jobs).error_count();
         let confine_time = t2.elapsed();
 
         (
@@ -246,7 +258,7 @@ pub fn measure_corpus_timed(
     jobs: usize,
     seed: u64,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
-    measure_corpus_cached(corpus, jobs, seed, None)
+    measure_corpus_cached(corpus, jobs, 1, seed, None)
 }
 
 /// What a worker learned about one pending module, beyond its result.
@@ -278,14 +290,14 @@ enum CacheNote {
 pub fn measure_corpus_cached(
     corpus: &[GeneratedModule],
     jobs: usize,
+    intra_jobs: usize,
     seed: u64,
     mut cache: Option<&mut AnalysisCache>,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     let threads = if jobs == 0 { default_jobs() } else { jobs };
     let start = Instant::now();
 
-    let mut slots: Vec<Option<(ModuleResult, PhaseTimes)>> =
-        corpus.iter().map(|_| None).collect();
+    let mut slots: Vec<Option<(ModuleResult, PhaseTimes)>> = corpus.iter().map(|_| None).collect();
     let mut raws: Vec<u128> = Vec::new();
     let mut pending: Vec<usize> = Vec::new();
     let mut hits = 0usize;
@@ -317,10 +329,10 @@ pub fn measure_corpus_cached(
                 if let Some(e) = c.lookup_fp(fp) {
                     return (i, e.to_result(&m.name), e.times, CacheNote::CanonHit(fp));
                 }
-                let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse);
+                let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse, intra_jobs);
                 (i, r, t, CacheNote::Miss(fp))
             } else {
-                let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse);
+                let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse, intra_jobs);
                 (i, r, t, CacheNote::Uncached)
             }
         };
@@ -412,14 +424,16 @@ pub fn measure_corpus_cached(
 pub fn measure_corpus_with_cache(
     corpus: &[GeneratedModule],
     jobs: usize,
+    intra_jobs: usize,
     seed: u64,
     policy: &CachePolicy,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     match policy {
-        CachePolicy::Disabled => measure_corpus_cached(corpus, jobs, seed, None),
+        CachePolicy::Disabled => measure_corpus_cached(corpus, jobs, intra_jobs, seed, None),
         CachePolicy::Dir(dir) => {
             let mut c = AnalysisCache::load(dir);
-            let (results, mut bench) = measure_corpus_cached(corpus, jobs, seed, Some(&mut c));
+            let (results, mut bench) =
+                measure_corpus_cached(corpus, jobs, intra_jobs, seed, Some(&mut c));
             if let Err(e) = c.persist() {
                 eprintln!(
                     "localias-bench: warning: cache not written to {}: {e}",
@@ -452,10 +466,11 @@ pub fn run_experiment_timed(seed: u64, jobs: usize) -> (Vec<ModuleResult>, Exper
 pub fn run_experiment_cached(
     seed: u64,
     jobs: usize,
+    intra_jobs: usize,
     policy: &CachePolicy,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     let corpus = localias_corpus::generate(seed);
-    measure_corpus_with_cache(&corpus, jobs, seed, policy)
+    measure_corpus_with_cache(&corpus, jobs, intra_jobs, seed, policy)
 }
 
 /// Renders a text histogram: `buckets` of `(label, count)`, scaled to

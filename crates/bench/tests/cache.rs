@@ -9,7 +9,7 @@ use localias_bench::{
     CachePolicy, ModuleResult,
 };
 use localias_corpus::{generate, GeneratedModule, DEFAULT_SEED};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Corpus prefix the tests sweep: big enough to cover every generator
 /// archetype, small enough for debug builds.
@@ -17,10 +17,8 @@ const PREFIX: usize = 40;
 
 /// A fresh, empty cache directory unique to this test.
 fn cache_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "localias-cache-test-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("localias-cache-test-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -45,7 +43,7 @@ fn render(results: &[ModuleResult]) -> String {
         .collect()
 }
 
-fn store_path(dir: &PathBuf) -> PathBuf {
+fn store_path(dir: &Path) -> PathBuf {
     dir.join(localias_bench::cache::STORE_FILE)
 }
 
@@ -55,15 +53,19 @@ fn cold_then_warm_is_byte_identical_and_fully_hits() {
     let policy = CachePolicy::Dir(dir.clone());
     let slice = slice();
 
-    let (cold, cold_bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (cold, cold_bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = cold_bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (0, PREFIX));
     assert!(store_path(&dir).is_file(), "store persisted");
 
-    let (warm, warm_bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (warm, warm_bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = warm_bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
-    assert_eq!(render(&cold), render(&warm), "warm report must be byte-identical");
+    assert_eq!(
+        render(&cold),
+        render(&warm),
+        "warm report must be byte-identical"
+    );
 
     // And both must equal an uncached run.
     let (uncached, _) = measure_corpus_timed(&slice, 1, DEFAULT_SEED);
@@ -76,11 +78,11 @@ fn perturbing_one_module_invalidates_exactly_one() {
     let policy = CachePolicy::Dir(dir.clone());
     let mut slice = slice();
 
-    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
 
     // A content change (new global) must invalidate exactly its module.
     slice[7].source.push_str("\nint cache_perturbation_g;\n");
-    let (warm, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (warm, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!(
         (stats.hits, stats.misses),
@@ -100,18 +102,18 @@ fn comment_only_change_hits_via_canonical_fingerprint() {
     let policy = CachePolicy::Dir(dir.clone());
     let mut slice = slice();
 
-    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
 
     // Comments normalize away in the canonical form: raw fingerprint
     // misses, canonical fingerprint hits, no re-analysis.
     slice[3].source.push_str("\n// a trailing comment\n");
-    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
 
     // The new raw fingerprint was aliased: the next sweep takes the
     // no-parse fast path for every module again.
-    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
 }
@@ -122,10 +124,10 @@ fn corrupt_store_falls_back_to_cold_run() {
     let policy = CachePolicy::Dir(dir.clone());
     let slice = slice();
 
-    let (cold, _) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (cold, _) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     std::fs::write(store_path(&dir), b"garbage\x00not a store\n").unwrap();
 
-    let (recovered, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (recovered, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!(
         (stats.hits, stats.misses),
@@ -135,7 +137,7 @@ fn corrupt_store_falls_back_to_cold_run() {
     assert_eq!(render(&cold), render(&recovered));
 
     // The rewrite healed the store.
-    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
 }
@@ -146,13 +148,13 @@ fn truncated_store_falls_back_to_cold_run() {
     let policy = CachePolicy::Dir(dir.clone());
     let slice = slice();
 
-    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let full = std::fs::read(store_path(&dir)).unwrap();
     // Cut mid-entry (also severing the trailing newline) the way an
     // interrupted write would.
     std::fs::write(store_path(&dir), &full[..full.len() - 3]).unwrap();
 
-    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (0, PREFIX));
 }
@@ -163,19 +165,61 @@ fn version_mismatched_store_is_discarded() {
     let policy = CachePolicy::Dir(dir.clone());
     let slice = slice();
 
-    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let text = std::fs::read_to_string(store_path(&dir)).unwrap();
     let bumped = text.replacen(
         &format!("\"analysis_version\":{}", localias_bench::ANALYSIS_VERSION),
-        &format!("\"analysis_version\":{}", localias_bench::ANALYSIS_VERSION + 1),
+        &format!(
+            "\"analysis_version\":{}",
+            localias_bench::ANALYSIS_VERSION + 1
+        ),
         1,
     );
     assert_ne!(text, bumped);
     std::fs::write(store_path(&dir), bumped).unwrap();
 
-    let (_, bench) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (0, PREFIX));
+}
+
+/// A store written by the PR-2 binary (schema `localias-cache/v1`,
+/// `analysis_version: 1`, named-field entry lines) must be discarded
+/// whole: the checker pipeline changed in v2, so every v1 entry is
+/// potentially stale and none may be served.
+#[test]
+fn stale_v1_store_is_discarded_whole() {
+    let dir = cache_dir("v1-store");
+    let policy = CachePolicy::Dir(dir.clone());
+    let slice = slice();
+
+    // Reconstruct the exact v1 format from before the bump, entry lines
+    // included — a plausible leftover from a PR-2 sweep of this corpus.
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut store = String::from("{\"schema\":\"localias-cache/v1\",\"analysis_version\":1}\n");
+    for (i, _) in slice.iter().enumerate() {
+        store.push_str(&format!(
+            "{{\"fp\":\"{i:032x}\",\"raw\":\"{:032x}\",\"nc\":7,\"cf\":7,\"as\":7,\
+             \"parse_ns\":1,\"check_ns\":1,\"confine_ns\":1}}\n",
+            i + 1000
+        ));
+    }
+    std::fs::write(store_path(&dir), store).unwrap();
+
+    let (results, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, PREFIX),
+        "every stale v1 entry must be discarded, none served"
+    );
+    let (cold, _) = measure_corpus_timed(&slice, 1, DEFAULT_SEED);
+    assert_eq!(render(&cold), render(&results));
+
+    // The sweep replaced the stale store with a current one.
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
 }
 
 #[test]
@@ -184,10 +228,10 @@ fn warm_sweep_is_deterministic_across_thread_counts() {
     let policy = CachePolicy::Dir(dir.clone());
     let slice = slice();
 
-    let _ = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
+    let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
 
-    let (warm1, b1) = measure_corpus_with_cache(&slice, 1, DEFAULT_SEED, &policy);
-    let (warm8, b8) = measure_corpus_with_cache(&slice, 8, DEFAULT_SEED, &policy);
+    let (warm1, b1) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
+    let (warm8, b8) = measure_corpus_with_cache(&slice, 8, 1, DEFAULT_SEED, &policy);
     assert_eq!(render(&warm1), render(&warm8));
     assert_eq!(b1.cache.unwrap().hits, PREFIX);
     assert_eq!(b8.cache.unwrap().hits, PREFIX);
@@ -200,12 +244,14 @@ fn warm_sweep_is_deterministic_across_thread_counts() {
     let (mixed1, _) = measure_corpus_cached(
         &perturbed,
         1,
+        1,
         DEFAULT_SEED,
         Some(&mut AnalysisCache::load(&dir)),
     );
     let (mixed8, _) = measure_corpus_cached(
         &perturbed,
         8,
+        1,
         DEFAULT_SEED,
         Some(&mut AnalysisCache::load(&dir)),
     );
@@ -221,11 +267,11 @@ fn perturbed_seed_reports_match_a_cold_run() {
     let policy = CachePolicy::Dir(dir.clone());
 
     let slice_a = slice();
-    let _ = measure_corpus_with_cache(&slice_a, 1, DEFAULT_SEED, &policy);
+    let _ = measure_corpus_with_cache(&slice_a, 1, 1, DEFAULT_SEED, &policy);
 
     let corpus_b = generate(DEFAULT_SEED + 1);
     let slice_b = corpus_b[..PREFIX].to_vec();
-    let (via_cache, _) = measure_corpus_with_cache(&slice_b, 1, DEFAULT_SEED + 1, &policy);
+    let (via_cache, _) = measure_corpus_with_cache(&slice_b, 1, 1, DEFAULT_SEED + 1, &policy);
     let (cold, _) = measure_corpus_timed(&slice_b, 1, DEFAULT_SEED + 1);
     assert_eq!(render(&cold), render(&via_cache));
 }

@@ -1,0 +1,60 @@
+//! Integration tests for the intra-module (wave-parallel) checking
+//! pipeline on the synthesized mega-module.
+
+use localias_bench::ModuleResult;
+use localias_corpus::mega_module;
+use localias_cqual::{check_locks_shared_jobs, check_locks_shared_timed, Mode};
+
+const MODES: [Mode; 3] = [Mode::NoConfine, Mode::Confine, Mode::AllStrong];
+
+#[test]
+fn mega_module_generator_is_deterministic() {
+    let a = mega_module(20030609, 60);
+    let b = mega_module(20030609, 60);
+    assert_eq!(a.source, b.source);
+    assert_eq!(a.name, b.name);
+}
+
+#[test]
+fn mega_module_matches_its_expected_triple() {
+    let m = mega_module(20030609, 60);
+    let r = ModuleResult::measure(&m);
+    assert_eq!(
+        (r.no_confine, r.confine, r.all_strong),
+        (m.expect.no_confine, m.expect.confine, m.expect.all_strong),
+        "mega-module error triple"
+    );
+}
+
+/// `--intra-jobs 1` vs `N`: byte-identical reports across all three
+/// modes — the pinned acceptance criterion of the wave-parallel checker.
+#[test]
+fn mega_module_reports_are_thread_invariant() {
+    let m = mega_module(20030609, 60);
+    let parsed = m.parse();
+    for mode in MODES {
+        let mut shared = localias_core::SharedAnalysis::new(&parsed);
+        let sequential = check_locks_shared_jobs(&mut shared, mode, 1);
+        for jobs in [0, 2, 4, 8] {
+            let mut shared = localias_core::SharedAnalysis::new(&parsed);
+            let parallel = check_locks_shared_jobs(&mut shared, mode, jobs);
+            assert_eq!(parallel, sequential, "{mode:?} at intra_jobs={jobs}");
+        }
+    }
+}
+
+/// The wave schedule of the three-layer mega DAG: every function is
+/// checked exactly once, and the timed entry point agrees with the
+/// untimed one.
+#[test]
+fn mega_module_wave_stats_cover_every_function() {
+    let m = mega_module(20030609, 60);
+    let parsed = m.parse();
+    let mut shared = localias_core::SharedAnalysis::new(&parsed);
+    let (report, stats) = check_locks_shared_timed(&mut shared, Mode::NoConfine, 4);
+    assert_eq!(stats.functions, 60);
+    let waved: usize = stats.waves.iter().map(|w| w.functions).sum();
+    assert_eq!(waved, 60, "each function in exactly one wave");
+    assert!(stats.waves.len() >= 3, "three-layer DAG has >= 3 waves");
+    assert_eq!(report.error_count(), m.expect.no_confine);
+}

@@ -53,7 +53,7 @@ pub use heuristic::{
 };
 pub use outcome::{CandidateOutcome, ConfineOutcome, ConfineSite, Diag, Reason, RestrictOutcome};
 
-use localias_alias::{analyze_with, State};
+use localias_alias::{analyze_with, FrozenLocs, State};
 use localias_ast::visit::{walk_module, Visitor};
 use localias_ast::{Module, NodeId, StmtKind};
 use localias_effects::{solve_with, ConstraintSystem, Solution};
@@ -94,6 +94,18 @@ impl Analysis {
             Some(&v) => self.solution.set(&self.cs, v),
             None => Vec::new(),
         }
+    }
+
+    /// Freezes the analysis' abstract-location table into an immutable,
+    /// `Sync` [`FrozenLocs`] snapshot (see
+    /// [`localias_alias::loc::LocTable::freeze`]).
+    ///
+    /// After the analysis pipeline completes no further unifications
+    /// happen, so the snapshot answers every later `find`/multiplicity/
+    /// taint query identically to the live table — with `&self`, from any
+    /// thread.
+    pub fn freeze(&mut self) -> FrozenLocs {
+        self.state.locs.freeze()
     }
 
     /// `true` if every explicit annotation checked and the module has no
@@ -193,7 +205,6 @@ pub fn infer_confines_general(m: &Module) -> ConfineInference {
 }
 
 fn infer_confines_from(m: &Module, candidates: Vec<ConfineCandidate>) -> ConfineInference {
-    let candidates = candidates;
     let analysis = analyze(
         m,
         Options {
@@ -229,13 +240,17 @@ fn infer_confines_from(m: &Module, candidates: Vec<ConfineCandidate>) -> Confine
 /// runs two analysis pipelines per module instead of three.
 ///
 /// Sharing the base analysis across modes is sound because the checker
-/// only mutates it through union-find path compression (lookups via
-/// `locs.find`), which never changes which locations are equal.
+/// never mutates it: each mode consumes a frozen location snapshot
+/// ([`SharedAnalysis::base_frozen`]/[`SharedAnalysis::confine_frozen`]),
+/// which answers resolution queries immutably and never changes which
+/// locations are equal.
 #[derive(Debug)]
 pub struct SharedAnalysis<'m> {
     module: &'m Module,
     base: Option<Analysis>,
     confine: Option<ConfineInference>,
+    base_frozen: Option<FrozenLocs>,
+    confine_frozen: Option<FrozenLocs>,
 }
 
 impl<'m> SharedAnalysis<'m> {
@@ -245,6 +260,8 @@ impl<'m> SharedAnalysis<'m> {
             module,
             base: None,
             confine: None,
+            base_frozen: None,
+            confine_frozen: None,
         }
     }
 
@@ -268,6 +285,34 @@ impl<'m> SharedAnalysis<'m> {
             self.confine = Some(infer_confines(self.module));
         }
         self.confine.as_mut().expect("just computed")
+    }
+
+    /// The base analysis together with its frozen location snapshot —
+    /// the `freeze()` step of the pipeline. Both are computed on first
+    /// use and memoized; the returned references are immutable, so any
+    /// number of checker threads can share them.
+    pub fn base_frozen(&mut self) -> (&Analysis, &FrozenLocs) {
+        if self.base_frozen.is_none() {
+            let frozen = self.base().freeze();
+            self.base_frozen = Some(frozen);
+        }
+        (
+            self.base.as_ref().expect("base computed"),
+            self.base_frozen.as_ref().expect("just computed"),
+        )
+    }
+
+    /// The confine-inference analysis together with its frozen location
+    /// snapshot, computed on first use.
+    pub fn confine_frozen(&mut self) -> (&Analysis, &FrozenLocs) {
+        if self.confine_frozen.is_none() {
+            let frozen = self.confine().analysis.freeze();
+            self.confine_frozen = Some(frozen);
+        }
+        (
+            &self.confine.as_ref().expect("confine computed").analysis,
+            self.confine_frozen.as_ref().expect("just computed"),
+        )
     }
 }
 

@@ -21,10 +21,12 @@
 
 pub mod gen;
 pub mod idiom;
+pub mod mega;
 pub mod plan;
 pub mod synth;
 
 pub use gen::{generate, GeneratedModule, DEFAULT_SEED};
 pub use idiom::{Expected, Idiom};
+pub use mega::{mega_module, DEFAULT_MEGA_FUNS};
 pub use plan::{Category, FIGURE7, TOTAL_ELIMINATED, TOTAL_MODULES, TOTAL_POTENTIAL};
 pub use synth::random_module_source;

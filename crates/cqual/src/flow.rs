@@ -1,37 +1,37 @@
-//! The flow-sensitive lock checker.
+//! The interprocedural lock-checking pipeline.
 //!
-//! Mini-C has structured control flow, so the checker is a direct
-//! abstract interpretation over the AST: straight-line composition for
-//! blocks, pointwise join for `if`, and a fixpoint (then a final
-//! reporting pass) for `while`. Interprocedural behaviour goes through
-//! per-function *summaries* computed bottom-up over the call graph; calls
-//! into recursive cycles conservatively havoc the store.
+//! This module is the *scheduler*; the actual abstract interpretation
+//! lives in [`crate::intra`], the call-graph structure in
+//! [`crate::callgraph`], and the interprocedural artifacts in
+//! [`crate::summary`]. Checking a module is:
 //!
-//! ## Where the paper's machinery plugs in
+//! 1. **Freeze** the analysis' location table ([`localias_core::Analysis::freeze`])
+//!    — after analysis no unification ever happens again, so resolution
+//!    becomes an immutable, `Sync` lookup.
+//! 2. **Build** the [`crate::callgraph::CallGraph`]: Tarjan SCC
+//!    condensation, a deterministic bottom-up schedule, and a wave
+//!    partition of the summary-dependency DAG.
+//! 3. **Check** each function ([`crate::intra::check_function`]) against
+//!    the frozen facts and its dependencies' published summaries — wave
+//!    by wave, each wave's functions in parallel when `intra_jobs > 1`.
+//! 4. **Assemble** the report in schedule order, so the output is
+//!    byte-identical for every thread count (and to the historical
+//!    sequential checker).
 //!
-//! * **Strong vs. weak updates**: a `spin_lock`/`spin_unlock` site
-//!   updates its lock's abstract location strongly only when the location
-//!   stands for a single object ([`crate::store::strong_updatable`]) — or
-//!   always, under [`Mode::AllStrong`]. `restrict`/`confine` introduce
-//!   exactly such single-object locations.
-//! * **Scope boundaries**: a `restrict`/`confine` scope binds a fresh
-//!   `ρ'` that is a *copy* of one member of `ρ`'s class. On scope entry
-//!   the checker copies `ρ`'s state to `ρ'`; on exit it folds `ρ'`'s
-//!   state back into `ρ` (weakly, unless `ρ` itself is single-object).
-//! * **Restrict parameters**: the callee's summary speaks of its own
-//!   `ρ'`; at a call site those entries are *retargeted* to the actual
-//!   argument's pointee, which is how a caller inside a `confine` gets
-//!   strong updates through `do_with_lock(&locks[i])`.
+//! Interprocedural behaviour goes through per-function summaries applied
+//! bottom-up; calls into recursive cycles conservatively havoc the
+//! store. See `crates/cqual/src/intra.rs` for where the paper's
+//! restrict/confine machinery plugs into the per-function walk.
 
-use crate::qual::LockState;
-use crate::report::{LockError, LockOp, LockReport};
-use crate::store::{strong_updatable, Store};
-use localias_alias::Loc;
-use localias_alias::{State, Ty};
-use localias_ast::{intrinsics, Block, Expr, ExprKind, FunDef, Module, NodeId, Stmt, StmtKind};
-use localias_core::{Analysis, ConfineSite};
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use crate::intra::{check_function, CheckContext, FunOutcome};
+use crate::report::LockReport;
+use crate::summary::Summaries;
+use localias_alias::FrozenLocs;
+use localias_ast::{FunDef, Module};
+use localias_core::Analysis;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The three analysis modes of the Section 7 experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,31 +47,33 @@ pub enum Mode {
     AllStrong,
 }
 
-/// A scope boundary requiring lock-state copy-in/copy-out.
-#[derive(Debug, Clone, Copy)]
-struct RangeScope {
-    start: usize,
-    end: usize,
-    rho: Loc,
-    rho_p: Loc,
-}
-
-/// Per-function interprocedural summary.
-#[derive(Debug, Clone, Default)]
-struct Summary {
-    /// Lock state required on entry, per location (first use).
-    first_req: Vec<(Loc, LockState, LockOp)>,
-    /// Lock state on exit, per touched location.
-    out: Vec<(Loc, LockState)>,
-}
-
-/// Parameter metadata for retargeting restrict-parameter summaries.
+/// Per-wave execution record of one checker run.
 #[derive(Debug, Clone)]
-struct ParamInfo {
-    /// The fresh `ρ'` a restrict parameter binds (pointee of the
-    /// parameter variable), if the parameter is a pointer.
-    rho_p: Option<Loc>,
-    restrict: bool,
+pub struct WaveStat {
+    /// Number of functions checked in this wave.
+    pub functions: usize,
+    /// Wall-clock seconds the wave took.
+    pub seconds: f64,
+}
+
+/// Execution statistics of one [`check_locks_frozen_timed`] run.
+#[derive(Debug, Clone)]
+pub struct IntraStats {
+    /// Worker threads the run was allowed to use per wave.
+    pub threads: usize,
+    /// Number of defined functions checked.
+    pub functions: usize,
+    /// Number of SCCs in the call graph's condensation.
+    pub sccs: usize,
+    /// Per-wave records, in schedule order.
+    pub waves: Vec<WaveStat>,
+}
+
+impl IntraStats {
+    /// Total wall-clock seconds across all waves.
+    pub fn total_seconds(&self) -> f64 {
+        self.waves.iter().map(|w| w.seconds).sum()
+    }
 }
 
 /// Checks the locking behaviour of `m` under `mode`, running the
@@ -82,540 +84,216 @@ pub fn check_locks(m: &Module, mode: Mode) -> LockReport {
 }
 
 /// Checks locking under `mode`, reusing (and lazily filling) the shared
+/// per-module analysis cache. Sequential; see
+/// [`check_locks_shared_jobs`] for the wave-parallel variant.
+pub fn check_locks_shared(shared: &mut localias_core::SharedAnalysis, mode: Mode) -> LockReport {
+    check_locks_shared_jobs(shared, mode, 1)
+}
+
+/// Checks locking under `mode` with up to `intra_jobs` worker threads
+/// per wave (`0` = one per available core), reusing the shared
 /// per-module analysis cache.
 ///
 /// `Mode::NoConfine` and `Mode::AllStrong` both consume the base
 /// analysis; `Mode::Confine` consumes the confine-inference analysis.
-/// The checker only mutates the analysis through union-find path
-/// compression, so one cached analysis serves any number of modes and
-/// produces byte-identical reports to fresh per-mode runs.
-pub fn check_locks_shared(shared: &mut localias_core::SharedAnalysis, mode: Mode) -> LockReport {
+/// The checker reads the analysis only through its frozen location
+/// snapshot, so one cached analysis serves any number of modes and
+/// produces byte-identical reports to fresh per-mode runs — at any
+/// thread count.
+pub fn check_locks_shared_jobs(
+    shared: &mut localias_core::SharedAnalysis,
+    mode: Mode,
+    intra_jobs: usize,
+) -> LockReport {
     let m = shared.module();
-    let analysis = match mode {
-        Mode::Confine => &mut shared.confine().analysis,
-        Mode::NoConfine | Mode::AllStrong => shared.base(),
+    let (analysis, frozen) = match mode {
+        Mode::Confine => shared.confine_frozen(),
+        Mode::NoConfine | Mode::AllStrong => shared.base_frozen(),
     };
-    check_locks_with(m, analysis, mode)
+    check_locks_frozen(m, analysis, frozen, mode, intra_jobs)
+}
+
+/// Like [`check_locks_shared_jobs`], also returning per-wave execution
+/// statistics.
+pub fn check_locks_shared_timed(
+    shared: &mut localias_core::SharedAnalysis,
+    mode: Mode,
+    intra_jobs: usize,
+) -> (LockReport, IntraStats) {
+    let m = shared.module();
+    let (analysis, frozen) = match mode {
+        Mode::Confine => shared.confine_frozen(),
+        Mode::NoConfine | Mode::AllStrong => shared.base_frozen(),
+    };
+    check_locks_frozen_timed(m, analysis, frozen, mode, intra_jobs)
 }
 
 /// Checks locking given an already-computed analysis (the caller decides
-/// whether it includes confine inference).
+/// whether it includes confine inference). Freezes the location table,
+/// then runs the sequential schedule.
 pub fn check_locks_with(m: &Module, analysis: &mut Analysis, mode: Mode) -> LockReport {
-    let mut flow = Flow::new(m, analysis, mode);
-    flow.run(m);
-    LockReport {
-        errors: flow.errors,
-        sites: flow.sites,
-    }
+    let frozen = analysis.freeze();
+    check_locks_frozen(m, analysis, &frozen, mode, 1)
 }
 
-struct Flow<'a> {
-    st: &'a mut State,
+/// Checks locking against a frozen analysis with up to `intra_jobs`
+/// worker threads per wave (`0` = one per available core, `1` =
+/// sequential).
+///
+/// The report is byte-identical for every `intra_jobs` value: functions
+/// are checked wave-by-wave (so every summary a function consumes is
+/// published first), and errors are assembled in schedule order.
+pub fn check_locks_frozen(
+    m: &Module,
+    analysis: &Analysis,
+    frozen: &FrozenLocs,
     mode: Mode,
-    /// Range scopes by block id, from confine outcomes.
-    range_scopes: HashMap<NodeId, Vec<RangeScope>>,
-    /// `(ρ, ρ')` for explicit confine/restrict statements, by stmt id.
-    stmt_scopes: HashMap<NodeId, (Loc, Loc)>,
-    /// Per-function parameter metadata; `Rc` so each call site shares it
-    /// instead of cloning the vector.
-    params: HashMap<String, Rc<Vec<ParamInfo>>>,
-    /// Bottom-up interprocedural summaries; `Rc` so applying a summary at
-    /// a call site is a pointer bump, not a deep copy.
-    summaries: HashMap<String, Rc<Summary>>,
-    /// Functions in recursive cycles (no summary; calls havoc).
-    cyclic: HashSet<String>,
-    errors: Vec<LockError>,
-    sites: usize,
-    recording: bool,
-    current_fun: String,
-    req_sink: Option<ReqSink>,
-    /// Break/continue join points for each enclosing loop.
-    loop_stack: Vec<LoopExits>,
-    /// Join of the stores at every `return` in the current function.
-    return_store: Store,
+    intra_jobs: usize,
+) -> LockReport {
+    check_locks_frozen_timed(m, analysis, frozen, mode, intra_jobs).0
 }
 
-/// Break/continue accumulators for one loop.
-#[derive(Debug, Default)]
-struct LoopExits {
-    breaks: Store,
-    continues: Store,
+/// Like [`check_locks_frozen`], also returning per-wave execution
+/// statistics.
+pub fn check_locks_frozen_timed(
+    m: &Module,
+    analysis: &Analysis,
+    frozen: &FrozenLocs,
+    mode: Mode,
+    intra_jobs: usize,
+) -> (LockReport, IntraStats) {
+    let cx = CheckContext::new(m, analysis, frozen, mode);
+    let threads = resolve_jobs(intra_jobs);
+    // With duplicate definitions the later one wins (legacy behaviour of
+    // the name-keyed function map).
+    let by_name: HashMap<&str, &FunDef> =
+        m.functions().map(|f| (f.name.name.as_str(), f)).collect();
+
+    let n = cx.graph.len();
+    let mut outcomes: Vec<Option<FunOutcome>> = (0..n).map(|_| None).collect();
+    let mut summaries: Summaries = HashMap::new();
+    let mut stats = IntraStats {
+        threads,
+        functions: n,
+        sccs: cx.graph.scc_count(),
+        waves: Vec::with_capacity(cx.graph.waves().len()),
+    };
+
+    for wave in cx.graph.waves() {
+        let started = Instant::now();
+        if threads <= 1 || wave.len() <= 1 {
+            for &v in wave {
+                if let Some(f) = by_name.get(cx.graph.name(v)) {
+                    outcomes[v] = Some(check_function(&cx, &summaries, f));
+                }
+            }
+        } else {
+            for (v, out) in check_wave_parallel(&cx, &summaries, &by_name, wave, threads) {
+                outcomes[v] = Some(out);
+            }
+        }
+        // Publish the wave's summaries (in schedule order) before the
+        // next wave starts.
+        for &v in wave {
+            if let Some(out) = &outcomes[v] {
+                summaries.insert(cx.graph.name(v).to_string(), out.summary.clone());
+            }
+        }
+        stats.waves.push(WaveStat {
+            functions: wave.len(),
+            seconds: started.elapsed().as_secs_f64(),
+        });
+    }
+
+    // Assemble in schedule order — the exact order the sequential
+    // checker emitted errors in.
+    let mut report = LockReport::default();
+    for &v in cx.graph.order() {
+        if let Some(out) = outcomes[v].take() {
+            report.errors.extend(out.errors);
+            report.sites += out.sites;
+        }
+    }
+    (report, stats)
 }
 
-impl LoopExits {
-    fn new() -> Self {
-        LoopExits {
-            breaks: Store::bottom(),
-            continues: Store::bottom(),
-        }
-    }
-}
-
-impl<'a> Flow<'a> {
-    fn new(m: &Module, analysis: &'a mut Analysis, mode: Mode) -> Self {
-        let mut range_scopes: HashMap<NodeId, Vec<RangeScope>> = HashMap::new();
-        let mut stmt_scopes = HashMap::new();
-        for c in &analysis.confines {
-            let Some((rho, rho_p)) = c.locs else { continue };
-            match c.site {
-                ConfineSite::Range { block, start, end } => {
-                    range_scopes.entry(block).or_default().push(RangeScope {
-                        start,
-                        end,
-                        rho,
-                        rho_p,
-                    });
-                }
-                ConfineSite::Stmt(at) => {
-                    stmt_scopes.insert(at, (rho, rho_p));
-                }
-            }
-        }
-        for r in &analysis.restricts {
-            if let Some((rho, rho_p)) = r.locs {
-                // Parameter restricts are keyed by the function node and
-                // handled through summaries; statement/decl restricts are
-                // keyed by their statement node. A function node is never
-                // a statement node, so one map serves both without
-                // ambiguity.
-                stmt_scopes.insert(r.at, (rho, rho_p));
-            }
-        }
-        // Copy-in/out ordering: at a shared start boundary the wider
-        // (outer) scope must copy in first.
-        for scopes in range_scopes.values_mut() {
-            scopes.sort_by_key(|s| (s.start, std::cmp::Reverse(s.end)));
-        }
-
-        // Parameter metadata. A parameter behaves as restrict if the
-        // programmer wrote the qualifier *or* parameter-restrict
-        // inference proved it (a successful candidate keyed by the
-        // function node and parameter name).
-        let inferred: std::collections::HashSet<(NodeId, &str)> = analysis
-            .candidates
-            .iter()
-            .filter(|c| c.restricted)
-            .map(|c| (c.at, c.name.as_str()))
-            .collect();
-        let mut params: HashMap<String, Rc<Vec<ParamInfo>>> = HashMap::new();
-        for f in m.functions() {
-            let mut infos = Vec::new();
-            for p in &f.params {
-                let rho_p = analysis
-                    .state
-                    .vars
-                    .iter()
-                    .find(|v| v.fun.as_deref() == Some(&f.name.name) && v.name == p.name.name)
-                    .and_then(|v| v.ty.pointee());
-                let restrict = p.restrict || inferred.contains(&(f.id, p.name.name.as_str()));
-                infos.push(ParamInfo { rho_p, restrict });
-            }
-            params.insert(f.name.name.clone(), Rc::new(infos));
-        }
-
-        Flow {
-            st: &mut analysis.state,
-            mode,
-            range_scopes,
-            stmt_scopes,
-            params,
-            summaries: HashMap::new(),
-            cyclic: HashSet::new(),
-            errors: Vec::new(),
-            sites: 0,
-            recording: false,
-            current_fun: String::new(),
-            req_sink: None,
-            loop_stack: Vec::new(),
-            return_store: Store::bottom(),
-        }
-    }
-
-    fn run(&mut self, m: &Module) {
-        // Bottom-up over the call graph; functions in cycles get no
-        // summary (calls to them havoc).
-        let order = call_order(m, &mut self.cyclic);
-        let by_name: HashMap<&str, &FunDef> =
-            m.functions().map(|f| (f.name.name.as_str(), f)).collect();
-        for name in order {
-            let Some(f) = by_name.get(name.as_str()) else {
-                continue;
-            };
-            self.analyze_fun(f);
-        }
-    }
-
-    fn analyze_fun(&mut self, f: &FunDef) {
-        self.current_fun = f.name.name.clone();
-        let mut store = Store::new();
-        self.recording = true;
-        self.req_sink = Some(ReqSink::default());
-        self.return_store = Store::bottom();
-        self.block(&f.body, &mut store);
-        self.recording = false;
-        let sink = self.req_sink.take().expect("sink");
-
-        // The function's exit state is the join of its fall-through state
-        // and every early return.
-        store.join(&std::mem::replace(&mut self.return_store, Store::bottom()));
-        let out = store.iter().collect();
-        self.summaries.insert(
-            f.name.name.clone(),
-            Rc::new(Summary {
-                first_req: sink.reqs,
-                out,
-            }),
-        );
-    }
-
-    fn copy_in(&mut self, store: &mut Store, rho: Loc, rho_p: Loc) {
-        let rho = self.st.locs.find(rho);
-        let rho_p = self.st.locs.find(rho_p);
-        if rho == rho_p {
-            return; // demoted candidate — nothing to transfer
-        }
-        store.set(rho_p, store.state(rho));
-    }
-
-    fn copy_out(&mut self, store: &mut Store, rho: Loc, rho_p: Loc) {
-        let rho = self.st.locs.find(rho);
-        let rho_p = self.st.locs.find(rho_p);
-        if rho == rho_p {
-            return;
-        }
-        let strong = self.strong(rho);
-        store.update(rho, store.state(rho_p), strong);
-    }
-
-    fn strong(&mut self, loc: Loc) -> bool {
-        match self.mode {
-            Mode::AllStrong => true,
-            _ => strong_updatable(&mut self.st.locs, loc),
-        }
-    }
-
-    fn block(&mut self, b: &Block, store: &mut Store) {
-        let scopes: Vec<RangeScope> = self.range_scopes.get(&b.id).cloned().unwrap_or_default();
-        let mut decl_scopes: Vec<(Loc, Loc)> = Vec::new();
-        for (i, s) in b.stmts.iter().enumerate() {
-            for sc in scopes.iter().filter(|sc| sc.start == i) {
-                self.copy_in(store, sc.rho, sc.rho_p);
-            }
-            self.stmt(s, store, &mut decl_scopes);
-            // Inner scopes (larger start) copy out first.
-            let mut ending: Vec<&RangeScope> = scopes.iter().filter(|sc| sc.end == i).collect();
-            ending.sort_by_key(|sc| std::cmp::Reverse(sc.start));
-            for sc in ending {
-                self.copy_out(store, sc.rho, sc.rho_p);
-            }
-        }
-        // Declaration-restrict scopes end with the block, innermost first.
-        for &(rho, rho_p) in decl_scopes.iter().rev() {
-            self.copy_out(store, rho, rho_p);
-        }
-    }
-
-    fn stmt(&mut self, s: &Stmt, store: &mut Store, decl_scopes: &mut Vec<(Loc, Loc)>) {
-        match &s.kind {
-            StmtKind::Expr(e) => self.expr(e, store),
-            StmtKind::Decl { init, .. } => {
-                if let Some(e) = init {
-                    self.expr(e, store);
-                }
-                if let Some(&(rho, rho_p)) = self.stmt_scopes.get(&s.id) {
-                    self.copy_in(store, rho, rho_p);
-                    decl_scopes.push((rho, rho_p));
-                }
-            }
-            StmtKind::Restrict { init, body, .. } => {
-                self.expr(init, store);
-                let scope = self.stmt_scopes.get(&s.id).copied();
-                if let Some((rho, rho_p)) = scope {
-                    self.copy_in(store, rho, rho_p);
-                }
-                self.block(body, store);
-                if let Some((rho, rho_p)) = scope {
-                    self.copy_out(store, rho, rho_p);
-                }
-            }
-            StmtKind::Confine { expr, body } => {
-                self.expr(expr, store);
-                let scope = self.stmt_scopes.get(&s.id).copied();
-                if let Some((rho, rho_p)) = scope {
-                    self.copy_in(store, rho, rho_p);
-                }
-                self.block(body, store);
-                if let Some((rho, rho_p)) = scope {
-                    self.copy_out(store, rho, rho_p);
-                }
-            }
-            StmtKind::If {
-                cond,
-                then_blk,
-                else_blk,
-            } => {
-                self.expr(cond, store);
-                let mut then_store = store.clone();
-                self.block(then_blk, &mut then_store);
-                match else_blk {
-                    Some(e) => {
-                        let mut else_store = store.clone();
-                        self.block(e, &mut else_store);
-                        then_store.join(&else_store);
-                    }
-                    None => then_store.join(store),
-                }
-                *store = then_store;
-            }
-            StmtKind::While { cond, body, step } => {
-                // Fixpoint without recording, then one recording pass
-                // from the stabilized loop-head store. `continue` joins
-                // back before the step (C `for` semantics); `break` joins
-                // into the loop's exit.
-                let was_recording = self.recording;
-                self.recording = false;
-                let mut head = store.clone();
-                loop {
-                    let mut iter_store = head.clone();
-                    self.expr(cond, &mut iter_store);
-                    self.loop_stack.push(LoopExits::new());
-                    self.block(body, &mut iter_store);
-                    let exits = self.loop_stack.pop().expect("loop exits");
-                    // The step runs on both normal completion and
-                    // continue.
-                    iter_store.join(&exits.continues);
-                    if let Some(step) = step {
-                        self.expr(step, &mut iter_store);
-                    }
-                    let mut next = head.clone();
-                    next.join(&iter_store);
-                    if next == head {
-                        break;
-                    }
-                    head = next;
-                }
-                self.recording = was_recording;
-                let mut exit_store = head.clone();
-                self.expr(cond, &mut exit_store);
-                let mut body_store = exit_store.clone();
-                self.loop_stack.push(LoopExits::new());
-                self.block(body, &mut body_store);
-                let exits = self.loop_stack.pop().expect("loop exits");
-                body_store.join(&exits.continues);
-                if let Some(step) = step {
-                    self.expr(step, &mut body_store);
-                }
-                exit_store.join(&exits.breaks);
-                *store = exit_store;
-            }
-            StmtKind::Return(e) => {
-                if let Some(e) = e {
-                    self.expr(e, store);
-                }
-                self.return_store.join(store);
-                store.mark_unreachable();
-            }
-            StmtKind::Break => {
-                match self.loop_stack.last_mut() {
-                    Some(top) => top.breaks.join(store),
-                    // break outside a loop: the path simply ends.
-                    None => self.return_store.join(store),
-                }
-                store.mark_unreachable();
-            }
-            StmtKind::Continue => {
-                match self.loop_stack.last_mut() {
-                    Some(top) => top.continues.join(store),
-                    None => self.return_store.join(store),
-                }
-                store.mark_unreachable();
-            }
-            StmtKind::Block(b) => self.block(b, store),
-        }
-    }
-
-    fn expr(&mut self, e: &Expr, store: &mut Store) {
-        match &e.kind {
-            ExprKind::Int(_) | ExprKind::Var(_) => {}
-            ExprKind::Unary(_, a) | ExprKind::New(a) | ExprKind::Cast(_, a) => self.expr(a, store),
-            ExprKind::Binary(_, a, b) | ExprKind::Assign(a, b) | ExprKind::Index(a, b) => {
-                self.expr(a, store);
-                self.expr(b, store);
-            }
-            ExprKind::Field(a, _) | ExprKind::Arrow(a, _) => self.expr(a, store),
-            ExprKind::Call(f, args) => {
-                for a in args {
-                    self.expr(a, store);
-                }
-                self.call(e.id, &f.name, args, store);
-            }
-        }
-    }
-
-    fn require(&mut self, store: &Store, loc: Loc, required: LockState, op: LockOp, site: NodeId) {
-        // Record a summary requirement on first touch.
-        if let Some(sink) = &mut self.req_sink {
-            if !store.touched(loc) && sink.seen.insert(loc) {
-                sink.reqs.push((loc, required, op));
-            }
-        }
-        if self.recording {
-            let found = store.state(loc);
-            if !found.verifies(required) {
-                self.errors.push(LockError {
-                    site,
-                    op,
-                    found,
-                    fun: self.current_fun.clone(),
-                });
-            }
-        }
-    }
-
-    fn call(&mut self, site: NodeId, callee: &str, args: &[Expr], store: &mut Store) {
-        if intrinsics::is_change_type(callee) {
-            let (required, new, op) = match callee {
-                intrinsics::SPIN_LOCK => (LockState::Unlocked, LockState::Locked, LockOp::Acquire),
-                intrinsics::SPIN_UNLOCK => {
-                    (LockState::Locked, LockState::Unlocked, LockOp::Release)
-                }
-                _ => {
-                    // Generic change_type: no requirement, unknown result.
-                    for a in args {
-                        if let Some(loc) = self.arg_pointee(a) {
-                            store.update(loc, LockState::Top, false);
+/// Checks one wave's functions on `threads` scoped worker threads with
+/// an atomic work-stealing cursor (the same pool shape the corpus sweep
+/// uses), returning `(node, outcome)` pairs.
+fn check_wave_parallel(
+    cx: &CheckContext<'_>,
+    summaries: &Summaries,
+    by_name: &HashMap<&str, &FunDef>,
+    wave: &[usize],
+    threads: usize,
+) -> Vec<(usize, FunOutcome)> {
+    let workers = threads.min(wave.len());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&v) = wave.get(i) else { break };
+                        if let Some(f) = by_name.get(cx.graph.name(v)) {
+                            got.push((v, check_function(cx, summaries, f)));
                         }
                     }
-                    return;
-                }
-            };
-            if self.recording {
-                self.sites += 1;
-            }
-            let Some(arg) = args.first() else { return };
-            let Some(loc) = self.arg_pointee(arg) else {
-                return;
-            };
-            self.require(store, loc, required, op, site);
-            let strong = self.strong(loc);
-            store.update(loc, new, strong);
-            return;
-        }
-
-        // Defined function: apply its summary.
-        let Some(sum) = self.summaries.get(callee).cloned() else {
-            if self.cyclic.contains(callee) {
-                store.havoc();
-            }
-            return;
-        };
-        let retarget = self.retarget_map(callee, args);
-        for (loc, required, _op) in &sum.first_req {
-            let target = retarget.get(loc).copied().unwrap_or(*loc);
-            let target = self.st.locs.find(target);
-            self.require(store, target, *required, LockOp::CallRequirement, site);
-        }
-        for (loc, out_state) in &sum.out {
-            let target = retarget.get(loc).copied().unwrap_or(*loc);
-            let target = self.st.locs.find(target);
-            let strong = self.strong(target);
-            store.update(target, *out_state, strong);
-        }
-    }
-
-    /// Maps a callee's restrict-parameter `ρ'` locations to the actual
-    /// arguments' pointee locations at this call site.
-    fn retarget_map(&mut self, callee: &str, args: &[Expr]) -> HashMap<Loc, Loc> {
-        let mut map = HashMap::new();
-        let Some(infos) = self.params.get(callee).cloned() else {
-            return map;
-        };
-        for (info, arg) in infos.iter().zip(args) {
-            if !info.restrict {
-                continue;
-            }
-            let Some(rho_p) = info.rho_p else { continue };
-            if let Some(target) = self.arg_pointee(arg) {
-                map.insert(self.st.locs.find(rho_p), target);
-            }
-        }
-        map
-    }
-
-    /// The canonical pointee location of a pointer-valued argument.
-    fn arg_pointee(&mut self, arg: &Expr) -> Option<Loc> {
-        match self.st.expr_ty.get(arg.id.index())?.as_ref()? {
-            Ty::Ref(l) => Some(self.st.locs.find(*l)),
-            _ => None,
-        }
-    }
-}
-
-/// The summary-requirement collector threaded through function analysis.
-#[derive(Debug, Default)]
-struct ReqSink {
-    reqs: Vec<(Loc, LockState, LockOp)>,
-    seen: HashSet<Loc>,
-}
-
-/// Computes a bottom-up ordering of defined functions; functions in
-/// cycles are added to `cyclic` and excluded from summary building (they
-/// still get analyzed for their own errors, last).
-fn call_order(m: &Module, cyclic: &mut HashSet<String>) -> Vec<String> {
-    use localias_ast::visit::call_sites;
-    let defined: HashSet<String> = m.functions().map(|f| f.name.name.clone()).collect();
-    // Per-function callee lists.
-    let mut callees: HashMap<String, HashSet<String>> = HashMap::new();
-    for f in m.functions() {
-        let mut set = HashSet::new();
-        let tmp = Module {
-            name: String::new(),
-            items: vec![localias_ast::Item {
-                kind: localias_ast::ItemKind::Fun(f.clone()),
-            }],
-            node_count: 0,
-            spans: Vec::new(),
-        };
-        for (name, _) in call_sites(&tmp) {
-            if defined.contains(&name) && name != f.name.name {
-                set.insert(name);
-            } else if name == f.name.name {
-                cyclic.insert(name);
-            }
-        }
-        callees.insert(f.name.name.clone(), set);
-    }
-
-    // Kahn's algorithm over the callee relation (callees first).
-    let mut order = Vec::new();
-    let mut remaining: HashSet<String> = defined.clone();
-    loop {
-        let ready: Vec<String> = remaining
-            .iter()
-            .filter(|f| {
-                callees[*f]
-                    .iter()
-                    .all(|c| !remaining.contains(c) || cyclic.contains(c))
+                    got
+                })
             })
-            .cloned()
             .collect();
-        if ready.is_empty() {
-            break;
-        }
-        let mut ready = ready;
-        ready.sort();
-        for f in ready {
-            remaining.remove(&f);
-            order.push(f);
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("checker thread panicked"))
+            .collect()
+    })
+}
+
+/// Resolves an `--intra-jobs` value: `0` means one worker per available
+/// core.
+fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_jobs_zero_is_auto() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+
+    #[test]
+    fn frozen_checker_matches_shared_entrypoints() {
+        let m = localias_ast::parse_module(
+            "t",
+            r#"
+            lock l;
+            void locker() { spin_lock(&l); }
+            void unlocker() { spin_unlock(&l); }
+            void seq() { locker(); unlocker(); }
+            "#,
+        )
+        .expect("parse");
+        for mode in [Mode::NoConfine, Mode::Confine, Mode::AllStrong] {
+            let base = check_locks(&m, mode);
+            for jobs in [1, 2, 8] {
+                let mut shared = localias_core::SharedAnalysis::new(&m);
+                let got = check_locks_shared_jobs(&mut shared, mode, jobs);
+                assert_eq!(got, base, "{mode:?} jobs={jobs}");
+            }
         }
     }
-    // Whatever remains is in a cycle: analyze last, no summaries used for
-    // calls into them (handled by `cyclic`).
-    let mut rest: Vec<String> = remaining.into_iter().collect();
-    rest.sort();
-    for f in &rest {
-        cyclic.insert(f.clone());
-    }
-    order.extend(rest);
-    order
 }

@@ -1,0 +1,526 @@
+//! The intraprocedural checker: one function, checked against immutable
+//! shared inputs.
+//!
+//! [`check_function`] is a *pure function* of the [`CheckContext`] (the
+//! frozen analysis facts) and the already-published callee
+//! [`Summaries`]; it mutates nothing shared and returns a
+//! [`FunOutcome`]. That referential transparency is what lets the
+//! scheduler in [`crate::flow`] run a whole wave of independent
+//! functions concurrently and still assemble a report byte-identical to
+//! the sequential order.
+//!
+//! The abstract interpretation itself is unchanged from the historical
+//! monolithic checker: straight-line composition for blocks, pointwise
+//! join for `if`, fixpoint-then-reporting-pass for `while`, summaries
+//! applied (after restrict-parameter retargeting) at call sites, and
+//! havoc on calls into recursive cycles. Every location resolution that
+//! used to path-compress through `&mut LocTable` now reads the
+//! [`FrozenLocs`] snapshot.
+
+use crate::callgraph::CallGraph;
+use crate::qual::LockState;
+use crate::report::{LockError, LockOp};
+use crate::store::Store;
+use crate::summary::{retarget, ParamInfo, Summaries, Summary};
+use localias_alias::{FrozenLocs, Loc, State, Ty};
+use localias_ast::{intrinsics, Block, Expr, ExprKind, FunDef, Module, NodeId, Stmt, StmtKind};
+use localias_core::{Analysis, ConfineSite};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::flow::Mode;
+
+/// A scope boundary requiring lock-state copy-in/copy-out.
+#[derive(Debug, Clone, Copy)]
+struct RangeScope {
+    start: usize,
+    end: usize,
+    rho: Loc,
+    rho_p: Loc,
+}
+
+/// Everything a function check reads and nothing it writes: the module,
+/// the frozen analysis facts, the call graph, and per-function scope/
+/// parameter metadata. Immutable after construction and `Sync`, so one
+/// context serves every checker thread.
+pub(crate) struct CheckContext<'a> {
+    pub mode: Mode,
+    /// The typing/aliasing state (read-only: expression types, variables).
+    state: &'a State,
+    /// The frozen location snapshot all resolution goes through.
+    pub frozen: &'a FrozenLocs,
+    /// The call graph with its schedule and wave partition.
+    pub graph: CallGraph,
+    /// Range scopes by block id, from confine outcomes.
+    range_scopes: HashMap<NodeId, Vec<RangeScope>>,
+    /// `(ρ, ρ')` for explicit confine/restrict statements, by stmt id.
+    stmt_scopes: HashMap<NodeId, (Loc, Loc)>,
+    /// Per-function parameter metadata; `Arc` so each call site shares it
+    /// across threads instead of cloning the vector.
+    params: HashMap<String, Arc<Vec<ParamInfo>>>,
+}
+
+impl<'a> CheckContext<'a> {
+    /// Collects the scope and parameter metadata for checking `m` under
+    /// `mode`, given its (frozen) analysis.
+    pub fn new(
+        m: &'a Module,
+        analysis: &'a Analysis,
+        frozen: &'a FrozenLocs,
+        mode: Mode,
+    ) -> CheckContext<'a> {
+        let mut range_scopes: HashMap<NodeId, Vec<RangeScope>> = HashMap::new();
+        let mut stmt_scopes = HashMap::new();
+        for c in &analysis.confines {
+            let Some((rho, rho_p)) = c.locs else { continue };
+            match c.site {
+                ConfineSite::Range { block, start, end } => {
+                    range_scopes.entry(block).or_default().push(RangeScope {
+                        start,
+                        end,
+                        rho,
+                        rho_p,
+                    });
+                }
+                ConfineSite::Stmt(at) => {
+                    stmt_scopes.insert(at, (rho, rho_p));
+                }
+            }
+        }
+        for r in &analysis.restricts {
+            if let Some((rho, rho_p)) = r.locs {
+                // Parameter restricts are keyed by the function node and
+                // handled through summaries; statement/decl restricts are
+                // keyed by their statement node. A function node is never
+                // a statement node, so one map serves both without
+                // ambiguity.
+                stmt_scopes.insert(r.at, (rho, rho_p));
+            }
+        }
+        // Copy-in/out ordering: at a shared start boundary the wider
+        // (outer) scope must copy in first.
+        for scopes in range_scopes.values_mut() {
+            scopes.sort_by_key(|s| (s.start, std::cmp::Reverse(s.end)));
+        }
+
+        // Parameter metadata. A parameter behaves as restrict if the
+        // programmer wrote the qualifier *or* parameter-restrict
+        // inference proved it (a successful candidate keyed by the
+        // function node and parameter name).
+        let inferred: HashSet<(NodeId, &str)> = analysis
+            .candidates
+            .iter()
+            .filter(|c| c.restricted)
+            .map(|c| (c.at, c.name.as_str()))
+            .collect();
+        let mut params: HashMap<String, Arc<Vec<ParamInfo>>> = HashMap::new();
+        for f in m.functions() {
+            let mut infos = Vec::new();
+            for p in &f.params {
+                let rho_p = analysis
+                    .state
+                    .vars
+                    .iter()
+                    .find(|v| v.fun.as_deref() == Some(&f.name.name) && v.name == p.name.name)
+                    .and_then(|v| v.ty.pointee());
+                let restrict = p.restrict || inferred.contains(&(f.id, p.name.name.as_str()));
+                infos.push(ParamInfo { rho_p, restrict });
+            }
+            params.insert(f.name.name.clone(), Arc::new(infos));
+        }
+
+        CheckContext {
+            mode,
+            state: &analysis.state,
+            frozen,
+            graph: CallGraph::build(m),
+            range_scopes,
+            stmt_scopes,
+            params,
+        }
+    }
+}
+
+/// The result of checking one function: its errors (in site order), its
+/// counted lock sites, and its published summary.
+pub(crate) struct FunOutcome {
+    pub errors: Vec<LockError>,
+    pub sites: usize,
+    pub summary: Arc<Summary>,
+}
+
+/// Checks one function against the context and the summaries its
+/// schedule dependencies have already published.
+pub(crate) fn check_function(
+    cx: &CheckContext<'_>,
+    summaries: &Summaries,
+    f: &FunDef,
+) -> FunOutcome {
+    let caller = cx
+        .graph
+        .node(&f.name.name)
+        .expect("checked function is defined");
+    let mut fc = FunctionChecker {
+        cx,
+        summaries,
+        caller,
+        current_fun: f.name.name.clone(),
+        errors: Vec::new(),
+        sites: 0,
+        recording: true,
+        req_sink: Some(ReqSink::default()),
+        loop_stack: Vec::new(),
+        return_store: Store::bottom(),
+    };
+    let mut store = Store::new();
+    fc.block(&f.body, &mut store);
+    let sink = fc.req_sink.take().expect("sink");
+
+    // The function's exit state is the join of its fall-through state
+    // and every early return.
+    store.join(&fc.return_store);
+    let out = store.iter().collect();
+    FunOutcome {
+        errors: fc.errors,
+        sites: fc.sites,
+        summary: Arc::new(Summary {
+            first_req: sink.reqs,
+            out,
+        }),
+    }
+}
+
+/// Break/continue accumulators for one loop.
+#[derive(Debug, Default)]
+struct LoopExits {
+    breaks: Store,
+    continues: Store,
+}
+
+impl LoopExits {
+    fn new() -> Self {
+        LoopExits {
+            breaks: Store::bottom(),
+            continues: Store::bottom(),
+        }
+    }
+}
+
+/// The summary-requirement collector threaded through function analysis.
+#[derive(Debug, Default)]
+struct ReqSink {
+    reqs: Vec<(Loc, LockState, LockOp)>,
+    seen: HashSet<Loc>,
+}
+
+/// Walks one function body, tracking the abstract store. All shared
+/// inputs are behind `&` — only the per-function bookkeeping is mutable.
+struct FunctionChecker<'c, 'a> {
+    cx: &'c CheckContext<'a>,
+    summaries: &'c Summaries,
+    /// This function's call-graph node.
+    caller: usize,
+    current_fun: String,
+    errors: Vec<LockError>,
+    sites: usize,
+    recording: bool,
+    req_sink: Option<ReqSink>,
+    /// Break/continue join points for each enclosing loop.
+    loop_stack: Vec<LoopExits>,
+    /// Join of the stores at every `return` in the current function.
+    return_store: Store,
+}
+
+impl FunctionChecker<'_, '_> {
+    fn copy_in(&mut self, store: &mut Store, rho: Loc, rho_p: Loc) {
+        let rho = self.cx.frozen.find(rho);
+        let rho_p = self.cx.frozen.find(rho_p);
+        if rho == rho_p {
+            return; // demoted candidate — nothing to transfer
+        }
+        store.set(rho_p, store.state(rho));
+    }
+
+    fn copy_out(&mut self, store: &mut Store, rho: Loc, rho_p: Loc) {
+        let rho = self.cx.frozen.find(rho);
+        let rho_p = self.cx.frozen.find(rho_p);
+        if rho == rho_p {
+            return;
+        }
+        let strong = self.strong(rho);
+        store.update(rho, store.state(rho_p), strong);
+    }
+
+    fn strong(&self, loc: Loc) -> bool {
+        match self.cx.mode {
+            Mode::AllStrong => true,
+            _ => self.cx.frozen.strong_updatable(loc),
+        }
+    }
+
+    fn block(&mut self, b: &Block, store: &mut Store) {
+        let scopes: Vec<RangeScope> = self.cx.range_scopes.get(&b.id).cloned().unwrap_or_default();
+        let mut decl_scopes: Vec<(Loc, Loc)> = Vec::new();
+        for (i, s) in b.stmts.iter().enumerate() {
+            for sc in scopes.iter().filter(|sc| sc.start == i) {
+                self.copy_in(store, sc.rho, sc.rho_p);
+            }
+            self.stmt(s, store, &mut decl_scopes);
+            // Inner scopes (larger start) copy out first.
+            let mut ending: Vec<&RangeScope> = scopes.iter().filter(|sc| sc.end == i).collect();
+            ending.sort_by_key(|sc| std::cmp::Reverse(sc.start));
+            for sc in ending {
+                self.copy_out(store, sc.rho, sc.rho_p);
+            }
+        }
+        // Declaration-restrict scopes end with the block, innermost first.
+        for &(rho, rho_p) in decl_scopes.iter().rev() {
+            self.copy_out(store, rho, rho_p);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, store: &mut Store, decl_scopes: &mut Vec<(Loc, Loc)>) {
+        match &s.kind {
+            StmtKind::Expr(e) => self.expr(e, store),
+            StmtKind::Decl { init, .. } => {
+                if let Some(e) = init {
+                    self.expr(e, store);
+                }
+                if let Some(&(rho, rho_p)) = self.cx.stmt_scopes.get(&s.id) {
+                    self.copy_in(store, rho, rho_p);
+                    decl_scopes.push((rho, rho_p));
+                }
+            }
+            StmtKind::Restrict { init, body, .. } => {
+                self.expr(init, store);
+                let scope = self.cx.stmt_scopes.get(&s.id).copied();
+                if let Some((rho, rho_p)) = scope {
+                    self.copy_in(store, rho, rho_p);
+                }
+                self.block(body, store);
+                if let Some((rho, rho_p)) = scope {
+                    self.copy_out(store, rho, rho_p);
+                }
+            }
+            StmtKind::Confine { expr, body } => {
+                self.expr(expr, store);
+                let scope = self.cx.stmt_scopes.get(&s.id).copied();
+                if let Some((rho, rho_p)) = scope {
+                    self.copy_in(store, rho, rho_p);
+                }
+                self.block(body, store);
+                if let Some((rho, rho_p)) = scope {
+                    self.copy_out(store, rho, rho_p);
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expr(cond, store);
+                let mut then_store = store.clone();
+                self.block(then_blk, &mut then_store);
+                match else_blk {
+                    Some(e) => {
+                        let mut else_store = store.clone();
+                        self.block(e, &mut else_store);
+                        then_store.join(&else_store);
+                    }
+                    None => then_store.join(store),
+                }
+                *store = then_store;
+            }
+            StmtKind::While { cond, body, step } => {
+                // Fixpoint without recording, then one recording pass
+                // from the stabilized loop-head store. `continue` joins
+                // back before the step (C `for` semantics); `break` joins
+                // into the loop's exit.
+                let was_recording = self.recording;
+                self.recording = false;
+                let mut head = store.clone();
+                loop {
+                    let mut iter_store = head.clone();
+                    self.expr(cond, &mut iter_store);
+                    self.loop_stack.push(LoopExits::new());
+                    self.block(body, &mut iter_store);
+                    let exits = self.loop_stack.pop().expect("loop exits");
+                    // The step runs on both normal completion and
+                    // continue.
+                    iter_store.join(&exits.continues);
+                    if let Some(step) = step {
+                        self.expr(step, &mut iter_store);
+                    }
+                    let mut next = head.clone();
+                    next.join(&iter_store);
+                    if next == head {
+                        break;
+                    }
+                    head = next;
+                }
+                self.recording = was_recording;
+                let mut exit_store = head.clone();
+                self.expr(cond, &mut exit_store);
+                let mut body_store = exit_store.clone();
+                self.loop_stack.push(LoopExits::new());
+                self.block(body, &mut body_store);
+                let exits = self.loop_stack.pop().expect("loop exits");
+                body_store.join(&exits.continues);
+                if let Some(step) = step {
+                    self.expr(step, &mut body_store);
+                }
+                exit_store.join(&exits.breaks);
+                *store = exit_store;
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    self.expr(e, store);
+                }
+                self.return_store.join(store);
+                store.mark_unreachable();
+            }
+            StmtKind::Break => {
+                match self.loop_stack.last_mut() {
+                    Some(top) => top.breaks.join(store),
+                    // break outside a loop: the path simply ends.
+                    None => self.return_store.join(store),
+                }
+                store.mark_unreachable();
+            }
+            StmtKind::Continue => {
+                match self.loop_stack.last_mut() {
+                    Some(top) => top.continues.join(store),
+                    None => self.return_store.join(store),
+                }
+                store.mark_unreachable();
+            }
+            StmtKind::Block(b) => self.block(b, store),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, store: &mut Store) {
+        match &e.kind {
+            ExprKind::Int(_) | ExprKind::Var(_) => {}
+            ExprKind::Unary(_, a) | ExprKind::New(a) | ExprKind::Cast(_, a) => self.expr(a, store),
+            ExprKind::Binary(_, a, b) | ExprKind::Assign(a, b) | ExprKind::Index(a, b) => {
+                self.expr(a, store);
+                self.expr(b, store);
+            }
+            ExprKind::Field(a, _) | ExprKind::Arrow(a, _) => self.expr(a, store),
+            ExprKind::Call(f, args) => {
+                for a in args {
+                    self.expr(a, store);
+                }
+                self.call(e.id, &f.name, args, store);
+            }
+        }
+    }
+
+    fn require(&mut self, store: &Store, loc: Loc, required: LockState, op: LockOp, site: NodeId) {
+        // Record a summary requirement on first touch.
+        if let Some(sink) = &mut self.req_sink {
+            if !store.touched(loc) && sink.seen.insert(loc) {
+                sink.reqs.push((loc, required, op));
+            }
+        }
+        if self.recording {
+            let found = store.state(loc);
+            if !found.verifies(required) {
+                self.errors.push(LockError {
+                    site,
+                    op,
+                    found,
+                    fun: self.current_fun.clone(),
+                });
+            }
+        }
+    }
+
+    fn call(&mut self, site: NodeId, callee: &str, args: &[Expr], store: &mut Store) {
+        if intrinsics::is_change_type(callee) {
+            let (required, new, op) = match callee {
+                intrinsics::SPIN_LOCK => (LockState::Unlocked, LockState::Locked, LockOp::Acquire),
+                intrinsics::SPIN_UNLOCK => {
+                    (LockState::Locked, LockState::Unlocked, LockOp::Release)
+                }
+                _ => {
+                    // Generic change_type: no requirement, unknown result.
+                    for a in args {
+                        if let Some(loc) = self.arg_pointee(a) {
+                            store.update(loc, LockState::Top, false);
+                        }
+                    }
+                    return;
+                }
+            };
+            if self.recording {
+                self.sites += 1;
+            }
+            let Some(arg) = args.first() else { return };
+            let Some(loc) = self.arg_pointee(arg) else {
+                return;
+            };
+            self.require(store, loc, required, op, site);
+            let strong = self.strong(loc);
+            store.update(loc, new, strong);
+            return;
+        }
+
+        // Defined function: apply its summary if the schedule has already
+        // published it. The schedule gate (not map presence) keeps the
+        // parallel checker faithful to the sequential one: in a parallel
+        // run a later-scheduled cyclic callee's summary may already exist,
+        // but the sequential checker would not have seen it yet.
+        let Some(c) = self.cx.graph.node(callee) else {
+            return; // extern/undefined: no interprocedural effect
+        };
+        if !self.cx.graph.uses_summary(self.caller, c) {
+            if self.cx.graph.is_cyclic(c) {
+                store.havoc();
+            }
+            return;
+        }
+        let sum = self
+            .summaries
+            .get(callee)
+            .cloned()
+            .expect("dependency summary published before caller is checked");
+        let map = self.retarget_map(callee, args);
+        for (loc, required, _op) in &sum.first_req {
+            let target = retarget(&map, self.cx.frozen, *loc);
+            self.require(store, target, *required, LockOp::CallRequirement, site);
+        }
+        for (loc, out_state) in &sum.out {
+            let target = retarget(&map, self.cx.frozen, *loc);
+            let strong = self.strong(target);
+            store.update(target, *out_state, strong);
+        }
+    }
+
+    /// Maps a callee's restrict-parameter `ρ'` locations to the actual
+    /// arguments' pointee locations at this call site.
+    fn retarget_map(&mut self, callee: &str, args: &[Expr]) -> HashMap<Loc, Loc> {
+        let mut map = HashMap::new();
+        let Some(infos) = self.cx.params.get(callee).cloned() else {
+            return map;
+        };
+        for (info, arg) in infos.iter().zip(args) {
+            if !info.restrict {
+                continue;
+            }
+            let Some(rho_p) = info.rho_p else { continue };
+            if let Some(target) = self.arg_pointee(arg) {
+                map.insert(self.cx.frozen.find(rho_p), target);
+            }
+        }
+        map
+    }
+
+    /// The canonical pointee location of a pointer-valued argument.
+    fn arg_pointee(&mut self, arg: &Expr) -> Option<Loc> {
+        match self.cx.state.expr_ty.get(arg.id.index())?.as_ref()? {
+            Ty::Ref(l) => Some(self.cx.frozen.find(*l)),
+            _ => None,
+        }
+    }
+}

@@ -37,12 +37,20 @@
 //! # Ok::<(), localias_ast::ParseError>(())
 //! ```
 
+pub mod callgraph;
 pub mod flow;
+mod intra;
 pub mod qual;
 pub mod report;
 pub mod store;
+mod summary;
 
-pub use flow::{check_locks, check_locks_shared, check_locks_with, Mode};
+pub use callgraph::CallGraph;
+pub use flow::{
+    check_locks, check_locks_frozen, check_locks_frozen_timed, check_locks_shared,
+    check_locks_shared_jobs, check_locks_shared_timed, check_locks_with, IntraStats, Mode,
+    WaveStat,
+};
 pub use qual::LockState;
 pub use report::{LockError, LockOp, LockReport};
 pub use store::{strong_updatable, Store};

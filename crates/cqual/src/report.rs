@@ -27,7 +27,7 @@ impl fmt::Display for LockOp {
 }
 
 /// One unverifiable lock site — the unit the paper's Section 7 counts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockError {
     /// The offending call expression.
     pub site: NodeId,
@@ -50,7 +50,7 @@ impl fmt::Display for LockError {
 }
 
 /// The result of checking one module's locking behaviour.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LockReport {
     /// Unverifiable sites (the paper's "type errors").
     pub errors: Vec<LockError>,

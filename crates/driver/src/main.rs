@@ -8,8 +8,8 @@
 //! localias locks   <file.mc> [mode]   # flow-sensitive lock checking
 //! localias run     <file.mc> [arg]    # execute under the §3.2 semantics
 //! localias corpus  <dir> [seed]       # dump the synthetic driver corpus
-//! localias experiment [seed] [--jobs N] [--cache DIR | --no-cache]
-//!                    [--bench-out FILE]
+//! localias experiment [seed] [--jobs N] [--intra-jobs N]
+//!                    [--cache DIR | --no-cache] [--bench-out FILE]
 //!                                     # run the full Section 7 experiment
 //! ```
 //!
@@ -55,7 +55,8 @@ fn main() -> ExitCode {
                  locks   <file.mc> [mode]   lock checking (noconfine|confine|allstrong)\n\
                  run     <file.mc> [arg]    execute every function (restrict = copy-and-poison)\n\
                  corpus  <dir> [seed]       write the synthetic driver corpus to <dir>\n\
-                 experiment [seed] [--jobs N] [--cache DIR | --no-cache] [--bench-out FILE]\n\
+                 experiment [seed] [--jobs N] [--intra-jobs N] [--cache DIR | --no-cache]\n\
+                 \x20                          [--bench-out FILE]\n\
                  \x20                          run the full Section 7 experiment in parallel,\n\
                  \x20                          incrementally via the result cache (default\n\
                  \x20                          .localias-cache/; only changed modules re-analyze)"
@@ -234,7 +235,8 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
     let opts = localias_bench::CliOpts::parse(args.iter().cloned())?;
     let seed = opts.seed_or_default();
 
-    let (results, bench) = localias_bench::run_experiment_cached(seed, opts.jobs, &opts.cache);
+    let (results, bench) =
+        localias_bench::run_experiment_cached(seed, opts.jobs, opts.intra_jobs, &opts.cache);
     let (mut clean, mut real, mut full, mut partial) = (0, 0, 0, 0);
     for r in &results {
         if r.no_confine == 0 {

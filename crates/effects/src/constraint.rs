@@ -2,8 +2,8 @@
 //! disinclusions, and the conditional constraints of §5/§6.
 
 use crate::effect::{EffVar, Effect, KindMask};
-use std::borrow::Cow;
 use localias_alias::{Loc, UnionFind};
+use std::borrow::Cow;
 use std::fmt;
 
 /// A boolean flag set by a fired conditional constraint.

@@ -5,6 +5,8 @@
 #
 #   BENCH_experiment_cold.json   cold sweep, cache.misses == modules
 #   BENCH_experiment.json        warm sweep, cache.hits   == modules
+#   BENCH_intra.json             mega-module sequential-vs-wave-parallel
+#                                timings (schema localias-bench-intra/v1)
 #
 # Usage: scripts/bench.sh [--jobs N] [SEED]
 #        (extra args are passed through to `localias experiment`)
@@ -16,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 CACHE=${LOCALIAS_CACHE:-.localias-cache}
 
-cargo build --release -p localias-driver
+cargo build --release -p localias-driver -p localias-bench
 
 rm -rf "$CACHE"
 ./target/release/localias experiment --cache "$CACHE" \
@@ -30,3 +32,13 @@ cat BENCH_experiment_cold.json
 echo
 echo "wrote $(pwd)/BENCH_experiment.json (warm):"
 cat BENCH_experiment.json
+
+# Intra-module wave parallelism on the synthesized mega-module: one
+# sequential and one parallel run per mode, reports asserted identical.
+# On a single-core container the "speedup" hovers near 1x; the per-wave
+# timings still record the schedule the parallel path executes.
+./target/release/intra --intra-jobs 4 --bench-out BENCH_intra.json
+
+echo
+echo "wrote $(pwd)/BENCH_intra.json (mega-module):"
+cat BENCH_intra.json

@@ -1,10 +1,13 @@
 #!/bin/sh
-# CI gate: tier-1 build + tests, then a warm-cache smoke sweep that proves
-# the incremental cache fully hits on an unchanged corpus.
+# CI gate: formatting + lints, tier-1 build + tests, a mega-module smoke
+# run of the wave-parallel checker, then a warm-cache smoke sweep that
+# proves the incremental cache fully hits on an unchanged corpus.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 
@@ -29,4 +32,15 @@ grep -q '"misses": 0' "$WARM" || {
     exit 1
 }
 
-echo "check.sh: build, tests, and warm-cache smoke sweep all passed"
+# Mega-module smoke: the wave-parallel checker must produce reports
+# byte-identical to the sequential schedule (asserted inside the bin).
+INTRA="$CACHE/intra.json"
+cargo run -q --release -p localias-bench --bin intra -- \
+    --funs 120 --intra-jobs 4 --bench-out "$INTRA" >/dev/null
+grep -q '"schema": "localias-bench-intra/v1"' "$INTRA" || {
+    echo "check.sh: intra bench wrote an unexpected report:" >&2
+    cat "$INTRA" >&2
+    exit 1
+}
+
+echo "check.sh: fmt, clippy, build, tests, mega smoke, and warm-cache sweep all passed"

@@ -100,7 +100,11 @@ fn inferred_restricts_check_when_made_explicit() {
         let mut rewritten = m.clone();
         promote_decls(&mut rewritten, &restricted);
         let checked = core::check(&rewritten);
-        for r in checked.restricts.iter().filter(|r| restricted.contains(&r.at)) {
+        for r in checked
+            .restricts
+            .iter()
+            .filter(|r| restricted.contains(&r.at))
+        {
             assert!(
                 r.ok(),
                 "inferred restrict `{}` fails explicit checking: {:?}\n{}",
@@ -222,13 +226,11 @@ fn general_confine_strategy_dominates_heuristic() {
         let m = parse(&src);
         let heuristic = {
             let mut a = core::infer_confines(&m);
-            localias::cqual::check_locks_with(&m, &mut a.analysis, Mode::Confine)
-                .error_count()
+            localias::cqual::check_locks_with(&m, &mut a.analysis, Mode::Confine).error_count()
         };
         let general = {
             let mut a = core::infer_confines_general(&m);
-            localias::cqual::check_locks_with(&m, &mut a.analysis, Mode::Confine)
-                .error_count()
+            localias::cqual::check_locks_with(&m, &mut a.analysis, Mode::Confine).error_count()
         };
         assert!(
             general <= heuristic,

@@ -139,7 +139,9 @@ fn solution_satisfies_all_inclusions() {
     let mut outer = Rng64::seed_from_u64(0x501);
     for _ in 0..64 {
         let seed = outer.next_u64();
-        let SysSpec { mut cs, mut locs, .. } = random_system(seed, 6, 5, 14, true);
+        let SysSpec {
+            mut cs, mut locs, ..
+        } = random_system(seed, 6, 5, 14, true);
         let sol = solve(&mut cs, &mut locs);
         // Rebuild a reference-style view of the solver's answer.
         let mut view: RefSol = Default::default();
@@ -156,8 +158,11 @@ fn solution_satisfies_all_inclusions() {
             for (loc, k) in lhs {
                 let have = rhs.get(&loc).copied().unwrap_or_default();
                 assert_eq!(
-                    have.union(k), have,
-                    "inclusion violated at {:?}: {} ⊄ solution", loc, k
+                    have.union(k),
+                    have,
+                    "inclusion violated at {:?}: {} ⊄ solution",
+                    loc,
+                    k
                 );
             }
         }
@@ -169,12 +174,20 @@ fn solution_is_least_on_intersection_free_systems() {
     let mut outer = Rng64::seed_from_u64(0x502);
     for _ in 0..64 {
         let seed = outer.next_u64();
-        let SysSpec { mut cs, mut locs, vars, loc_ids } = random_system(seed, 6, 5, 12, false);
+        let SysSpec {
+            mut cs,
+            mut locs,
+            vars,
+            loc_ids,
+        } = random_system(seed, 6, 5, 12, false);
         let reference = reference_solve(&cs, &locs);
         let sol = solve(&mut cs, &mut locs);
         for &v in &vars {
             let got = sol.set(&cs, v);
-            let want = reference.get(&cs.find_const(v)).cloned().unwrap_or_default();
+            let want = reference
+                .get(&cs.find_const(v))
+                .cloned()
+                .unwrap_or_default();
             // Same total mask weight both ways = equality of finite maps.
             let got_map: std::collections::HashMap<u32, KindMask> =
                 got.iter().map(|&(l, k)| (l.0, k)).collect();
@@ -188,10 +201,7 @@ fn solution_is_least_on_intersection_free_systems() {
                         .get(&cs.find_const(v))
                         .and_then(|m| m.get(&locs.find_const(l).0))
                         .is_some_and(|k| k.overlaps(kinds));
-                    assert_eq!(
-                        sol.contains(&cs, &locs, v, l, kinds),
-                        want
-                    );
+                    assert_eq!(sol.contains(&cs, &locs, v, l, kinds), want);
                 }
             }
         }
@@ -203,7 +213,12 @@ fn targeted_reaches_agrees_with_full_solution() {
     let mut outer = Rng64::seed_from_u64(0x503);
     for _ in 0..64 {
         let seed = outer.next_u64();
-        let SysSpec { mut cs, mut locs, vars, loc_ids } = random_system(seed, 5, 4, 12, true);
+        let SysSpec {
+            mut cs,
+            mut locs,
+            vars,
+            loc_ids,
+        } = random_system(seed, 5, 4, 12, true);
         let graph = build(&mut cs);
         let sol = {
             // solve() rebuilds its own graph; run it on a clone-shaped
@@ -220,7 +235,10 @@ fn targeted_reaches_agrees_with_full_solution() {
                     assert_eq!(
                         reaches(&graph, &cs, &mut locs, l, kinds, v),
                         sol.contains(&cs, &locs, v, l, kinds),
-                        "loc {:?} kinds {} var {:?}", l, kinds, v
+                        "loc {:?} kinds {} var {:?}",
+                        l,
+                        kinds,
+                        v
                     );
                 }
             }
