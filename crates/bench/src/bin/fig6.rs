@@ -4,7 +4,8 @@
 //!
 //! Run with `cargo run --release -p localias-bench --bin fig6`.
 //! Accepts an optional corpus seed, `--jobs N` worker threads, and
-//! `--cache DIR` / `--no-cache` for the incremental result cache.
+//! `--cache DIR` / `--no-cache` / `--cache-shards N` for the incremental
+//! result cache.
 
 use localias_bench::{run_experiment_cached, text_histogram, CliOpts};
 

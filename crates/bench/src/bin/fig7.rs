@@ -4,9 +4,10 @@
 //!
 //! Run with `cargo run --release -p localias-bench --bin fig7`.
 //! Accepts an optional corpus seed, `--jobs N` worker threads, and
-//! `--cache DIR` / `--no-cache` for the incremental result cache (shared
-//! with `summary`/`fig6`/`experiment`: a warm store serves the 14 rows
-//! here without re-analysis).
+//! `--cache DIR` / `--no-cache` / `--cache-shards N` for the incremental
+//! result cache (shared with `summary`/`fig6`/`experiment`: a warm store
+//! serves the 14 rows here without re-analysis, and the sharded,
+//! lock-protected store makes running them side by side safe).
 
 use localias_bench::{measure_corpus_with_cache, CliOpts};
 use localias_corpus::{generate, FIGURE7};

@@ -11,9 +11,11 @@
 //!
 //! Run with `cargo run --release -p localias-bench --bin precision`.
 //! Accepts the shared CLI surface ([`CliOpts`]); the sweep shares the
-//! experiment's result store (default `.localias-cache/`) under
+//! experiment's sharded result store (default `.localias-cache/`) under
 //! domain-separated keys, so a warm precision sweep re-runs nothing and
-//! never collides with experiment entries.
+//! never collides with experiment entries. Persisting is merge-on-write
+//! under per-shard locks, so `precision` and `experiment` can run side
+//! by side on one cache directory without losing entries.
 
 use localias_alias::andersen::{self, Cell};
 use localias_alias::steensgaard;
@@ -81,7 +83,7 @@ fn main() {
     let seed = opts.seed_or_default();
     let mut cache = match &opts.cache {
         CachePolicy::Disabled => None,
-        CachePolicy::Dir(dir) => Some(AnalysisCache::load(dir)),
+        CachePolicy::Dir { dir, shards } => Some(AnalysisCache::load_sharded(dir, *shards)),
     };
 
     let mut pairs_total = 0u64;

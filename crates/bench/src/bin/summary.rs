@@ -3,9 +3,10 @@
 //!
 //! Run with `cargo run --release -p localias-bench --bin summary`.
 //! Accepts an optional corpus seed, `--jobs N` worker threads (default:
-//! all available cores), `--cache DIR` / `--no-cache` to control the
-//! incremental result cache (default: `.localias-cache/`), and
-//! `--bench-out FILE` for the machine-readable report.
+//! all available cores), `--cache DIR` / `--no-cache` / `--cache-shards N`
+//! to control the incremental result cache (default: `.localias-cache/`,
+//! 16 shard files), and `--bench-out FILE` for the machine-readable
+//! report.
 
 use localias_bench::{run_experiment_cached, CliOpts, ModuleResult};
 

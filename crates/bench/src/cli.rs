@@ -1,18 +1,22 @@
 //! Shared command-line parsing for the experiment entry points.
 //!
-//! `experiment` (the `localias` CLI), `summary`, `fig6`, `fig7`, and
-//! `perf` all accept the same surface:
+//! `experiment` (the `localias` CLI), `summary`, `fig6`, `fig7`,
+//! `precision`, and `perf` all accept the same surface:
 //!
 //! ```text
 //! [SEED] [--jobs N | -j N] [--intra-jobs N] [--cache DIR | --no-cache]
-//! [--bench-out FILE]
+//! [--cache-shards N] [--bench-out FILE]
 //! ```
 //!
 //! so the cache flags land in exactly one place instead of being re-wired
-//! per binary (which is how `--jobs` used to work).
+//! per binary (which is how `--jobs` used to work). Conflicting cache
+//! flags (`--no-cache` together with `--cache` or `--cache-shards`) are
+//! rejected up front, in either order, rather than resolving by flag
+//! position.
 
-use crate::cache::CachePolicy;
+use crate::cache::{CachePolicy, DEFAULT_SHARDS, MAX_SHARDS};
 use localias_corpus::DEFAULT_SEED;
+use std::path::PathBuf;
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
@@ -26,10 +30,12 @@ pub struct CliOpts {
     pub intra_jobs: usize,
     /// Corpus seed, when given positionally.
     pub seed: Option<u64>,
-    /// Result-cache policy (default: enabled under `.localias-cache/`).
+    /// Result-cache policy (default: enabled under `.localias-cache/`,
+    /// partitioned into [`DEFAULT_SHARDS`] shard files).
     pub cache: CachePolicy,
-    /// Whether `--cache`/`--no-cache` was given explicitly (lets binaries
-    /// that ignore the cache warn instead of silently dropping the flag).
+    /// Whether any cache flag (`--cache`/`--no-cache`/`--cache-shards`)
+    /// was given explicitly (lets binaries that ignore the cache warn
+    /// instead of silently dropping the flag).
     pub cache_explicit: bool,
     /// Where to write the machine-readable bench report, if anywhere.
     pub bench_out: Option<String>,
@@ -45,6 +51,7 @@ impl CliOpts {
         let mut intra_jobs: Option<usize> = None;
         let mut seed: Option<u64> = None;
         let mut cache_dir: Option<String> = None;
+        let mut cache_shards: Option<usize> = None;
         let mut no_cache = false;
         let mut bench_out: Option<String> = None;
 
@@ -77,6 +84,21 @@ impl CliOpts {
                     }
                     cache_dir = Some(value_of(&mut it, &a, "a directory")?);
                 }
+                "--cache-shards" => {
+                    if cache_shards.is_some() {
+                        return Err("--cache-shards given more than once".into());
+                    }
+                    let val = value_of(&mut it, &a, "a shard count")?;
+                    let n: usize = val
+                        .parse()
+                        .map_err(|_| format!("bad shard count `{val}`"))?;
+                    if !(1..=MAX_SHARDS).contains(&n) {
+                        return Err(format!(
+                            "--cache-shards must be between 1 and {MAX_SHARDS} (got {n})"
+                        ));
+                    }
+                    cache_shards = Some(n);
+                }
                 "--no-cache" => no_cache = true,
                 "--bench-out" => {
                     if bench_out.is_some() {
@@ -98,16 +120,23 @@ impl CliOpts {
             }
         }
 
+        // Conflicts are checked after the whole argument list is read,
+        // so rejection cannot depend on flag order.
         if no_cache && cache_dir.is_some() {
             return Err("--cache and --no-cache are mutually exclusive".into());
         }
-        let cache_explicit = no_cache || cache_dir.is_some();
+        if no_cache && cache_shards.is_some() {
+            return Err("--cache-shards and --no-cache are mutually exclusive".into());
+        }
+        let cache_explicit = no_cache || cache_dir.is_some() || cache_shards.is_some();
         let cache = if no_cache {
             CachePolicy::Disabled
         } else {
-            match cache_dir {
-                Some(d) => CachePolicy::Dir(d.into()),
-                None => CachePolicy::enabled_default(),
+            CachePolicy::Dir {
+                dir: cache_dir
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from(".localias-cache")),
+                shards: cache_shards.unwrap_or(DEFAULT_SHARDS),
             }
         };
         Ok(CliOpts {
@@ -167,6 +196,8 @@ mod tests {
             "2",
             "--cache",
             "/tmp/c",
+            "--cache-shards",
+            "32",
             "--bench-out",
             "b.json",
         ])
@@ -174,9 +205,31 @@ mod tests {
         assert_eq!(o.jobs, 4);
         assert_eq!(o.intra_jobs, 2);
         assert_eq!(o.seed, Some(31337));
-        assert_eq!(o.cache, CachePolicy::Dir("/tmp/c".into()));
+        assert_eq!(
+            o.cache,
+            CachePolicy::Dir {
+                dir: "/tmp/c".into(),
+                shards: 32
+            }
+        );
         assert!(o.cache_explicit);
         assert_eq!(o.bench_out.as_deref(), Some("b.json"));
+    }
+
+    #[test]
+    fn cache_shards_defaults_and_bounds() {
+        let o = parse(&[]).unwrap();
+        assert!(matches!(o.cache, CachePolicy::Dir { shards, .. } if shards == DEFAULT_SHARDS));
+
+        let o = parse(&["--cache-shards", "1"]).unwrap();
+        assert!(matches!(o.cache, CachePolicy::Dir { shards: 1, .. }));
+        assert!(o.cache_explicit, "--cache-shards is a cache flag");
+
+        assert!(parse(&["--cache-shards"]).is_err());
+        assert!(parse(&["--cache-shards", "x"]).is_err());
+        assert!(parse(&["--cache-shards", "0"]).is_err());
+        assert!(parse(&["--cache-shards", "257"]).is_err());
+        assert!(parse(&["--cache-shards", "4", "--cache-shards", "4"]).is_err());
     }
 
     #[test]
@@ -184,6 +237,31 @@ mod tests {
         let o = parse(&["--no-cache"]).unwrap();
         assert_eq!(o.cache, CachePolicy::Disabled);
         assert!(o.cache_explicit);
+    }
+
+    /// `--no-cache` must conflict with the other cache flags *in either
+    /// order* — never resolve silently by flag position.
+    #[test]
+    fn cache_flag_conflicts_are_order_independent() {
+        for args in [
+            &["--cache", "d", "--no-cache"][..],
+            &["--no-cache", "--cache", "d"][..],
+            &["--cache-shards", "4", "--no-cache"][..],
+            &["--no-cache", "--cache-shards", "4"][..],
+            &["--cache", "d", "--no-cache", "--cache-shards", "4"][..],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains("mutually exclusive"), "{args:?}: {err}");
+        }
+        // The compatible combination still parses.
+        let o = parse(&["--cache", "d", "--cache-shards", "4"]).unwrap();
+        assert_eq!(
+            o.cache,
+            CachePolicy::Dir {
+                dir: "d".into(),
+                shards: 4
+            }
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub mod harness;
 
 pub use cache::{
     AnalysisCache, CachePolicy, CacheStats, CachedValues, PrecisionOutcome, ANALYSIS_VERSION,
+    DEFAULT_SHARDS, MAX_SHARDS,
 };
 pub use cli::CliOpts;
 
@@ -168,6 +169,20 @@ fn json_f64(x: f64) -> String {
     }
 }
 
+/// Renders a counter slice as a JSON array of integers.
+fn json_usize_array(xs: &[usize]) -> String {
+    let mut out = String::with_capacity(2 + xs.len() * 4);
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+    out
+}
+
 /// Escapes a string for embedding in a JSON document.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -193,27 +208,38 @@ impl ExperimentBench {
     }
 
     /// Renders the stats as a small, stable JSON document
-    /// (schema `localias-bench-experiment/v2`).
+    /// (schema `localias-bench-experiment/v3`).
     ///
-    /// v2 extends v1 with the `cache` block (`null` on uncached sweeps)
-    /// and switches every float to a shortest-round-trip rendering, so
-    /// each number parses back to the exact measured value.
+    /// v2 extended v1 with the `cache` block (`null` on uncached sweeps)
+    /// and switched every float to a shortest-round-trip rendering, so
+    /// each number parses back to the exact measured value. v3 extends
+    /// the `cache` block with the sharded-store observability fields:
+    /// `shards`, per-shard `shard_hits`/`shard_misses`, `quarantined`,
+    /// and the lock-contention counters `lock_retries`/`lock_skips`.
     pub fn to_json(&self) -> String {
         let (nc, cf, st) = self.errors;
         let cache = match &self.cache {
             None => "null".to_string(),
             Some(c) => format!(
                 "{{\n    \"hits\": {},\n    \"misses\": {},\n    \"dir\": {},\n    \
+                 \"shards\": {},\n    \"shard_hits\": {},\n    \"shard_misses\": {},\n    \
+                 \"quarantined\": {},\n    \"lock_retries\": {},\n    \"lock_skips\": {},\n    \
                  \"load_seconds\": {},\n    \"store_seconds\": {}\n  }}",
                 c.hits,
                 c.misses,
                 json_str(&c.dir),
+                c.shards,
+                json_usize_array(&c.shard_hits),
+                json_usize_array(&c.shard_misses),
+                c.quarantined,
+                c.lock_retries,
+                c.lock_skips,
                 json_f64(c.load.as_secs_f64()),
                 json_f64(c.store.as_secs_f64()),
             ),
         };
         format!(
-            "{{\n  \"schema\": \"localias-bench-experiment/v2\",\n  \
+            "{{\n  \"schema\": \"localias-bench-experiment/v3\",\n  \
              \"seed\": {},\n  \
              \"modules\": {},\n  \
              \"threads\": {},\n  \
@@ -301,14 +327,21 @@ pub fn measure_corpus_cached(
     let mut raws: Vec<u128> = Vec::new();
     let mut pending: Vec<usize> = Vec::new();
     let mut hits = 0usize;
+    let shards = cache.as_deref().map_or(0, AnalysisCache::shard_count);
+    let mut shard_hits = vec![0usize; shards];
+    let mut shard_misses = vec![0usize; shards];
 
     if let Some(c) = cache.as_deref() {
         for (i, m) in corpus.iter().enumerate() {
             let raw = cache::source_fingerprint(&m.source);
             raws.push(raw);
-            if let Some(e) = c.lookup_raw(raw) {
+            let served = c
+                .resolve_raw(raw)
+                .and_then(|fp| Some((fp, c.lookup_fp(fp)?)));
+            if let Some((fp, e)) = served {
                 slots[i] = Some((e.to_result(&m.name), e.times));
                 hits += 1;
+                shard_hits[c.shard_of(fp)] += 1;
             } else {
                 pending.push(i);
             }
@@ -371,12 +404,14 @@ pub fn measure_corpus_cached(
             CacheNote::CanonHit(fp) => {
                 hits += 1;
                 if let Some(c) = cache.as_deref_mut() {
+                    shard_hits[c.shard_of(fp)] += 1;
                     c.alias_raw(raws[i], fp);
                 }
             }
             CacheNote::Miss(fp) => {
                 misses += 1;
                 if let Some(c) = cache.as_deref_mut() {
+                    shard_misses[c.shard_of(fp)] += 1;
                     c.record(fp, raws[i], CachedOutcome::of(&r, t));
                 }
             }
@@ -401,6 +436,12 @@ pub fn measure_corpus_cached(
         hits,
         misses,
         dir: c.dir_display(),
+        shards,
+        shard_hits,
+        shard_misses,
+        quarantined: c.quarantined(),
+        lock_retries: 0, // lock counters are filled in after persist
+        lock_skips: 0,
         load: c.load_time(),
         store: Duration::ZERO, // filled in after persist
     });
@@ -430,18 +471,21 @@ pub fn measure_corpus_with_cache(
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     match policy {
         CachePolicy::Disabled => measure_corpus_cached(corpus, jobs, intra_jobs, seed, None),
-        CachePolicy::Dir(dir) => {
-            let mut c = AnalysisCache::load(dir);
+        CachePolicy::Dir { dir, shards } => {
+            let mut c = AnalysisCache::load_sharded(dir, *shards);
             let (results, mut bench) =
                 measure_corpus_cached(corpus, jobs, intra_jobs, seed, Some(&mut c));
             if let Err(e) = c.persist() {
                 eprintln!(
-                    "localias-bench: warning: cache not written to {}: {e}",
+                    "localias-bench: warning: cache not fully written to {}: {e}",
                     dir.display()
                 );
             }
             if let Some(stats) = bench.cache.as_mut() {
                 stats.store = c.store_time();
+                stats.quarantined = c.quarantined();
+                stats.lock_retries = c.lock_retries();
+                stats.lock_skips = c.lock_skips();
             }
             (results, bench)
         }
@@ -605,14 +649,26 @@ mod tests {
                 hits: 589,
                 misses: 0,
                 dir: ".localias-cache".into(),
+                shards: 4,
+                shard_hits: vec![147, 148, 147, 147],
+                shard_misses: vec![0, 0, 0, 0],
+                quarantined: 1,
+                lock_retries: 2,
+                lock_skips: 0,
                 load: Duration::from_nanos(1_234_567),
                 store: Duration::from_nanos(89),
             }),
         };
         let json = bench.to_json();
-        assert!(json.contains("\"schema\": \"localias-bench-experiment/v2\""));
+        assert!(json.contains("\"schema\": \"localias-bench-experiment/v3\""));
         assert!(json.contains("\"hits\": 589"));
         assert!(json.contains("\"dir\": \".localias-cache\""));
+        assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"shard_hits\": [147,148,147,147]"));
+        assert!(json.contains("\"shard_misses\": [0,0,0,0]"));
+        assert!(json.contains("\"quarantined\": 1"));
+        assert!(json.contains("\"lock_retries\": 2"));
+        assert!(json.contains("\"lock_skips\": 0"));
         // Extract a float field and check exact parse-back.
         let wall = json
             .lines()

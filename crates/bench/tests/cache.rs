@@ -1,18 +1,21 @@
 //! Correctness regression tests for the incremental analysis cache: warm
 //! results must be byte-identical to cold ones, invalidation must be
-//! exact (one changed module = one miss), broken stores must degrade to
-//! cold runs, and warm sweeps must stay deterministic across thread
-//! counts and seed changes.
+//! exact (one changed module = one miss), broken shards must quarantine
+//! individually and degrade their modules to a cold run, concurrent
+//! writers sharing one store must lose no entries, and warm sweeps must
+//! stay deterministic across thread counts and seed changes.
 
+use localias_bench::cache::shard_file_name;
 use localias_bench::{
     measure_corpus_cached, measure_corpus_timed, measure_corpus_with_cache, AnalysisCache,
-    CachePolicy, ModuleResult,
+    CachePolicy, ModuleResult, ANALYSIS_VERSION,
 };
 use localias_corpus::{generate, GeneratedModule, DEFAULT_SEED};
 use std::path::{Path, PathBuf};
 
 /// Corpus prefix the tests sweep: big enough to cover every generator
-/// archetype, small enough for debug builds.
+/// archetype (and to populate most of the 16 shards), small enough for
+/// debug builds.
 const PREFIX: usize = 40;
 
 /// A fresh, empty cache directory unique to this test.
@@ -21,6 +24,10 @@ fn cache_dir(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("localias-cache-test-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+fn policy(dir: &Path) -> CachePolicy {
+    CachePolicy::dir(dir)
 }
 
 fn slice() -> Vec<GeneratedModule> {
@@ -43,24 +50,57 @@ fn render(results: &[ModuleResult]) -> String {
         .collect()
 }
 
-fn store_path(dir: &Path) -> PathBuf {
-    dir.join(localias_bench::cache::STORE_FILE)
+/// Every `shard-NN.jsonl` currently present under `dir`, sorted.
+fn shard_paths(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().unwrap_or_default().to_string_lossy();
+            name.starts_with("shard-") && name.ends_with(".jsonl")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Number of entry lines (excluding the header) in one shard file.
+fn entry_count(path: &Path) -> usize {
+    std::fs::read_to_string(path).unwrap().lines().count() - 1
 }
 
 #[test]
 fn cold_then_warm_is_byte_identical_and_fully_hits() {
     let dir = cache_dir("cold-warm");
-    let policy = CachePolicy::Dir(dir.clone());
+    let policy = policy(&dir);
     let slice = slice();
 
     let (cold, cold_bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = cold_bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (0, PREFIX));
-    assert!(store_path(&dir).is_file(), "store persisted");
+    assert_eq!(stats.shard_misses.iter().sum::<usize>(), PREFIX);
+    assert_eq!((stats.quarantined, stats.lock_skips), (0, 0));
+    let shards = shard_paths(&dir);
+    assert!(
+        shards.len() > 1,
+        "entries persisted across multiple shard files, got {shards:?}"
+    );
+    assert!(
+        !dir.join(localias_bench::cache::STORE_FILE).exists(),
+        "no legacy monolithic store is written"
+    );
+    assert_eq!(
+        shards.iter().map(|p| entry_count(p)).sum::<usize>(),
+        PREFIX,
+        "every module's entry lands in exactly one shard"
+    );
 
     let (warm, warm_bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = warm_bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
+    assert_eq!(stats.shard_hits.iter().sum::<usize>(), PREFIX);
     assert_eq!(
         render(&cold),
         render(&warm),
@@ -75,7 +115,7 @@ fn cold_then_warm_is_byte_identical_and_fully_hits() {
 #[test]
 fn perturbing_one_module_invalidates_exactly_one() {
     let dir = cache_dir("perturb");
-    let policy = CachePolicy::Dir(dir.clone());
+    let policy = policy(&dir);
     let mut slice = slice();
 
     let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
@@ -89,6 +129,7 @@ fn perturbing_one_module_invalidates_exactly_one() {
         (PREFIX - 1, 1),
         "exactly the perturbed module must miss"
     );
+    assert_eq!(stats.shard_misses.iter().sum::<usize>(), 1);
 
     // The mixed warm/miss report must equal a cold, uncached run of the
     // same perturbed corpus.
@@ -99,7 +140,7 @@ fn perturbing_one_module_invalidates_exactly_one() {
 #[test]
 fn comment_only_change_hits_via_canonical_fingerprint() {
     let dir = cache_dir("comment");
-    let policy = CachePolicy::Dir(dir.clone());
+    let policy = policy(&dir);
     let mut slice = slice();
 
     let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
@@ -118,79 +159,114 @@ fn comment_only_change_hits_via_canonical_fingerprint() {
     assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
 }
 
+/// Corrupting every shard degrades the whole sweep to a cold run — and
+/// each broken shard is quarantined to `*.bad`, never re-parsed.
 #[test]
-fn corrupt_store_falls_back_to_cold_run() {
+fn corrupt_shards_fall_back_to_cold_run() {
     let dir = cache_dir("corrupt");
-    let policy = CachePolicy::Dir(dir.clone());
+    let policy = policy(&dir);
     let slice = slice();
 
     let (cold, _) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
-    std::fs::write(store_path(&dir), b"garbage\x00not a store\n").unwrap();
+    let shards = shard_paths(&dir);
+    for p in &shards {
+        std::fs::write(p, b"garbage\x00not a store\n").unwrap();
+    }
 
     let (recovered, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!(
         (stats.hits, stats.misses),
         (0, PREFIX),
-        "corrupt store must be discarded, not half-used"
+        "corrupt shards must be discarded, not half-used"
     );
+    assert_eq!(stats.quarantined, shards.len(), "one quarantine per shard");
+    for p in &shards {
+        let mut bad = p.as_os_str().to_os_string();
+        bad.push(".bad");
+        assert!(
+            PathBuf::from(bad).exists(),
+            "{} quarantined for inspection",
+            p.display()
+        );
+    }
     assert_eq!(render(&cold), render(&recovered));
 
     // The rewrite healed the store.
     let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
+    assert_eq!(stats.quarantined, 0);
 }
 
+/// Truncating ONE shard mid-entry (the way an interrupted write would)
+/// quarantines only that shard: its modules re-analyze, every other
+/// shard keeps serving hits.
 #[test]
-fn truncated_store_falls_back_to_cold_run() {
+fn truncated_shard_quarantines_only_itself() {
     let dir = cache_dir("truncated");
-    let policy = CachePolicy::Dir(dir.clone());
+    let policy = policy(&dir);
     let slice = slice();
 
     let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
-    let full = std::fs::read(store_path(&dir)).unwrap();
-    // Cut mid-entry (also severing the trailing newline) the way an
-    // interrupted write would.
-    std::fs::write(store_path(&dir), &full[..full.len() - 3]).unwrap();
+    let shards = shard_paths(&dir);
+    assert!(shards.len() > 1, "need multiple shards for this test");
+    let victim = &shards[0];
+    let lost = entry_count(victim);
+    let full = std::fs::read(victim).unwrap();
+    // Cut mid-entry (also severing the trailing newline).
+    std::fs::write(victim, &full[..full.len() - 3]).unwrap();
 
+    let (results, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (PREFIX - lost, lost),
+        "exactly the truncated shard's modules re-analyze"
+    );
+    assert_eq!(stats.quarantined, 1, "only the broken shard quarantines");
+    let (cold, _) = measure_corpus_timed(&slice, 1, DEFAULT_SEED);
+    assert_eq!(render(&cold), render(&results));
+
+    // The re-analysis healed the quarantined shard.
     let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
-    assert_eq!((stats.hits, stats.misses), (0, PREFIX));
+    assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
 }
 
 #[test]
-fn version_mismatched_store_is_discarded() {
+fn version_mismatched_shards_are_discarded() {
     let dir = cache_dir("version");
-    let policy = CachePolicy::Dir(dir.clone());
+    let policy = policy(&dir);
     let slice = slice();
 
     let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
-    let text = std::fs::read_to_string(store_path(&dir)).unwrap();
-    let bumped = text.replacen(
-        &format!("\"analysis_version\":{}", localias_bench::ANALYSIS_VERSION),
-        &format!(
-            "\"analysis_version\":{}",
-            localias_bench::ANALYSIS_VERSION + 1
-        ),
-        1,
-    );
-    assert_ne!(text, bumped);
-    std::fs::write(store_path(&dir), bumped).unwrap();
+    for p in shard_paths(&dir) {
+        let text = std::fs::read_to_string(&p).unwrap();
+        let bumped = text.replacen(
+            &format!("\"analysis_version\":{ANALYSIS_VERSION}"),
+            &format!("\"analysis_version\":{}", ANALYSIS_VERSION - 1),
+            1,
+        );
+        assert_ne!(text, bumped);
+        std::fs::write(&p, bumped).unwrap();
+    }
 
     let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (0, PREFIX));
+    assert!(stats.quarantined > 0);
 }
 
 /// A store written by the PR-2 binary (schema `localias-cache/v1`,
 /// `analysis_version: 1`, named-field entry lines) must be discarded
 /// whole: the checker pipeline changed in v2, so every v1 entry is
-/// potentially stale and none may be served.
+/// potentially stale and none may be served. Under the sharded layout it
+/// is quarantined as a corrupt legacy store.
 #[test]
 fn stale_v1_store_is_discarded_whole() {
     let dir = cache_dir("v1-store");
-    let policy = CachePolicy::Dir(dir.clone());
+    let policy = policy(&dir);
     let slice = slice();
 
     // Reconstruct the exact v1 format from before the bump, entry lines
@@ -204,7 +280,8 @@ fn stale_v1_store_is_discarded_whole() {
             i + 1000
         ));
     }
-    std::fs::write(store_path(&dir), store).unwrap();
+    let legacy = dir.join(localias_bench::cache::STORE_FILE);
+    std::fs::write(&legacy, store).unwrap();
 
     let (results, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
     let stats = bench.cache.expect("cache stats present");
@@ -213,11 +290,35 @@ fn stale_v1_store_is_discarded_whole() {
         (0, PREFIX),
         "every stale v1 entry must be discarded, none served"
     );
+    assert!(!legacy.exists(), "stale legacy store quarantined away");
     let (cold, _) = measure_corpus_timed(&slice, 1, DEFAULT_SEED);
     assert_eq!(render(&cold), render(&results));
 
-    // The sweep replaced the stale store with a current one.
+    // The sweep replaced the stale store with a current sharded one.
     let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
+}
+
+/// `--cache-shards 1` degenerates to a single shard file and still
+/// round-trips; a later load under the default shard count reads it.
+#[test]
+fn single_shard_store_round_trips_across_shard_counts() {
+    let dir = cache_dir("one-shard");
+    let slice = slice();
+    let one = CachePolicy::Dir {
+        dir: dir.clone(),
+        shards: 1,
+    };
+
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &one);
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!(stats.shards, 1);
+    assert_eq!(stats.shard_misses, vec![PREFIX]);
+    assert_eq!(shard_paths(&dir), vec![dir.join(shard_file_name(0))]);
+
+    // Default shard count loads the single-shard layout without loss.
+    let (_, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy(&dir));
     let stats = bench.cache.expect("cache stats present");
     assert_eq!((stats.hits, stats.misses), (PREFIX, 0));
 }
@@ -225,7 +326,7 @@ fn stale_v1_store_is_discarded_whole() {
 #[test]
 fn warm_sweep_is_deterministic_across_thread_counts() {
     let dir = cache_dir("jobs");
-    let policy = CachePolicy::Dir(dir.clone());
+    let policy = policy(&dir);
     let slice = slice();
 
     let _ = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy);
@@ -264,7 +365,7 @@ fn warm_sweep_is_deterministic_across_thread_counts() {
 #[test]
 fn perturbed_seed_reports_match_a_cold_run() {
     let dir = cache_dir("seed");
-    let policy = CachePolicy::Dir(dir.clone());
+    let policy = policy(&dir);
 
     let slice_a = slice();
     let _ = measure_corpus_with_cache(&slice_a, 1, 1, DEFAULT_SEED, &policy);
@@ -274,4 +375,90 @@ fn perturbed_seed_reports_match_a_cold_run() {
     let (via_cache, _) = measure_corpus_with_cache(&slice_b, 1, 1, DEFAULT_SEED + 1, &policy);
     let (cold, _) = measure_corpus_timed(&slice_b, 1, DEFAULT_SEED + 1);
     assert_eq!(render(&cold), render(&via_cache));
+}
+
+// ---------------------------------------------------------------------
+// Multi-process concurrency: the PR-2/PR-3 monolithic store lost one
+// writer's entries whenever two processes raced the final rename. The
+// sharded merge-on-write store must keep the exact union.
+
+/// Child-process entry point, re-executed from the test binary itself
+/// (guarded by an env var, so it is an instant no-op as a normal test).
+/// Loads the shared cache while it is still empty, rendezvouses with its
+/// sibling, then sweeps its half of the corpus and persists — the exact
+/// interleaving (load before the sibling's persist) that clobbered the
+/// monolithic store.
+#[test]
+fn concurrent_child() {
+    let Ok(spec) = std::env::var("LOCALIAS_CACHE_TEST_CHILD") else {
+        return;
+    };
+    let parts: Vec<&str> = spec.split('|').collect();
+    let [dir, lo, hi, peer] = parts[..] else {
+        panic!("bad child spec {spec:?}");
+    };
+    let dir = PathBuf::from(dir);
+    let (lo, hi): (usize, usize) = (lo.parse().unwrap(), hi.parse().unwrap());
+
+    let corpus = generate(DEFAULT_SEED);
+    let slice = corpus[lo..hi].to_vec();
+    let mut cache = AnalysisCache::load(&dir);
+    assert!(cache.is_empty(), "child must load the pre-sweep store");
+
+    // Rendezvous: both children hold an empty in-memory store before
+    // either persists, so a lost-update bug cannot hide behind timing.
+    std::fs::write(dir.join(format!("ready.{lo}")), "").unwrap();
+    let peer = dir.join(format!("ready.{peer}"));
+    let t0 = std::time::Instant::now();
+    while !peer.exists() {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(60),
+            "sibling never arrived"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let (_, bench) = measure_corpus_cached(&slice, 1, 1, DEFAULT_SEED, Some(&mut cache));
+    assert_eq!(bench.cache.unwrap().misses, hi - lo);
+    cache.persist().expect("child persist");
+}
+
+/// Two real processes sweep disjoint corpus halves into one cache
+/// directory concurrently; the final store must hold the exact union
+/// (a third, warm sweep over the full slice hits on every module).
+#[test]
+fn concurrent_disjoint_sweeps_lose_no_entries() {
+    let dir = cache_dir("concurrent");
+    std::fs::create_dir_all(&dir).unwrap();
+    let exe = std::env::current_exe().unwrap();
+    let mid = PREFIX / 2;
+
+    let spawn = |lo: usize, hi: usize, peer: usize| {
+        std::process::Command::new(&exe)
+            .args(["--exact", "concurrent_child", "--nocapture"])
+            .env(
+                "LOCALIAS_CACHE_TEST_CHILD",
+                format!("{}|{lo}|{hi}|{peer}", dir.display()),
+            )
+            .spawn()
+            .expect("child spawns")
+    };
+    let mut a = spawn(0, mid, mid);
+    let mut b = spawn(mid, PREFIX, 0);
+    assert!(a.wait().expect("child a").success(), "child a failed");
+    assert!(b.wait().expect("child b").success(), "child b failed");
+
+    // The union survived: a warm sweep over the full slice serves every
+    // module from the store and re-analyzes nothing.
+    let slice = slice();
+    let (warm, bench) = measure_corpus_with_cache(&slice, 1, 1, DEFAULT_SEED, &policy(&dir));
+    let stats = bench.cache.expect("cache stats present");
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (PREFIX, 0),
+        "both children's entries must survive concurrent persists"
+    );
+    assert_eq!(stats.quarantined, 0, "no shard was harmed in the race");
+    let (cold, _) = measure_corpus_timed(&slice, 1, DEFAULT_SEED);
+    assert_eq!(render(&cold), render(&warm), "union serves exact results");
 }

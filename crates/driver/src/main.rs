@@ -9,13 +9,17 @@
 //! localias run     <file.mc> [arg]    # execute under the §3.2 semantics
 //! localias corpus  <dir> [seed]       # dump the synthetic driver corpus
 //! localias experiment [seed] [--jobs N] [--intra-jobs N]
-//!                    [--cache DIR | --no-cache] [--bench-out FILE]
+//!                    [--cache DIR | --no-cache] [--cache-shards N]
+//!                    [--bench-out FILE]
 //!                                     # run the full Section 7 experiment
 //! ```
 //!
 //! `experiment` keeps an incremental result cache (default
 //! `.localias-cache/`): modules whose source is unchanged since the last
-//! sweep are served from the store instead of being re-analyzed.
+//! sweep are served from the store instead of being re-analyzed. The
+//! store is sharded (`--cache-shards N` files, default 16) and persisted
+//! merge-on-write under per-shard locks, so concurrent sweeps sharing a
+//! cache directory never lose each other's entries.
 //!
 //! Modes for `locks`: `noconfine` (default), `confine`, `allstrong`.
 
@@ -56,10 +60,12 @@ fn main() -> ExitCode {
                  run     <file.mc> [arg]    execute every function (restrict = copy-and-poison)\n\
                  corpus  <dir> [seed]       write the synthetic driver corpus to <dir>\n\
                  experiment [seed] [--jobs N] [--intra-jobs N] [--cache DIR | --no-cache]\n\
-                 \x20                          [--bench-out FILE]\n\
+                 \x20                          [--cache-shards N] [--bench-out FILE]\n\
                  \x20                          run the full Section 7 experiment in parallel,\n\
-                 \x20                          incrementally via the result cache (default\n\
-                 \x20                          .localias-cache/; only changed modules re-analyze)"
+                 \x20                          incrementally via the sharded result cache\n\
+                 \x20                          (default .localias-cache/, 16 shards; only\n\
+                 \x20                          changed modules re-analyze, and concurrent\n\
+                 \x20                          sweeps sharing the dir merge instead of clobber)"
             );
             return ExitCode::from(2);
         }

@@ -146,6 +146,14 @@ fn experiment_flag_surface_is_validated() {
     assert!(!ok);
     assert!(err.contains("mutually exclusive"), "{err}");
 
+    let (_, err, ok) = localias(&["experiment", "--no-cache", "--cache-shards", "4"]);
+    assert!(!ok);
+    assert!(err.contains("mutually exclusive"), "{err}");
+
+    let (_, err, ok) = localias(&["experiment", "--cache-shards", "0"]);
+    assert!(!ok);
+    assert!(err.contains("--cache-shards must be between"), "{err}");
+
     let (_, err, ok) = localias(&["experiment", "--frobnicate"]);
     assert!(!ok);
     assert!(err.contains("unknown flag"), "{err}");

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Runs the full §7 experiment sweep twice — cold (fresh cache) and warm
 # (fully cached) — and writes machine-readable performance reports
-# (schema localias-bench-experiment/v2) to the repo root:
+# (schema localias-bench-experiment/v3, with per-shard cache counters)
+# to the repo root:
 #
 #   BENCH_experiment_cold.json   cold sweep, cache.misses == modules
 #   BENCH_experiment.json        warm sweep, cache.hits   == modules

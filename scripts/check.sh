@@ -1,7 +1,10 @@
 #!/bin/sh
-# CI gate: formatting + lints, tier-1 build + tests, a mega-module smoke
-# run of the wave-parallel checker, then a warm-cache smoke sweep that
-# proves the incremental cache fully hits on an unchanged corpus.
+# CI gate: formatting + lints, tier-1 build + tests (workspace-wide, which
+# includes the multi-process cache concurrency test), a mega-module smoke
+# run of the wave-parallel checker, a warm-cache smoke sweep that proves
+# the incremental cache fully hits on an unchanged corpus, and a
+# crash-recovery smoke that kills a sweep mid-run and fabricates the
+# worst-case crash artifacts to prove the sharded store heals itself.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,7 +12,13 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
-cargo test -q
+cargo test -q --workspace
+
+# The concurrent-writer regression is the load-bearing test of the
+# sharded store: two real processes persisting into one cache dir must
+# lose no entries. Gate it by name so a filtered test run can't skip it.
+cargo test -q -p localias-bench --test cache \
+    concurrent_disjoint_sweeps_lose_no_entries >/dev/null
 
 # Cold pass primes a throwaway cache; warm pass must hit on all 589
 # modules and miss on none.
@@ -32,6 +41,63 @@ grep -q '"misses": 0' "$WARM" || {
     exit 1
 }
 
+# Crash-recovery smoke, part 1: kill a sweep outright partway through.
+# Whatever it leaves behind (partial shards, temp files, a held lock),
+# the next sweep must load cleanly and exit 0.
+KILLED="$CACHE/killed"
+./target/release/localias experiment --jobs 1 --cache "$KILLED" >/dev/null &
+SWEEP=$!
+sleep 0.3
+kill -9 "$SWEEP" 2>/dev/null || true
+wait "$SWEEP" 2>/dev/null || true
+./target/release/localias experiment --jobs 1 --cache "$KILLED" >/dev/null || {
+    echo "check.sh: sweep after a kill -9 crash did not recover" >&2
+    exit 1
+}
+
+# Part 2: fabricate the worst-case crash deterministically — one shard
+# truncated mid-entry, an orphaned temp file and a stale lock left by a
+# dead process — and prove the next sweep quarantines exactly the broken
+# shard, sweeps the orphan, breaks the lock, and heals the store.
+CRASH="$CACHE/crash"
+./target/release/localias experiment --jobs 1 --cache "$CRASH" >/dev/null
+SHARD=$(ls "$CRASH"/shard-*.jsonl | head -n 1)
+SIZE=$(wc -c <"$SHARD")
+head -c $((SIZE - 5)) "$SHARD" >"$SHARD.cut"
+mv "$SHARD.cut" "$SHARD"
+: >"$SHARD.tmp.999999999"
+echo 999999999 >"${SHARD%.jsonl}.lock"
+
+RECOVER="$CRASH/recover.json"
+./target/release/localias experiment --jobs 1 --cache "$CRASH" \
+    --bench-out "$RECOVER" >/dev/null
+grep -q '"quarantined": 1' "$RECOVER" || {
+    echo "check.sh: recovery sweep did not quarantine exactly one shard:" >&2
+    cat "$RECOVER" >&2
+    exit 1
+}
+BAD=$(ls "$CRASH"/*.bad 2>/dev/null | wc -l)
+[ "$BAD" -eq 1 ] || {
+    echo "check.sh: expected exactly one quarantined *.bad file, found $BAD" >&2
+    ls "$CRASH" >&2
+    exit 1
+}
+[ ! -e "$SHARD.tmp.999999999" ] || {
+    echo "check.sh: orphaned temp file from a dead pid was not swept" >&2
+    exit 1
+}
+
+# The recovery sweep re-analyzed the lost shard and persisted it back:
+# one more pass must fully hit again.
+HEALED="$CRASH/healed.json"
+./target/release/localias experiment --jobs 1 --cache "$CRASH" \
+    --bench-out "$HEALED" >/dev/null
+grep -q '"hits": 589' "$HEALED" && grep -q '"misses": 0' "$HEALED" || {
+    echo "check.sh: store did not heal after crash recovery:" >&2
+    cat "$HEALED" >&2
+    exit 1
+}
+
 # Mega-module smoke: the wave-parallel checker must produce reports
 # byte-identical to the sequential schedule (asserted inside the bin).
 INTRA="$CACHE/intra.json"
@@ -43,4 +109,4 @@ grep -q '"schema": "localias-bench-intra/v1"' "$INTRA" || {
     exit 1
 }
 
-echo "check.sh: fmt, clippy, build, tests, mega smoke, and warm-cache sweep all passed"
+echo "check.sh: fmt, clippy, build, tests, concurrency gate, warm-cache sweep, crash recovery, and mega smoke all passed"
