@@ -19,6 +19,7 @@
 
 use crate::loc::{LocTable, Multiplicity};
 use crate::Loc;
+use localias_obs as obs;
 
 /// An immutable resolution table over the abstract locations of one
 /// analysis run. See the module docs for the freezing invariant.
@@ -64,6 +65,7 @@ impl FrozenLocs {
     /// Panics if `l` was allocated after the freeze.
     #[inline]
     pub fn find(&self, l: Loc) -> Loc {
+        obs::count(obs::Counter::AliasFindOps, 1);
         Loc(self.rep[l.index()])
     }
 

@@ -8,6 +8,7 @@
 
 use crate::ty::Ty;
 use crate::union_find::UnionFind;
+use localias_obs as obs;
 use std::fmt;
 
 /// An abstract location `ρ`.
@@ -108,6 +109,7 @@ impl LocTable {
 
     /// Allocates a fresh location with an explicit multiplicity.
     pub fn fresh_with(&mut self, name: impl Into<String>, content: Ty, mult: Multiplicity) -> Loc {
+        obs::count(obs::Counter::AliasFreshLocs, 1);
         let key = self.uf.push();
         self.info.push(LocInfo {
             name: name.into(),
@@ -145,6 +147,7 @@ impl LocTable {
 
     /// Canonical representative of `l`.
     pub fn find(&mut self, l: Loc) -> Loc {
+        obs::count(obs::Counter::AliasFindOps, 1);
         Loc(self.uf.find(l.0))
     }
 
@@ -197,6 +200,7 @@ impl LocTable {
     pub fn union_raw(&mut self, a: Loc, b: Loc) -> Option<(Loc, Loc)> {
         let merged = self.uf.union(a.0, b.0).map(|(w, l)| (Loc(w), Loc(l)));
         if let Some((winner, loser)) = merged {
+            obs::count(obs::Counter::AliasUnifications, 1);
             // Keep the earlier-created name for stable diagnostics, merge
             // taint.
             if loser.0 < winner.0 {

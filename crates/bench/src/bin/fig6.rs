@@ -7,18 +7,27 @@
 //! `--cache DIR` / `--no-cache` / `--cache-shards N` for the incremental
 //! result cache.
 
-use localias_bench::{run_experiment_cached, text_histogram, CliOpts};
+use localias_bench::{finish_obs, init_obs, run_experiment_cached, text_histogram, CliOpts};
+use localias_obs as obs;
 
 fn main() {
     let opts = match CliOpts::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("fig6: {e}");
+            obs::error!("fig6: {e}");
             std::process::exit(2);
         }
     };
+    init_obs(&opts);
     let seed = opts.seed_or_default();
-    let (results, bench) = run_experiment_cached(seed, opts.jobs, opts.intra_jobs, &opts.cache);
+    let (results, mut bench) = run_experiment_cached(seed, opts.jobs, opts.intra_jobs, &opts.cache);
+    match finish_obs(&opts) {
+        Ok(trace) => bench.profile = trace,
+        Err(e) => {
+            obs::error!("fig6: {e}");
+            std::process::exit(1);
+        }
+    }
 
     // The modules where confine inference could make a difference.
     let eliminations: Vec<usize> = results
@@ -62,7 +71,7 @@ fn main() {
     );
     if let Some(path) = &opts.bench_out {
         if let Err(e) = std::fs::write(path, bench.to_json()) {
-            eprintln!("fig6: {path}: {e}");
+            obs::error!("fig6: {path}: {e}");
             std::process::exit(1);
         }
     }

@@ -9,17 +9,19 @@
 //! serves the 14 rows here without re-analysis, and the sharded,
 //! lock-protected store makes running them side by side safe).
 
-use localias_bench::{measure_corpus_with_cache, CliOpts};
+use localias_bench::{finish_obs, init_obs, measure_corpus_with_cache, CliOpts};
 use localias_corpus::{generate, FIGURE7};
+use localias_obs as obs;
 
 fn main() {
     let opts = match CliOpts::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("fig7: {e}");
+            obs::error!("fig7: {e}");
             std::process::exit(2);
         }
     };
+    init_obs(&opts);
     let seed = opts.seed_or_default();
     let corpus = generate(seed);
 
@@ -43,8 +45,15 @@ fn main() {
                 .clone()
         })
         .collect();
-    let (measured, bench) =
+    let (measured, mut bench) =
         measure_corpus_with_cache(&rows, opts.jobs, opts.intra_jobs, seed, &opts.cache);
+    match finish_obs(&opts) {
+        Ok(trace) => bench.profile = trace,
+        Err(e) => {
+            obs::error!("fig7: {e}");
+            std::process::exit(1);
+        }
+    }
     let mut exact = 0;
     for (&(name, nc, cf, as_), r) in FIGURE7.iter().zip(&measured) {
         if (r.no_confine, r.confine, r.all_strong) == (nc, cf, as_) {
@@ -65,7 +74,7 @@ fn main() {
     }
     if let Some(path) = &opts.bench_out {
         if let Err(e) = std::fs::write(path, bench.to_json()) {
-            eprintln!("fig7: {path}: {e}");
+            obs::error!("fig7: {path}: {e}");
             std::process::exit(1);
         }
     }

@@ -10,14 +10,17 @@
 //! Accepts `[SEED] [--funs N] [--intra-jobs N] [--bench-out FILE]`;
 //! `--intra-jobs` sets the parallel row's thread count (default: all
 //! cores). The machine-readable report (`--bench-out`, conventionally
-//! `BENCH_intra.json`) uses schema `localias-bench-intra/v1` with
-//! per-wave timings from the parallel run.
+//! `BENCH_intra.json`) uses schema `localias-bench-intra/v2` with
+//! per-wave timings from the parallel run; v2 added each wave's
+//! `max_fun_seconds` — the straggler function that bounds how much
+//! parallelism can help that wave.
 
-use localias_bench::CliOpts;
+use localias_bench::harness::best_of;
+use localias_bench::{finish_obs, init_obs, CliOpts};
 use localias_corpus::{mega_module, DEFAULT_MEGA_FUNS};
 use localias_cqual::{check_locks_frozen_timed, IntraStats, Mode};
+use localias_obs as obs;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 const MODES: [(Mode, &str); 3] = [
     (Mode::NoConfine, "no_confine"),
@@ -55,7 +58,7 @@ fn main() {
             funs = match val.parse() {
                 Ok(n) => n,
                 Err(_) => {
-                    eprintln!("intra: bad function count `{val}`");
+                    obs::error!("intra: bad function count `{val}`");
                     std::process::exit(2);
                 }
             };
@@ -66,12 +69,13 @@ fn main() {
     let opts = match CliOpts::parse(rest) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("intra: {e}");
+            obs::error!("intra: {e}");
             std::process::exit(2);
         }
     };
+    init_obs(&opts);
     if opts.cache_explicit {
-        eprintln!("intra: note: intra measures uncached analysis; cache flags are ignored");
+        obs::warn!("intra: note: intra measures uncached analysis; cache flags are ignored");
     }
     // Default (1 = the surface's sequential default) means "all cores"
     // here: the sequential row is always measured anyway.
@@ -100,25 +104,17 @@ fn main() {
             Mode::NoConfine | Mode::AllStrong => shared.base_frozen(),
         };
 
-        let time = |jobs: usize| {
-            let mut best = f64::INFINITY;
-            let mut kept = None;
-            for _ in 0..REPS {
-                let t0 = Instant::now();
-                let (report, stats) =
-                    check_locks_frozen_timed(&parsed, analysis, frozen, mode, jobs);
-                let secs = t0.elapsed().as_secs_f64();
-                if secs < best {
-                    best = secs;
-                    kept = Some((report, stats));
-                }
-            }
-            let (report, stats) = kept.expect("at least one reap");
+        // Reports are byte-identical run to run, so best-of-REPS may keep
+        // the first run's report with the fastest run's time.
+        let time = |jobs: usize, label: &'static str| {
+            let ((report, stats), best) = best_of(label, REPS, || {
+                check_locks_frozen_timed(&parsed, analysis, frozen, mode, jobs)
+            });
             (best, report, stats)
         };
 
-        let (sequential, seq_report, _) = time(1);
-        let (parallel, par_report, stats) = time(par_jobs);
+        let (sequential, seq_report, _) = time(1, "intra.sequential");
+        let (parallel, par_report, stats) = time(par_jobs, "intra.parallel");
         assert_eq!(
             par_report, seq_report,
             "parallel report must be byte-identical to sequential ({mode:?})"
@@ -160,9 +156,10 @@ fn main() {
                 .iter()
                 .map(|w| {
                     format!(
-                        "{{\"functions\": {}, \"seconds\": {}}}",
+                        "{{\"functions\": {}, \"seconds\": {}, \"max_fun_seconds\": {}}}",
                         w.functions,
-                        jf(w.seconds)
+                        jf(w.seconds),
+                        jf(w.max_fun_seconds)
                     )
                 })
                 .collect();
@@ -181,7 +178,7 @@ fn main() {
             );
         }
         let json = format!(
-            "{{\n  \"schema\": \"localias-bench-intra/v1\",\n  \"seed\": {seed},\n  \
+            "{{\n  \"schema\": \"localias-bench-intra/v2\",\n  \"seed\": {seed},\n  \
              \"funs\": {funs},\n  \"threads\": {threads},\n  \
              \"sequential_seconds\": {},\n  \"parallel_seconds\": {},\n  \
              \"speedup\": {},\n  \"modes\": {{\n{modes}  }}\n}}\n",
@@ -190,9 +187,13 @@ fn main() {
             jf(total_seq / total_par),
         );
         if let Err(e) = std::fs::write(path, json) {
-            eprintln!("intra: {path}: {e}");
+            obs::error!("intra: {path}: {e}");
             std::process::exit(1);
         }
         println!("(wrote {path})");
+    }
+    if let Err(e) = finish_obs(&opts) {
+        obs::error!("intra: {e}");
+        std::process::exit(1);
     }
 }

@@ -10,21 +10,24 @@
 //! `perf` always measures the analyses themselves, so the result cache is
 //! never consulted here (`--cache`/`--no-cache` draw a warning).
 
-use localias_bench::{measure_corpus, CliOpts};
+use localias_bench::harness::{avg_of, timed};
+use localias_bench::{finish_obs, init_obs, measure_corpus, CliOpts};
 use localias_corpus::generate;
 use localias_cqual::{check_locks, Mode};
-use std::time::Instant;
+use localias_obs as obs;
+use std::time::Duration;
 
 fn main() {
     let opts = match CliOpts::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("perf: {e}");
+            obs::error!("perf: {e}");
             std::process::exit(2);
         }
     };
+    init_obs(&opts);
     if opts.cache_explicit {
-        eprintln!("perf: note: perf measures uncached analysis; cache flags are ignored");
+        obs::warn!("perf: note: perf measures uncached analysis; cache flags are ignored");
     }
     let corpus = generate(opts.seed_or_default());
 
@@ -46,32 +49,25 @@ fn main() {
         "module", "size (B)", "without (ms)", "with (ms)", "overhead"
     );
 
-    const REPS: u32 = 20;
+    const REPS: usize = 20;
     for m in subjects {
         let parsed = m.parse();
         // Warm up.
         let _ = check_locks(&parsed, Mode::NoConfine);
         let _ = check_locks(&parsed, Mode::Confine);
 
-        let t0 = Instant::now();
-        for _ in 0..REPS {
-            let _ = check_locks(&parsed, Mode::NoConfine);
-        }
-        let without = t0.elapsed() / REPS;
+        let (_, without) = avg_of("perf.no_confine", REPS, || {
+            check_locks(&parsed, Mode::NoConfine)
+        });
+        let (_, with) = avg_of("perf.confine", REPS, || check_locks(&parsed, Mode::Confine));
 
-        let t1 = Instant::now();
-        for _ in 0..REPS {
-            let _ = check_locks(&parsed, Mode::Confine);
-        }
-        let with = t1.elapsed() / REPS;
-
-        let overhead = 100.0 * (with.as_secs_f64() - without.as_secs_f64()) / without.as_secs_f64();
+        let overhead = 100.0 * (with - without) / without;
         println!(
             "{:<22} {:>10} {:>14.3} {:>14.3} {:>8.0}%",
             m.name,
             m.source.len(),
-            without.as_secs_f64() * 1e3,
-            with.as_secs_f64() * 1e3,
+            without * 1e3,
+            with * 1e3,
             overhead
         );
     }
@@ -93,26 +89,32 @@ fn main() {
             format!("{sweep_jobs} threads (shared row only)")
         }
     );
-    let t0 = Instant::now();
-    for m in &corpus {
-        let p = m.parse();
-        let _ = check_locks(&p, Mode::NoConfine).error_count();
-        let _ = check_locks(&p, Mode::Confine).error_count();
-        let _ = check_locks(&p, Mode::AllStrong).error_count();
-    }
-    let independent = t0.elapsed();
-
-    let t1 = Instant::now();
-    let _ = measure_corpus(&corpus, sweep_jobs);
-    let shared = t1.elapsed();
+    let (_, independent) = timed("perf.independent_sweep", || {
+        for m in &corpus {
+            let p = m.parse();
+            let _ = check_locks(&p, Mode::NoConfine).error_count();
+            let _ = check_locks(&p, Mode::Confine).error_count();
+            let _ = check_locks(&p, Mode::AllStrong).error_count();
+        }
+    });
+    let (_, shared) = timed("perf.shared_sweep", || measure_corpus(&corpus, sweep_jobs));
 
     println!(
         "{:<38} {:>10.1?}",
-        "  three independent pipelines/module", independent
+        "  three independent pipelines/module",
+        Duration::from_secs_f64(independent)
     );
-    println!("{:<38} {:>10.1?}", "  shared base analysis", shared);
+    println!(
+        "{:<38} {:>10.1?}",
+        "  shared base analysis",
+        Duration::from_secs_f64(shared)
+    );
     println!(
         "  speedup: {:.2}x (before parallel fan-out; multiply by cores)",
-        independent.as_secs_f64() / shared.as_secs_f64()
+        independent / shared
     );
+    if let Err(e) = finish_obs(&opts) {
+        obs::error!("perf: {e}");
+        std::process::exit(1);
+    }
 }

@@ -20,8 +20,11 @@
 use localias_alias::andersen::{self, Cell};
 use localias_alias::steensgaard;
 use localias_bench::cache::{precision_fingerprint, PrecisionOutcome};
-use localias_bench::{AnalysisCache, CachePolicy, CliOpts};
+use localias_bench::harness::timed;
+use localias_bench::{finish_obs, init_obs, AnalysisCache, CachePolicy, CliOpts};
 use localias_corpus::random_module_source;
+use localias_obs as obs;
+use std::time::Duration;
 
 /// Number of random pointer-heavy modules to compare.
 const MODULES: u64 = 400;
@@ -76,10 +79,11 @@ fn main() {
     let opts = match CliOpts::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("precision: {e}");
+            obs::error!("precision: {e}");
             std::process::exit(2);
         }
     };
+    init_obs(&opts);
     let seed = opts.seed_or_default();
     let mut cache = match &opts.cache {
         CachePolicy::Disabled => None,
@@ -93,35 +97,36 @@ fn main() {
     let mut hits = 0usize;
     let mut misses = 0usize;
 
-    let t0 = std::time::Instant::now();
-    for k in 0..MODULES {
-        let src = random_module_source(seed.wrapping_add(k), STMTS);
-        let key = precision_fingerprint(&src);
-        let outcome = match cache.as_ref().and_then(|c| c.lookup_values(key)) {
-            Some(v) => {
-                hits += 1;
-                PrecisionOutcome::from_values(v)
-            }
-            None => {
-                misses += 1;
-                let o = measure(&src);
-                if let Some(c) = cache.as_mut() {
-                    c.record_values(key, key, o.to_values());
+    let (_, elapsed) = timed("precision.sweep", || {
+        for k in 0..MODULES {
+            let src = random_module_source(seed.wrapping_add(k), STMTS);
+            let key = precision_fingerprint(&src);
+            let outcome = match cache.as_ref().and_then(|c| c.lookup_values(key)) {
+                Some(v) => {
+                    hits += 1;
+                    PrecisionOutcome::from_values(v)
                 }
-                o
+                None => {
+                    misses += 1;
+                    let o = measure(&src);
+                    if let Some(c) = cache.as_mut() {
+                        c.record_values(key, key, o.to_values());
+                    }
+                    o
+                }
+            };
+            pairs_total += outcome.pairs;
+            aliased_uni += outcome.aliased_uni;
+            aliased_incl += outcome.aliased_incl;
+            if outcome.gap {
+                modules_with_gap += 1;
             }
-        };
-        pairs_total += outcome.pairs;
-        aliased_uni += outcome.aliased_uni;
-        aliased_incl += outcome.aliased_incl;
-        if outcome.gap {
-            modules_with_gap += 1;
         }
-    }
-    let elapsed = t0.elapsed();
+    });
+    let elapsed = Duration::from_secs_f64(elapsed);
     if let Some(c) = cache.as_mut() {
         if let Err(e) = c.persist() {
-            eprintln!("precision: warning: cache not written ({e})");
+            obs::warn!("precision: warning: cache not written ({e})");
         }
     }
 
@@ -150,5 +155,9 @@ fn main() {
         println!("(both analyses over {MODULES} modules in {elapsed:.2?}; cache: {hits} hits, {misses} misses)");
     } else {
         println!("(both analyses over {MODULES} modules in {elapsed:.2?}, uncached)");
+    }
+    if let Err(e) = finish_obs(&opts) {
+        obs::error!("precision: {e}");
+        std::process::exit(1);
     }
 }

@@ -8,18 +8,27 @@
 //! 16 shard files), and `--bench-out FILE` for the machine-readable
 //! report.
 
-use localias_bench::{run_experiment_cached, CliOpts, ModuleResult};
+use localias_bench::{finish_obs, init_obs, run_experiment_cached, CliOpts, ModuleResult};
+use localias_obs as obs;
 
 fn main() {
     let opts = match CliOpts::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("summary: {e}");
+            obs::error!("summary: {e}");
             std::process::exit(2);
         }
     };
+    init_obs(&opts);
     let seed = opts.seed_or_default();
-    let (results, bench) = run_experiment_cached(seed, opts.jobs, opts.intra_jobs, &opts.cache);
+    let (results, mut bench) = run_experiment_cached(seed, opts.jobs, opts.intra_jobs, &opts.cache);
+    match finish_obs(&opts) {
+        Ok(trace) => bench.profile = trace,
+        Err(e) => {
+            obs::error!("summary: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let clean = results.iter().filter(|r| r.no_confine == 0).count();
     let real = results
@@ -86,7 +95,7 @@ fn main() {
     }
     if let Some(path) = &opts.bench_out {
         if let Err(e) = std::fs::write(path, bench.to_json()) {
-            eprintln!("summary: {path}: {e}");
+            obs::error!("summary: {path}: {e}");
             std::process::exit(1);
         }
         println!("(wrote {path})");

@@ -62,6 +62,7 @@
 //! removed.
 
 use crate::{ModuleResult, PhaseTimes};
+use localias_obs as obs;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -286,7 +287,7 @@ impl PrecisionOutcome {
 }
 
 /// Cache statistics for one sweep, reported in
-/// `localias-bench-experiment/v3` documents.
+/// `localias-bench-experiment/v4` documents.
 #[derive(Debug, Clone, Default)]
 pub struct CacheStats {
     /// Modules served from the cache (raw or canonical fingerprint).
@@ -391,12 +392,13 @@ impl AnalysisCache {
                     cache.by_raw.extend(by_raw);
                 }
                 Err(why) => {
-                    eprintln!(
+                    obs::warn!(
                         "localias-bench: warning: quarantining cache shard {} ({why})",
                         path.display()
                     );
                     quarantine(&path);
                     cache.quarantined += 1;
+                    obs::count(obs::Counter::CacheQuarantined, 1);
                 }
             }
         }
@@ -422,12 +424,13 @@ impl AnalysisCache {
                     cache.legacy = Some(legacy_path);
                 }
                 Err(why) => {
-                    eprintln!(
+                    obs::warn!(
                         "localias-bench: warning: quarantining legacy cache store {} ({why})",
                         legacy_path.display()
                     );
                     quarantine(&legacy_path);
                     cache.quarantined += 1;
+                    obs::count(obs::Counter::CacheQuarantined, 1);
                 }
             }
         }
@@ -561,7 +564,7 @@ impl AnalysisCache {
             }
         }
         if dangling > 0 {
-            eprintln!(
+            obs::warn!(
                 "localias-bench: warning: dropping {dangling} raw alias(es) whose backing \
                  entry is missing (store was corrupted or partially quarantined)"
             );
@@ -577,7 +580,7 @@ impl AnalysisCache {
                 }
                 Ok(false) => {} // skipped (contended or foreign); stays dirty
                 Err(e) => {
-                    eprintln!(
+                    obs::warn!(
                         "localias-bench: warning: cache shard {} not written: {e}",
                         self.dir.join(shard_file_name(s)).display()
                     );
@@ -610,12 +613,13 @@ impl AnalysisCache {
         let path = self.dir.join(shard_file_name(s));
         let lock_path = self.dir.join(format!("shard-{s:02}.lock"));
         let Some(_guard) = acquire_lock(&lock_path, &mut self.lock_retries)? else {
-            eprintln!(
+            obs::warn!(
                 "localias-bench: warning: cache shard {} is locked by another live \
                  process; skipping persist (its entries merge or recompute next run)",
                 path.display()
             );
             self.lock_skips += 1;
+            obs::count(obs::Counter::CacheLockSkips, 1);
             return Ok(false);
         };
 
@@ -636,19 +640,20 @@ impl AnalysisCache {
                 }
                 Err(why) => {
                     if header_version(&text).is_some_and(|v| v > ANALYSIS_VERSION) {
-                        eprintln!(
+                        obs::warn!(
                             "localias-bench: warning: cache shard {} was written by a \
                              newer binary; leaving it alone",
                             path.display()
                         );
                         return Ok(false);
                     }
-                    eprintln!(
+                    obs::warn!(
                         "localias-bench: warning: quarantining cache shard {} ({why})",
                         path.display()
                     );
                     quarantine(&path);
                     self.quarantined += 1;
+                    obs::count(obs::Counter::CacheQuarantined, 1);
                 }
             }
         }
@@ -780,6 +785,7 @@ fn acquire_lock(path: &Path, retries: &mut usize) -> std::io::Result<Option<Shar
     for attempt in 0..LOCK_ATTEMPTS {
         if attempt > 0 {
             *retries += 1;
+            obs::count(obs::Counter::CacheLockRetries, 1);
             let ms = (LOCK_BASE_MS << (attempt - 1)).min(LOCK_CAP_MS);
             std::thread::sleep(Duration::from_millis(ms));
         }

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! [SEED] [--jobs N | -j N] [--intra-jobs N] [--cache DIR | --no-cache]
-//! [--cache-shards N] [--bench-out FILE]
+//! [--cache-shards N] [--bench-out FILE] [--trace-out FILE] [--profile]
+//! [--quiet | -q]
 //! ```
 //!
 //! so the cache flags land in exactly one place instead of being re-wired
@@ -39,6 +40,14 @@ pub struct CliOpts {
     pub cache_explicit: bool,
     /// Where to write the machine-readable bench report, if anywhere.
     pub bench_out: Option<String>,
+    /// Where to write the `localias-trace/v1` JSON-lines trace, if
+    /// anywhere. Giving this installs the obs sinks.
+    pub trace_out: Option<String>,
+    /// Print the human per-phase profile table to stderr after the run.
+    /// Also installs the obs sinks.
+    pub profile: bool,
+    /// Silence informational diagnostics (warnings still print).
+    pub quiet: bool,
 }
 
 impl CliOpts {
@@ -54,6 +63,9 @@ impl CliOpts {
         let mut cache_shards: Option<usize> = None;
         let mut no_cache = false;
         let mut bench_out: Option<String> = None;
+        let mut trace_out: Option<String> = None;
+        let mut profile = false;
+        let mut quiet = false;
 
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -106,6 +118,14 @@ impl CliOpts {
                     }
                     bench_out = Some(value_of(&mut it, &a, "a file path")?);
                 }
+                "--trace-out" => {
+                    if trace_out.is_some() {
+                        return Err("--trace-out given more than once".into());
+                    }
+                    trace_out = Some(value_of(&mut it, &a, "a file path")?);
+                }
+                "--profile" => profile = true,
+                "--quiet" | "-q" => quiet = true,
                 flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
                 positional => {
                     if seed.is_some() {
@@ -146,6 +166,9 @@ impl CliOpts {
             cache,
             cache_explicit,
             bench_out,
+            trace_out,
+            profile,
+            quiet,
         })
     }
 
@@ -153,6 +176,22 @@ impl CliOpts {
     /// default.
     pub fn seed_or_default(&self) -> u64 {
         self.seed.unwrap_or(DEFAULT_SEED)
+    }
+
+    /// `true` if an observability sink was requested (`--trace-out` or
+    /// `--profile`) — the gate for enabling span/counter collection.
+    pub fn wants_obs(&self) -> bool {
+        self.trace_out.is_some() || self.profile
+    }
+
+    /// Applies the logging-related options: `--quiet` lowers the global
+    /// level to warnings-only, and `LOCALIAS_LOG` (if set and valid)
+    /// overrides everything.
+    pub fn apply_log_level(&self) {
+        if self.quiet {
+            localias_obs::set_level(localias_obs::Level::Warn);
+        }
+        let _ = localias_obs::init_from_env();
     }
 }
 
@@ -184,6 +223,29 @@ mod tests {
         assert_eq!(o.cache, CachePolicy::enabled_default());
         assert!(!o.cache_explicit);
         assert_eq!(o.bench_out, None);
+        assert_eq!(o.trace_out, None);
+        assert!(!o.profile);
+        assert!(!o.quiet);
+        assert!(!o.wants_obs(), "no sink unless explicitly requested");
+    }
+
+    #[test]
+    fn obs_flags() {
+        let o = parse(&["--trace-out", "t.jsonl"]).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
+        assert!(o.wants_obs());
+
+        let o = parse(&["--profile"]).unwrap();
+        assert!(o.profile);
+        assert!(o.wants_obs());
+
+        let o = parse(&["--quiet"]).unwrap();
+        assert!(o.quiet);
+        assert!(!o.wants_obs(), "--quiet alone installs no sink");
+        assert!(parse(&["-q"]).unwrap().quiet);
+
+        assert!(parse(&["--trace-out"]).is_err());
+        assert!(parse(&["--trace-out", "a", "--trace-out", "b"]).is_err());
     }
 
     #[test]

@@ -105,6 +105,44 @@ impl BenchGroup {
     }
 }
 
+/// Times one invocation of `f` under an obs span named `name`,
+/// returning the result and its wall-clock seconds.
+///
+/// This is the one place the bench binaries time a measured region —
+/// the `Instant::now()` pairs that used to be copy-pasted per binary —
+/// so every timed region also shows up in `--trace-out`/`--profile`
+/// output under its span name.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let _span = localias_obs::span!(name);
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Runs `f` `reps` times (at least once) and returns the first run's
+/// result with the *minimum* wall-clock seconds — the best-of-N scheme
+/// the intra bench uses to suppress scheduler noise.
+pub fn best_of<T>(name: &'static str, reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let (first, mut best) = timed(name, &mut f);
+    for _ in 1..reps.max(1) {
+        let (_, secs) = timed(name, &mut f);
+        best = best.min(secs);
+    }
+    (first, best)
+}
+
+/// Runs `f` `reps` times (at least once) and returns the first run's
+/// result with the *mean* wall-clock seconds per run.
+pub fn avg_of<T>(name: &'static str, reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let reps = reps.max(1);
+    let (first, mut total) = timed(name, &mut f);
+    for _ in 1..reps {
+        let (_, secs) = timed(name, &mut f);
+        total += secs;
+    }
+    (first, total / reps as f64)
+}
+
 /// Formats a duration in seconds with an auto-scaled unit.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 1.0 {
@@ -132,6 +170,35 @@ mod tests {
             std::hint::black_box(acc)
         });
         g.bench_with_setup("setup", || vec![1u32, 2, 3], |v| v.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn timing_utilities_return_results_and_positive_times() {
+        let (v, secs) = timed("test.timed", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+
+        let mut runs = 0;
+        let (v, best) = best_of("test.best", 3, || {
+            runs += 1;
+            runs
+        });
+        assert_eq!(v, 1, "first run's result is returned");
+        assert_eq!(runs, 3);
+        assert!(best >= 0.0);
+
+        let mut runs = 0;
+        let (v, avg) = avg_of("test.avg", 4, || {
+            runs += 1;
+            runs * 10
+        });
+        assert_eq!(v, 10);
+        assert_eq!(runs, 4);
+        assert!(avg >= 0.0);
+
+        // Degenerate rep counts still run once.
+        let (_, s) = best_of("test.best", 0, || ());
+        assert!(s >= 0.0);
     }
 
     #[test]

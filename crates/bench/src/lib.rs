@@ -18,6 +18,7 @@ use localias_ast::Module;
 use localias_core::SharedAnalysis;
 use localias_corpus::GeneratedModule;
 use localias_cqual::{check_locks_shared_jobs, Mode};
+use localias_obs as obs;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -155,6 +156,9 @@ pub struct ExperimentBench {
     pub eliminated: usize,
     /// Result-cache statistics (`None` when the sweep ran uncached).
     pub cache: Option<CacheStats>,
+    /// Observability snapshot of the sweep (`None` unless the caller
+    /// enabled obs collection and attached a drained [`obs::Trace`]).
+    pub profile: Option<obs::Trace>,
 }
 
 /// Formats an `f64` as a JSON number that parses back to the same value:
@@ -201,6 +205,41 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// Renders an [`obs::Trace`] as a JSON object: a `spans` array (path,
+/// count, total/self nanoseconds) plus a `counters` object keyed by the
+/// registry's dotted names, non-zero entries only.
+fn json_trace(t: &obs::Trace) -> String {
+    let mut out = String::from("{\n    \"spans\": [");
+    for (i, s) in t.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n      {{\"path\": {}, \"count\": {}, \"total_ns\": {}, \"self_ns\": {}}}",
+            json_str(&s.path),
+            s.count,
+            s.total_ns,
+            s.self_ns
+        );
+    }
+    if !t.spans.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("],\n    \"counters\": {");
+    for (i, (name, value)) in t.counters.iter_nonzero().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n      {}: {value}", json_str(name));
+    }
+    if !t.counters.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("}\n  }");
+    out
+}
+
 impl ExperimentBench {
     /// Sweep throughput in modules per wall-clock second.
     pub fn modules_per_sec(&self) -> f64 {
@@ -208,7 +247,7 @@ impl ExperimentBench {
     }
 
     /// Renders the stats as a small, stable JSON document
-    /// (schema `localias-bench-experiment/v3`).
+    /// (schema `localias-bench-experiment/v4`).
     ///
     /// v2 extended v1 with the `cache` block (`null` on uncached sweeps)
     /// and switched every float to a shortest-round-trip rendering, so
@@ -216,8 +255,14 @@ impl ExperimentBench {
     /// the `cache` block with the sharded-store observability fields:
     /// `shards`, per-shard `shard_hits`/`shard_misses`, `quarantined`,
     /// and the lock-contention counters `lock_retries`/`lock_skips`.
+    /// v4 adds the `profile` block (`null` unless the run collected an
+    /// obs trace): aggregated spans plus non-zero counter totals.
     pub fn to_json(&self) -> String {
         let (nc, cf, st) = self.errors;
+        let profile = match &self.profile {
+            None => "null".to_string(),
+            Some(t) => json_trace(t),
+        };
         let cache = match &self.cache {
             None => "null".to_string(),
             Some(c) => format!(
@@ -239,7 +284,7 @@ impl ExperimentBench {
             ),
         };
         format!(
-            "{{\n  \"schema\": \"localias-bench-experiment/v3\",\n  \
+            "{{\n  \"schema\": \"localias-bench-experiment/v4\",\n  \
              \"seed\": {},\n  \
              \"modules\": {},\n  \
              \"threads\": {},\n  \
@@ -256,7 +301,8 @@ impl ExperimentBench {
              \"spurious\": {{\n    \
              \"potential\": {},\n    \
              \"eliminated\": {}\n  }},\n  \
-             \"cache\": {cache}\n}}\n",
+             \"cache\": {cache},\n  \
+             \"profile\": {profile}\n}}\n",
             self.seed,
             self.modules,
             self.threads,
@@ -321,6 +367,7 @@ pub fn measure_corpus_cached(
     mut cache: Option<&mut AnalysisCache>,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     let threads = if jobs == 0 { default_jobs() } else { jobs };
+    let _sweep_span = obs::span!("bench.sweep");
     let start = Instant::now();
 
     let mut slots: Vec<Option<(ModuleResult, PhaseTimes)>> = corpus.iter().map(|_| None).collect();
@@ -342,6 +389,7 @@ pub fn measure_corpus_cached(
                 slots[i] = Some((e.to_result(&m.name), e.times));
                 hits += 1;
                 shard_hits[c.shard_of(fp)] += 1;
+                obs::count(obs::Counter::CacheShardHits, 1);
             } else {
                 pending.push(i);
             }
@@ -374,10 +422,16 @@ pub fn measure_corpus_cached(
             pending.iter().map(|&i| work(i)).collect()
         } else {
             let next = AtomicUsize::new(0);
+            // Workers inherit the sweep's span path, so the span tree is
+            // identical whatever the thread count.
+            let span_cx = obs::fork();
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
-                        s.spawn(|| {
+                        let span_cx = span_cx.clone();
+                        let (next, work, pending) = (&next, &work, &pending);
+                        s.spawn(move || {
+                            let _attached = span_cx.attach();
                             let mut out = Vec::new();
                             loop {
                                 let k = next.fetch_add(1, Ordering::Relaxed);
@@ -405,6 +459,7 @@ pub fn measure_corpus_cached(
                 hits += 1;
                 if let Some(c) = cache.as_deref_mut() {
                     shard_hits[c.shard_of(fp)] += 1;
+                    obs::count(obs::Counter::CacheShardHits, 1);
                     c.alias_raw(raws[i], fp);
                 }
             }
@@ -412,6 +467,7 @@ pub fn measure_corpus_cached(
                 misses += 1;
                 if let Some(c) = cache.as_deref_mut() {
                     shard_misses[c.shard_of(fp)] += 1;
+                    obs::count(obs::Counter::CacheShardMisses, 1);
                     c.record(fp, raws[i], CachedOutcome::of(&r, t));
                 }
             }
@@ -455,6 +511,7 @@ pub fn measure_corpus_cached(
         potential: results.iter().map(ModuleResult::potential).sum(),
         eliminated: results.iter().map(ModuleResult::eliminated).sum(),
         cache: cache_stats,
+        profile: None,
     };
     (results, bench)
 }
@@ -476,7 +533,7 @@ pub fn measure_corpus_with_cache(
             let (results, mut bench) =
                 measure_corpus_cached(corpus, jobs, intra_jobs, seed, Some(&mut c));
             if let Err(e) = c.persist() {
-                eprintln!(
+                obs::warn!(
                     "localias-bench: warning: cache not fully written to {}: {e}",
                     dir.display()
                 );
@@ -490,6 +547,36 @@ pub fn measure_corpus_with_cache(
             (results, bench)
         }
     }
+}
+
+/// Applies the CLI's logging options and, when `--trace-out` or
+/// `--profile` was given, installs the obs sinks (clearing any stale
+/// state so the trace covers exactly the run that follows). Call once,
+/// right after argument parsing.
+pub fn init_obs(opts: &CliOpts) {
+    opts.apply_log_level();
+    if opts.wants_obs() {
+        obs::enable_all();
+        let _ = obs::drain();
+    }
+}
+
+/// Drains the obs sinks after the run: writes the JSON-lines trace to
+/// `--trace-out`, prints the `--profile` table to stderr, and returns
+/// the trace so callers can embed it (see [`ExperimentBench::profile`]).
+/// Returns `Ok(None)` when no sink was installed.
+pub fn finish_obs(opts: &CliOpts) -> Result<Option<obs::Trace>, String> {
+    if !opts.wants_obs() {
+        return Ok(None);
+    }
+    let trace = obs::drain();
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, trace.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if opts.profile {
+        eprint!("{}", trace.render_profile());
+    }
+    Ok(Some(trace))
 }
 
 /// Runs the whole Section 7 experiment (all available cores, no cache)
@@ -658,9 +745,11 @@ mod tests {
                 load: Duration::from_nanos(1_234_567),
                 store: Duration::from_nanos(89),
             }),
+            profile: None,
         };
         let json = bench.to_json();
-        assert!(json.contains("\"schema\": \"localias-bench-experiment/v3\""));
+        assert!(json.contains("\"schema\": \"localias-bench-experiment/v4\""));
+        assert!(json.contains("\"profile\": null"));
         assert!(json.contains("\"hits\": 589"));
         assert!(json.contains("\"dir\": \".localias-cache\""));
         assert!(json.contains("\"shards\": 4"));
@@ -683,6 +772,35 @@ mod tests {
             ..bench
         };
         assert!(uncached.to_json().contains("\"cache\": null"));
+    }
+
+    /// The v4 `profile` block carries the trace's spans and non-zero
+    /// counters, and the rendered JSON stays machine-parseable.
+    #[test]
+    fn profile_block_serializes_spans_and_counters() {
+        let mut trace = obs::Trace::default();
+        trace.spans.push(obs::SpanAgg {
+            path: "bench.sweep".into(),
+            count: 1,
+            total_ns: 5_000,
+            self_ns: 2_000,
+        });
+        let json = json_trace(&trace);
+        assert!(json.contains("\"path\": \"bench.sweep\""));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"total_ns\": 5000"));
+        assert!(json.contains("\"self_ns\": 2000"));
+        assert!(json.contains("\"counters\": {}"));
+
+        let (results, mut bench) = {
+            let corpus = localias_corpus::generate(1);
+            measure_corpus_cached(&corpus[..1], 1, 1, 1, None)
+        };
+        assert_eq!(results.len(), 1);
+        bench.profile = Some(trace);
+        let json = bench.to_json();
+        assert!(json.contains("\"profile\": {"));
+        assert!(json.contains("\"spans\": ["));
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Determinism and closed-form tests for the observability layer.
+//!
+//! The obs contract is that traces describe the *work*, not the
+//! *schedule*: counter totals and the span tree (paths and counts) must
+//! be byte-identical whatever `--jobs`/`--intra-jobs` the pipeline ran
+//! under, and on the synthesized mega-module the headline counters have
+//! exact closed forms pinned here.
+//!
+//! Every test holds [`obs::test_lock`] across enable → work → drain —
+//! the counters are process-global, so concurrently running tests that
+//! enable collection would observe each other.
+
+use localias_bench::{measure_corpus_cached, ModuleResult};
+use localias_corpus::{generate, mega_module, DEFAULT_SEED};
+use localias_obs as obs;
+
+/// Corpus prefix the determinism sweep runs; enough modules for the
+/// work-stealing loop to interleave on while staying fast in debug.
+const PREFIX: usize = 40;
+
+/// Sweeps `slice` under the given thread counts with collection on and
+/// returns the drained trace. Caller holds the test lock.
+fn traced_sweep(
+    slice: &[localias_corpus::GeneratedModule],
+    jobs: usize,
+    intra: usize,
+) -> obs::Trace {
+    obs::enable_all();
+    let _ = obs::drain();
+    let _ = measure_corpus_cached(slice, jobs, intra, DEFAULT_SEED, None);
+    let trace = obs::drain();
+    obs::disable_metrics();
+    obs::disable_spans();
+    trace
+}
+
+/// The pinned acceptance criterion: counter totals and the normalized
+/// span tree are identical for every `jobs` × `intra_jobs` combination.
+#[test]
+fn trace_shape_is_thread_invariant() {
+    let corpus = generate(DEFAULT_SEED);
+    let slice = &corpus[..PREFIX.min(corpus.len())];
+
+    let _l = obs::test_lock();
+    let base = traced_sweep(slice, 1, 1);
+    assert!(!base.is_empty(), "instrumented sweep recorded nothing");
+    assert!(
+        base.spans.iter().any(|s| s.path == "bench.sweep"),
+        "sweep span missing: {:?}",
+        base.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+    );
+    // The sweep drives the full pipeline, so every stage's headline
+    // counter must have left tracks.
+    for c in [
+        obs::Counter::ModulesAnalyzed,
+        obs::Counter::AliasUnifications,
+        obs::Counter::DeliverOps,
+        obs::Counter::SolveRounds,
+        obs::Counter::CqualFunctionsChecked,
+        obs::Counter::CqualLockSites,
+    ] {
+        assert!(base.counter(c) > 0, "{} stayed zero", obs::counter_name(c));
+    }
+    for (jobs, intra) in [(2, 1), (8, 1), (1, 4), (8, 4)] {
+        let t = traced_sweep(slice, jobs, intra);
+        assert_eq!(
+            t.normalized(),
+            base.normalized(),
+            "trace shape depends on schedule at jobs={jobs} intra_jobs={intra}"
+        );
+    }
+}
+
+/// The mega-module's construction makes the headline counters exact:
+/// every function is checked once per mode, every array/scalar leaf
+/// contributes one lock + one unlock site per mode, and only the array
+/// leaves error (under no-confine only).
+#[test]
+fn mega_module_counters_match_closed_form() {
+    const FUNS: usize = 90;
+    // 90 funs → 9 tops, 27 mids, 54 leaves; leaf kinds cycle
+    // array/scalar/compute → 18 of each.
+    const N_ARRAY: u64 = 18;
+    const N_SCALAR: u64 = 18;
+    let m = mega_module(20030609, FUNS);
+
+    let _l = obs::test_lock();
+    obs::enable_all();
+    let _ = obs::drain();
+    let r = ModuleResult::measure(&m);
+    let trace = obs::drain();
+    obs::disable_metrics();
+    obs::disable_spans();
+
+    assert_eq!(
+        (r.no_confine, r.confine, r.all_strong),
+        (N_ARRAY as usize, 0, 0),
+        "mega-module error triple"
+    );
+    // One module, two analysis pipelines (no-confine/all-strong share the
+    // base analysis; confine runs its own).
+    assert_eq!(trace.counter(obs::Counter::ModulesAnalyzed), 2);
+    // Three mode checks, each over every function exactly once.
+    assert_eq!(
+        trace.counter(obs::Counter::CqualFunctionsChecked),
+        3 * FUNS as u64
+    );
+    // Each array/scalar leaf has exactly one spin_lock + one spin_unlock.
+    assert_eq!(
+        trace.counter(obs::Counter::CqualLockSites),
+        3 * 2 * (N_ARRAY + N_SCALAR)
+    );
+    // Only the array leaves error, and only under no-confine.
+    assert_eq!(trace.counter(obs::Counter::CqualErrors), N_ARRAY);
+    // The three-layer DAG schedules at least three waves per mode check,
+    // and all three checks share one call graph.
+    let waves = trace.counter(obs::Counter::CqualWaves);
+    assert!(waves >= 9, "expected >= 3 waves x 3 modes, got {waves}");
+    assert_eq!(waves % 3, 0, "modes share the schedule, got {waves}");
+    // The rest of the pipeline left tracks too. (No CHECK-SAT counters
+    // here: the mega-module carries no restrict annotations, so the
+    // corpus sweep test covers those.)
+    for c in [
+        obs::Counter::AliasFreshLocs,
+        obs::Counter::AliasFindOps,
+        obs::Counter::EffectVars,
+        obs::Counter::ConstraintEdges,
+    ] {
+        assert!(trace.counter(c) > 0, "{} stayed zero", obs::counter_name(c));
+    }
+}
+
+/// The targeted CHECK-SAT search tallies its traversal in thread-local
+/// accumulators and flushes once per query — the per-query counters must
+/// reflect the search even when the answer is found early.
+#[test]
+fn checksat_queries_count_nodes_and_edges() {
+    use localias_effects::{build, reaches, ConstraintSystem, Effect, EffectKind, KindMask};
+
+    let mut cs = ConstraintSystem::new();
+    let mut locs = localias_alias::LocTable::new();
+    let l = locs.fresh("l".to_string(), localias_alias::Ty::Int);
+    let vars: Vec<_> = (0..8).map(|i| cs.fresh_var(format!("v{i}"))).collect();
+    cs.include(Effect::atom(EffectKind::Read, l), vars[0]);
+    for w in vars.windows(2) {
+        cs.include(Effect::var(w[0]), w[1]);
+    }
+    let graph = build(&mut cs);
+
+    let _l = obs::test_lock();
+    obs::enable_all();
+    let _ = obs::drain();
+    let hit = reaches(&graph, &cs, &mut locs, l, KindMask::ACCESS, vars[7]);
+    let miss = reaches(&graph, &cs, &mut locs, l, KindMask::WRITE, vars[7]);
+    let trace = obs::drain();
+    obs::disable_metrics();
+    obs::disable_spans();
+
+    assert!(hit, "the read atom reaches the chain's end");
+    assert!(!miss, "the chain carries no write atom");
+    assert_eq!(trace.counter(obs::Counter::CheckSatQueries), 2);
+    assert!(trace.counter(obs::Counter::CheckSatNodes) > 0);
+    assert!(trace.counter(obs::Counter::CheckSatEdges) > 0);
+}
+
+/// The same work traced twice yields identical counter totals — the
+/// counters are functions of the input, not of wall time or allocation.
+#[test]
+fn repeated_runs_count_identically() {
+    let m = mega_module(7, 30);
+    let _l = obs::test_lock();
+    let mut shapes = Vec::new();
+    for _ in 0..2 {
+        obs::enable_all();
+        let _ = obs::drain();
+        let _ = ModuleResult::measure(&m);
+        let t = obs::drain();
+        obs::disable_metrics();
+        obs::disable_spans();
+        shapes.push(t.normalized());
+    }
+    assert_eq!(shapes[0], shapes[1]);
+}
+
+/// End to end through the file format: a real trace renders to JSON
+/// lines that the strict validator accepts and reads back verbatim.
+#[test]
+fn real_trace_round_trips_through_the_validator() {
+    let corpus = generate(DEFAULT_SEED);
+    let slice = &corpus[..8.min(corpus.len())];
+
+    let _l = obs::test_lock();
+    let trace = traced_sweep(slice, 2, 1);
+    let text = trace.to_jsonl();
+    let summary = obs::validate_jsonl(&text).expect("generated trace validates");
+    assert_eq!(summary.spans, trace.spans.len());
+    for (name, value) in trace.counters.iter_nonzero() {
+        let read = summary
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v);
+        assert_eq!(read, Some(value), "counter {name} lost in serialization");
+    }
+}

@@ -57,6 +57,7 @@ use localias_alias::{analyze_with, FrozenLocs, State};
 use localias_ast::visit::{walk_module, Visitor};
 use localias_ast::{Module, NodeId, StmtKind};
 use localias_effects::{solve_with, ConstraintSystem, Solution};
+use localias_obs as obs;
 use std::collections::HashMap;
 
 /// The complete result of one module analysis.
@@ -120,14 +121,24 @@ impl Analysis {
 
 /// Runs the full analysis over one module.
 pub fn analyze(m: &Module, opts: Options) -> Analysis {
-    let hooks = Gen::new(opts);
-    let (mut state, mut gen) = analyze_with(m, hooks);
-    gen.finalize(&mut state);
+    let _span = obs::span!("core.analyze");
+    obs::count(obs::Counter::ModulesAnalyzed, 1);
+    let (mut state, mut gen) = {
+        let _s = obs::span!("core.alias");
+        let hooks = Gen::new(opts);
+        let (mut state, mut gen) = analyze_with(m, hooks);
+        gen.finalize(&mut state);
+        (state, gen)
+    };
     let mut cs = std::mem::take(&mut gen.cs);
     let mut loc_vars = std::mem::take(&mut gen.loc_vars);
-    let solution = solve_with(&mut cs, &mut state.locs, &mut loc_vars);
+    let solution = {
+        let _s = obs::span!("core.solve");
+        solve_with(&mut cs, &mut state.locs, &mut loc_vars)
+    };
     gen.cs = cs;
     gen.loc_vars = loc_vars;
+    let _outcomes_span = obs::span!("core.outcomes");
     let (cs, mut diags, restricts, candidates, confines, fun_effects) =
         gen.into_outcomes(&mut state, &solution);
     for d in &mut diags {

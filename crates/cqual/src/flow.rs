@@ -29,6 +29,7 @@ use crate::summary::Summaries;
 use localias_alias::FrozenLocs;
 use localias_ast::{FunDef, Module};
 use localias_core::Analysis;
+use localias_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -54,6 +55,9 @@ pub struct WaveStat {
     pub functions: usize,
     /// Wall-clock seconds the wave took.
     pub seconds: f64,
+    /// Wall-clock seconds of the single slowest function in the wave —
+    /// the straggler that bounds how much parallelism can help.
+    pub max_fun_seconds: f64,
 }
 
 /// Execution statistics of one [`check_locks_frozen_timed`] run.
@@ -162,6 +166,7 @@ pub fn check_locks_frozen_timed(
     mode: Mode,
     intra_jobs: usize,
 ) -> (LockReport, IntraStats) {
+    let _span = obs::span!("cqual.check");
     let cx = CheckContext::new(m, analysis, frozen, mode);
     let threads = resolve_jobs(intra_jobs);
     // With duplicate definitions the later one wins (legacy behaviour of
@@ -180,16 +185,22 @@ pub fn check_locks_frozen_timed(
     };
 
     for wave in cx.graph.waves() {
+        obs::count(obs::Counter::CqualWaves, 1);
+        let wave_span = obs::span!("cqual.wave");
         let started = Instant::now();
+        let mut max_fun_seconds = 0.0f64;
         if threads <= 1 || wave.len() <= 1 {
             for &v in wave {
                 if let Some(f) = by_name.get(cx.graph.name(v)) {
+                    let t0 = Instant::now();
                     outcomes[v] = Some(check_function(&cx, &summaries, f));
+                    max_fun_seconds = max_fun_seconds.max(t0.elapsed().as_secs_f64());
                 }
             }
         } else {
-            for (v, out) in check_wave_parallel(&cx, &summaries, &by_name, wave, threads) {
+            for (v, out, secs) in check_wave_parallel(&cx, &summaries, &by_name, wave, threads) {
                 outcomes[v] = Some(out);
+                max_fun_seconds = max_fun_seconds.max(secs);
             }
         }
         // Publish the wave's summaries (in schedule order) before the
@@ -199,9 +210,11 @@ pub fn check_locks_frozen_timed(
                 summaries.insert(cx.graph.name(v).to_string(), out.summary.clone());
             }
         }
+        drop(wave_span);
         stats.waves.push(WaveStat {
             functions: wave.len(),
             seconds: started.elapsed().as_secs_f64(),
+            max_fun_seconds,
         });
     }
 
@@ -219,27 +232,35 @@ pub fn check_locks_frozen_timed(
 
 /// Checks one wave's functions on `threads` scoped worker threads with
 /// an atomic work-stealing cursor (the same pool shape the corpus sweep
-/// uses), returning `(node, outcome)` pairs.
+/// uses), returning `(node, outcome, seconds)` triples. Workers record
+/// their spans under the spawner's current span path (via
+/// [`obs::fork`]), so the merged span tree is identical to a sequential
+/// run's.
 fn check_wave_parallel(
     cx: &CheckContext<'_>,
     summaries: &Summaries,
     by_name: &HashMap<&str, &FunDef>,
     wave: &[usize],
     threads: usize,
-) -> Vec<(usize, FunOutcome)> {
+) -> Vec<(usize, FunOutcome, f64)> {
     let workers = threads.min(wave.len());
     let next = AtomicUsize::new(0);
+    let span_cx = obs::fork();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
+                let span_cx = span_cx.clone();
                 s.spawn(move || {
+                    let _attached = span_cx.attach();
                     let mut got = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&v) = wave.get(i) else { break };
                         if let Some(f) = by_name.get(cx.graph.name(v)) {
-                            got.push((v, check_function(cx, summaries, f)));
+                            let t0 = Instant::now();
+                            let out = check_function(cx, summaries, f);
+                            got.push((v, out, t0.elapsed().as_secs_f64()));
                         }
                     }
                     got

@@ -25,6 +25,7 @@ use crate::summary::{retarget, ParamInfo, Summaries, Summary};
 use localias_alias::{FrozenLocs, Loc, State, Ty};
 use localias_ast::{intrinsics, Block, Expr, ExprKind, FunDef, Module, NodeId, Stmt, StmtKind};
 use localias_core::{Analysis, ConfineSite};
+use localias_obs as obs;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -156,6 +157,8 @@ pub(crate) fn check_function(
     summaries: &Summaries,
     f: &FunDef,
 ) -> FunOutcome {
+    let _span = obs::span!("cqual.function");
+    obs::count(obs::Counter::CqualFunctionsChecked, 1);
     let caller = cx
         .graph
         .node(&f.name.name)
@@ -180,6 +183,8 @@ pub(crate) fn check_function(
     // and every early return.
     store.join(&fc.return_store);
     let out = store.iter().collect();
+    obs::count(obs::Counter::CqualLockSites, fc.sites as u64);
+    obs::count(obs::Counter::CqualErrors, fc.errors.len() as u64);
     FunOutcome {
         errors: fc.errors,
         sites: fc.sites,

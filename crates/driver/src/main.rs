@@ -10,8 +10,10 @@
 //! localias corpus  <dir> [seed]       # dump the synthetic driver corpus
 //! localias experiment [seed] [--jobs N] [--intra-jobs N]
 //!                    [--cache DIR | --no-cache] [--cache-shards N]
-//!                    [--bench-out FILE]
+//!                    [--bench-out FILE] [--trace-out FILE] [--profile]
+//!                    [--quiet]
 //!                                     # run the full Section 7 experiment
+//! localias tracecheck <trace.jsonl>   # validate a localias-trace/v1 file
 //! ```
 //!
 //! `experiment` keeps an incremental result cache (default
@@ -20,6 +22,13 @@
 //! store is sharded (`--cache-shards N` files, default 16) and persisted
 //! merge-on-write under per-shard locks, so concurrent sweeps sharing a
 //! cache directory never lose each other's entries.
+//!
+//! `--trace-out` writes a `localias-trace/v1` JSON-lines trace of the
+//! run (per-phase spans + pipeline counters) and `--profile` prints a
+//! per-phase time table to stderr; both also embed the trace in the
+//! `--bench-out` report's `profile` block. `--quiet` silences
+//! informational diagnostics (warnings still print); `LOCALIAS_LOG`
+//! overrides the level (`off|error|warn|info|debug`).
 //!
 //! Modes for `locks`: `noconfine` (default), `confine`, `allstrong`.
 
@@ -49,9 +58,10 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
+        Some("tracecheck") => cmd_tracecheck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: localias <parse|check|infer|locks|corpus|experiment> [args]\n\
+                "usage: localias <parse|check|infer|locks|corpus|experiment|tracecheck> [args]\n\
                  \n\
                  parse   <file.mc>          parse and pretty-print a module\n\
                  check   <file.mc>          check explicit restrict/confine annotations\n\
@@ -61,11 +71,14 @@ fn main() -> ExitCode {
                  corpus  <dir> [seed]       write the synthetic driver corpus to <dir>\n\
                  experiment [seed] [--jobs N] [--intra-jobs N] [--cache DIR | --no-cache]\n\
                  \x20                          [--cache-shards N] [--bench-out FILE]\n\
+                 \x20                          [--trace-out FILE] [--profile] [--quiet]\n\
                  \x20                          run the full Section 7 experiment in parallel,\n\
                  \x20                          incrementally via the sharded result cache\n\
                  \x20                          (default .localias-cache/, 16 shards; only\n\
                  \x20                          changed modules re-analyze, and concurrent\n\
-                 \x20                          sweeps sharing the dir merge instead of clobber)"
+                 \x20                          sweeps sharing the dir merge instead of clobber)\n\
+                 tracecheck <trace.jsonl>   validate a localias-trace/v1 JSON-lines file\n\
+                 \x20                          (as written by --trace-out) and summarize it"
             );
             return ExitCode::from(2);
         }
@@ -239,10 +252,12 @@ fn cmd_corpus(args: &[String]) -> Result<String, String> {
 
 fn cmd_experiment(args: &[String]) -> Result<String, String> {
     let opts = localias_bench::CliOpts::parse(args.iter().cloned())?;
+    localias_bench::init_obs(&opts);
     let seed = opts.seed_or_default();
 
-    let (results, bench) =
+    let (results, mut bench) =
         localias_bench::run_experiment_cached(seed, opts.jobs, opts.intra_jobs, &opts.cache);
+    bench.profile = localias_bench::finish_obs(&opts)?;
     let (mut clean, mut real, mut full, mut partial) = (0, 0, 0, 0);
     for r in &results {
         if r.no_confine == 0 {
@@ -287,6 +302,29 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
     if let Some(path) = opts.bench_out {
         std::fs::write(&path, bench.to_json()).map_err(|e| format!("{path}: {e}"))?;
         let _ = writeln!(out, "  wrote {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let _ = writeln!(out, "  wrote {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_tracecheck(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("missing trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary = localias_obs::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: valid {} ({} span path{}, {} counter{})",
+        localias_obs::SCHEMA,
+        summary.spans,
+        if summary.spans == 1 { "" } else { "s" },
+        summary.counters.len(),
+        if summary.counters.len() == 1 { "" } else { "s" },
+    );
+    for (name, value) in &summary.counters {
+        let _ = writeln!(out, "  {name} = {value}");
     }
     Ok(out)
 }

@@ -3,6 +3,7 @@
 
 use crate::effect::{EffVar, Effect, KindMask};
 use localias_alias::{Loc, UnionFind};
+use localias_obs as obs;
 use std::borrow::Cow;
 use std::fmt;
 
@@ -118,6 +119,7 @@ impl ConstraintSystem {
     /// should pass a `&'static str` (free) rather than a formatted
     /// `String` — dynamic context belongs in diagnostics, not here.
     pub fn fresh_var(&mut self, name: impl Into<Cow<'static, str>>) -> EffVar {
+        obs::count(obs::Counter::EffectVars, 1);
         let v = EffVar(self.evars.push());
         self.names.push(name.into());
         v
@@ -145,12 +147,14 @@ impl ConstraintSystem {
         if matches!(l, Effect::Empty) {
             return;
         }
+        obs::count(obs::Counter::ConstraintEdges, 1);
         self.includes.push((l, var));
     }
 
     /// Records the equality `ε1 = ε2` (from the Figure 4a type-equality
     /// resolution): the variables become one.
     pub fn equate(&mut self, a: EffVar, b: EffVar) {
+        obs::count(obs::Counter::ConstraintEdges, 1);
         self.evars.union(a.0, b.0);
     }
 

@@ -26,6 +26,7 @@ use crate::constraint::{Action, ConstraintSystem, Guard, NotIn};
 use crate::effect::{EffVar, Effect, KindMask};
 use crate::graph::{build, Graph, NodeIx, Port};
 use localias_alias::{Loc, LocTable};
+use localias_obs as obs;
 
 pub use localias_alias::{FxHasher, FxMap};
 
@@ -392,13 +393,16 @@ pub fn solve_with(
         }
     }
 
+    let fired = fired.iter().filter(|f| **f).count();
+    obs::count(obs::Counter::SolveRounds, rounds as u64);
+    obs::count(obs::Counter::ConditionalsFired, fired as u64);
     Solution {
         node_sets: states.into_iter().map(|s| s.sol).collect(),
         var_node,
         flags,
         violations,
         rounds,
-        fired: fired.iter().filter(|f| **f).count(),
+        fired,
     }
 }
 
@@ -590,6 +594,7 @@ fn deliver(
     loc: Loc,
     mask: KindMask,
 ) {
+    obs::count(obs::Counter::DeliverOps, 1);
     let st = &mut states[node as usize];
     match port {
         Port::Normal => {
@@ -642,11 +647,16 @@ pub fn reaches(
     kinds: KindMask,
     var: EffVar,
 ) -> bool {
+    obs::count(obs::Counter::CheckSatQueries, 1);
     let Some(target) = var_node_of(graph, cs, var) else {
         return false;
     };
     let l = locs.find(loc);
 
+    // Node/edge work is tallied locally (plain integers on the hot path)
+    // and flushed to the global counters once per query.
+    let mut nodes_visited: u64 = 0;
+    let mut edges_walked: u64 = 0;
     let mut states: Vec<NodeState> = vec![NodeState::default(); graph.node_count()];
     let mut work: Vec<(NodeIx, Loc)> = Vec::new();
     for &(atom, node, port) in &graph.atoms {
@@ -654,19 +664,26 @@ pub fn reaches(
             deliver(&mut states, &mut work, node, port, l, atom.kind.mask());
         }
     }
-    while let Some((node, loc)) = work.pop() {
-        if node == target && states[node as usize].sol.get(loc).overlaps(kinds) {
-            return true;
+    let found = 'search: {
+        while let Some((node, loc)) = work.pop() {
+            nodes_visited += 1;
+            if node == target && states[node as usize].sol.get(loc).overlaps(kinds) {
+                break 'search true;
+            }
+            let mask = states[node as usize].sol.get(loc);
+            if mask.is_empty() {
+                continue;
+            }
+            for &(to, port) in &graph.out[node as usize] {
+                edges_walked += 1;
+                deliver(&mut states, &mut work, to, port, loc, mask);
+            }
         }
-        let mask = states[node as usize].sol.get(loc);
-        if mask.is_empty() {
-            continue;
-        }
-        for &(to, port) in &graph.out[node as usize] {
-            deliver(&mut states, &mut work, to, port, loc, mask);
-        }
-    }
-    states[target as usize].sol.get(l).overlaps(kinds)
+        states[target as usize].sol.get(l).overlaps(kinds)
+    };
+    obs::count(obs::Counter::CheckSatNodes, nodes_visited);
+    obs::count(obs::Counter::CheckSatEdges, edges_walked);
+    found
 }
 
 #[cfg(test)]

@@ -1,0 +1,129 @@
+//! Leveled stderr logging.
+//!
+//! One process-global [`Level`] gates every diagnostic the pipeline
+//! emits. The default is [`Level::Info`] — exactly the old `eprintln!`
+//! behavior — `--quiet` drops it to [`Level::Warn`] (warnings about
+//! discarded cache entries still print), and the `LOCALIAS_LOG`
+//! environment variable (`off|error|warn|info|debug`) overrides both.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severities, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is emitted.
+    Off = 0,
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Recoverable anomalies (discarded cache entries, lock skips).
+    Warn = 2,
+    /// Normal progress diagnostics — the default.
+    Info = 3,
+    /// Verbose tracing aids.
+    Debug = 4,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Returns `true` if messages at `level` are currently emitted.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Parses a `LOCALIAS_LOG` value.
+fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" => Some(Level::Off),
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// Applies `LOCALIAS_LOG` from the environment, if set and valid.
+/// Returns the level it installed, or `None` when the variable is unset
+/// or unparseable (the current level is kept either way).
+pub fn init_from_env() -> Option<Level> {
+    let raw = std::env::var("LOCALIAS_LOG").ok()?;
+    let level = parse_level(&raw)?;
+    set_level(level);
+    Some(level)
+}
+
+/// Logs at [`Level::Error`] (formatted like `eprintln!`).
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Error) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`] — never silenced by `--quiet`.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Warn) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Logs at [`Level::Info`] — routine progress, silenced by `--quiet`.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Info) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`] — off by default, on under
+/// `LOCALIAS_LOG=debug`.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Debug) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(parse_level("WARN"), Some(Level::Warn));
+        assert_eq!(parse_level(" debug "), Some(Level::Debug));
+        assert_eq!(parse_level("off"), Some(Level::Off));
+        assert_eq!(parse_level("loud"), None);
+    }
+
+    #[test]
+    fn gate_respects_level() {
+        let _l = crate::test_lock();
+        set_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_level(Level::Info);
+        assert!(log_enabled(Level::Info));
+    }
+}

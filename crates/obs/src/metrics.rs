@@ -1,0 +1,179 @@
+//! Named monotonic counters.
+//!
+//! A fixed registry of process-global `AtomicU64`s, incremented with
+//! relaxed ordering. Addition commutes, so whatever thread layout the
+//! pipeline ran under, the totals a [`Metrics`] snapshot reports are
+//! byte-identical — the property the determinism tests pin.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Global gate for counter collection (see [`crate::enable_metrics`]).
+pub(crate) static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Returns `true` if counters are being collected.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+macro_rules! counters {
+    ($( $(#[$doc:meta])* $variant:ident => $name:literal, )+) => {
+        /// Every named counter the pipeline can bump.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum Counter {
+            $( $(#[$doc])* $variant, )+
+        }
+
+        /// Number of counters in the registry.
+        pub const COUNTER_COUNT: usize = [$( Counter::$variant ),+].len();
+
+        /// All counters, in declaration order.
+        pub const ALL_COUNTERS: [Counter; COUNTER_COUNT] = [$( Counter::$variant ),+];
+
+        /// The stable dotted name a counter serializes under.
+        pub fn counter_name(c: Counter) -> &'static str {
+            match c {
+                $( Counter::$variant => $name, )+
+            }
+        }
+
+        /// Resolves a serialized counter name back to its [`Counter`].
+        pub fn counter_by_name(name: &str) -> Option<Counter> {
+            match name {
+                $( $name => Some(Counter::$variant), )+
+                _ => None,
+            }
+        }
+    };
+}
+
+counters! {
+    /// Abstract locations allocated (`LocTable::fresh`).
+    AliasFreshLocs => "alias.fresh_locs",
+    /// Location-class unifications performed (`ρ1 = ρ2` merges).
+    AliasUnifications => "alias.unifications",
+    /// Union-find `find` operations (live table and frozen snapshot).
+    AliasFindOps => "alias.find_ops",
+    /// Effect variables allocated.
+    EffectVars => "effects.vars",
+    /// Constraint edges added (inclusions + equations).
+    ConstraintEdges => "effects.constraint_edges",
+    /// Worklist deliveries during least-solution propagation.
+    DeliverOps => "effects.deliver_ops",
+    /// Conditional-constraint fixpoint rounds.
+    SolveRounds => "effects.solve_rounds",
+    /// Conditional constraints fired.
+    ConditionalsFired => "effects.conditionals_fired",
+    /// Single-location `CHECK-SAT` reachability queries.
+    CheckSatQueries => "effects.checksat_queries",
+    /// Nodes visited across all `CHECK-SAT` queries.
+    CheckSatNodes => "effects.checksat_nodes",
+    /// Edges traversed across all `CHECK-SAT` queries.
+    CheckSatEdges => "effects.checksat_edges",
+    /// Modules run through the full analysis pipeline.
+    ModulesAnalyzed => "core.modules_analyzed",
+    /// Functions checked by the flow-sensitive lock checker.
+    CqualFunctionsChecked => "cqual.functions_checked",
+    /// Call-graph waves executed.
+    CqualWaves => "cqual.waves",
+    /// Lock acquire/release sites verified.
+    CqualLockSites => "cqual.lock_sites",
+    /// Lock-state errors reported.
+    CqualErrors => "cqual.errors",
+    /// Result-cache shard hits.
+    CacheShardHits => "cache.shard_hits",
+    /// Result-cache shard misses.
+    CacheShardMisses => "cache.shard_misses",
+    /// Cache shard-lock acquisition retries.
+    CacheLockRetries => "cache.lock_retries",
+    /// Cache persists skipped because a shard stayed locked.
+    CacheLockSkips => "cache.lock_skips",
+    /// Cache shards quarantined as corrupt or version-stale.
+    CacheQuarantined => "cache.quarantined",
+}
+
+/// The registry itself.
+static COUNTERS: [AtomicU64; COUNTER_COUNT] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; COUNTER_COUNT]
+};
+
+/// Adds `n` to counter `c`. One relaxed load + branch when collection is
+/// disabled; one relaxed add when enabled.
+#[inline]
+pub fn count(c: Counter, n: u64) {
+    if METRICS_ENABLED.load(Ordering::Relaxed) {
+        COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Takes every counter's value, resetting it to zero.
+pub(crate) fn take_counters() -> Metrics {
+    let mut vals = [0u64; COUNTER_COUNT];
+    for (i, slot) in COUNTERS.iter().enumerate() {
+        vals[i] = slot.swap(0, Ordering::Relaxed);
+    }
+    Metrics { vals }
+}
+
+/// A point-in-time snapshot of every counter: the `Metrics` handle the
+/// pipeline's observers hold. Obtained from [`crate::drain`] (which
+/// resets the registry) as part of a [`crate::Trace`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    pub(crate) vals: [u64; COUNTER_COUNT],
+}
+
+impl Metrics {
+    /// The value of one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c as usize]
+    }
+
+    /// Iterates `(name, value)` pairs in declaration order, skipping
+    /// zero counters.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        ALL_COUNTERS
+            .iter()
+            .map(|&c| (counter_name(c), self.get(c)))
+            .filter(|&(_, v)| v != 0)
+    }
+
+    /// `true` if every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        self.vals.iter().all(|&v| v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for &c in &ALL_COUNTERS {
+            assert_eq!(counter_by_name(counter_name(c)), Some(c));
+        }
+        let mut names: Vec<_> = ALL_COUNTERS.iter().map(|&c| counter_name(c)).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNTER_COUNT, "duplicate counter name");
+        assert_eq!(counter_by_name("no.such.counter"), None);
+    }
+
+    #[test]
+    fn disabled_count_is_dropped() {
+        let _l = crate::test_lock();
+        crate::disable_metrics();
+        let _ = take_counters();
+        count(Counter::CacheShardHits, 5);
+        assert_eq!(take_counters().get(Counter::CacheShardHits), 0);
+        crate::enable_metrics();
+        count(Counter::CacheShardHits, 5);
+        count(Counter::CacheShardHits, 2);
+        crate::disable_metrics();
+        assert_eq!(take_counters().get(Counter::CacheShardHits), 7);
+    }
+}

@@ -1,0 +1,286 @@
+//! Phase-scoped spans with deterministic cross-thread merging.
+//!
+//! Each live thread keeps a stack of open spans plus a bounded buffer
+//! (the "ring") of completed span records. A completed span records its
+//! hierarchical *path* — the names of every enclosing span joined with
+//! `/` — and its total/self wall time. Buffers flush into one global
+//! aggregate keyed by path whenever the thread's span stack empties (or
+//! the buffer fills), and aggregation is commutative, so the merged
+//! result is independent of thread count and scheduling: the span *tree*
+//! (paths and counts) is byte-stable for any `--jobs`/`--intra-jobs`
+//! value, and only the recorded durations vary run to run.
+//!
+//! Worker threads do not start inside their spawner's spans — their
+//! stacks are empty — so a parallel run would record different paths
+//! than a sequential one. [`fork`] captures the spawner's current path
+//! and [`SpanContext::attach`] grafts it onto a worker as a base prefix,
+//! making the merged tree identical whichever thread did the work.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Global gate for span collection (see [`crate::enable_spans`]).
+pub(crate) static SPANS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Returns `true` if spans are being collected.
+#[inline]
+pub fn spans_enabled() -> bool {
+    SPANS_ENABLED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Completed spans buffered per thread before the next flush.
+const RING_CAPACITY: usize = 256;
+
+/// One open span on a thread's stack.
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    /// Nanoseconds spent in already-completed direct children (on this
+    /// thread), subtracted from total to get self time.
+    child_ns: u64,
+}
+
+/// One completed span, not yet merged into the global aggregate.
+struct SpanRec {
+    path: String,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+#[derive(Default)]
+struct ThreadSpans {
+    /// Path prefix grafted by [`SpanContext::attach`].
+    base: Vec<&'static str>,
+    stack: Vec<Frame>,
+    buf: Vec<SpanRec>,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadSpans> = RefCell::new(ThreadSpans::default());
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Hierarchical span path, enclosing names joined with `/`.
+    pub path: String,
+    /// Number of times a span completed at this path.
+    pub count: u64,
+    /// Total wall nanoseconds across all completions.
+    pub total_ns: u64,
+    /// Total minus time spent in same-thread child spans.
+    pub self_ns: u64,
+}
+
+/// `(count, total_ns, self_ns)` per span path in the global aggregate.
+type AggStats = (u64, u64, u64);
+
+static AGGREGATE: Mutex<Option<HashMap<String, AggStats>>> = Mutex::new(None);
+
+fn merge_into_global(records: Vec<SpanRec>) {
+    if records.is_empty() {
+        return;
+    }
+    let mut guard = match AGGREGATE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let map = guard.get_or_insert_with(HashMap::new);
+    for r in records {
+        let slot = map.entry(r.path).or_insert((0, 0, 0));
+        slot.0 += 1;
+        slot.1 += r.total_ns;
+        slot.2 += r.self_ns;
+    }
+}
+
+/// Flushes the calling thread's completed-span buffer into the global
+/// aggregate.
+pub(crate) fn flush_current_thread() {
+    let records = TLS.with(|t| std::mem::take(&mut t.borrow_mut().buf));
+    merge_into_global(records);
+}
+
+/// Takes the global span aggregate, sorted by path.
+pub(crate) fn take_aggregate() -> Vec<SpanAgg> {
+    let map = {
+        let mut guard = match AGGREGATE.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.take().unwrap_or_default()
+    };
+    let mut out: Vec<SpanAgg> = map
+        .into_iter()
+        .map(|(path, (count, total_ns, self_ns))| SpanAgg {
+            path,
+            count,
+            total_ns,
+            self_ns,
+        })
+        .collect();
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
+/// A live span: created by [`crate::span!`], records on drop. When spans
+/// are disabled this is an inert unit whose construction cost one
+/// relaxed atomic load.
+#[must_use = "a span records the lifetime of its guard"]
+pub struct Span {
+    live: bool,
+}
+
+impl Span {
+    /// Opens a span named `name` under the thread's current span path.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !spans_enabled() {
+            return Span { live: false };
+        }
+        TLS.with(|t| {
+            t.borrow_mut().stack.push(Frame {
+                name,
+                start: Instant::now(),
+                child_ns: 0,
+            });
+        });
+        Span { live: true }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let flush = TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            let Some(frame) = t.stack.pop() else {
+                return false; // drained mid-span; nothing to attribute
+            };
+            let total_ns = frame.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let self_ns = total_ns.saturating_sub(frame.child_ns);
+            if let Some(parent) = t.stack.last_mut() {
+                parent.child_ns += total_ns;
+            }
+            let mut path = String::new();
+            for name in t.base.iter().chain(t.stack.iter().map(|f| &f.name)) {
+                path.push_str(name);
+                path.push('/');
+            }
+            path.push_str(frame.name);
+            t.buf.push(SpanRec {
+                path,
+                total_ns,
+                self_ns,
+            });
+            t.stack.is_empty() || t.buf.len() >= RING_CAPACITY
+        });
+        if flush {
+            flush_current_thread();
+        }
+    }
+}
+
+/// A captured span path, cloneable into worker threads (see [`fork`]).
+#[derive(Debug, Clone, Default)]
+pub struct SpanContext {
+    path: Vec<&'static str>,
+}
+
+/// Captures the calling thread's current span path so worker threads can
+/// record their spans *under* it ([`SpanContext::attach`]); this is what
+/// keeps the merged span tree identical across thread counts.
+pub fn fork() -> SpanContext {
+    if !spans_enabled() {
+        return SpanContext::default();
+    }
+    TLS.with(|t| {
+        let t = t.borrow();
+        SpanContext {
+            path: t
+                .base
+                .iter()
+                .copied()
+                .chain(t.stack.iter().map(|f| f.name))
+                .collect(),
+        }
+    })
+}
+
+impl SpanContext {
+    /// Grafts this context onto the calling thread as its base span path
+    /// until the returned guard drops (which also flushes the thread's
+    /// buffer — worker threads typically end right after).
+    pub fn attach(&self) -> AttachGuard {
+        let prev = TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            std::mem::replace(&mut t.base, self.path.clone())
+        });
+        AttachGuard { prev }
+    }
+}
+
+/// Restores the previous base path (and flushes) on drop.
+pub struct AttachGuard {
+    prev: Vec<&'static str>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        flush_current_thread();
+        TLS.with(|t| {
+            t.borrow_mut().base = std::mem::take(&mut self.prev);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_time_excludes_children() {
+        let _l = crate::test_lock();
+        crate::enable_spans();
+        let _ = crate::drain();
+        {
+            let _a = Span::enter("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _b = Span::enter("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let t = crate::drain();
+        crate::disable_spans();
+        let outer = t.spans.iter().find(|s| s.path == "outer").unwrap();
+        let inner = t.spans.iter().find(|s| s.path == "outer/inner").unwrap();
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns,
+            "self excludes child time"
+        );
+    }
+
+    #[test]
+    fn ring_overflow_flushes_instead_of_dropping() {
+        let _l = crate::test_lock();
+        crate::enable_spans();
+        let _ = crate::drain();
+        {
+            let _root = Span::enter("root");
+            for _ in 0..(RING_CAPACITY * 2 + 7) {
+                let _s = Span::enter("leaf");
+            }
+        }
+        let t = crate::drain();
+        crate::disable_spans();
+        let leaf = t.spans.iter().find(|s| s.path == "root/leaf").unwrap();
+        assert_eq!(leaf.count, (RING_CAPACITY * 2 + 7) as u64);
+    }
+}

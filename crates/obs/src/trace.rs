@@ -1,0 +1,333 @@
+//! Trace sinks: the versioned JSON-lines format (`localias-trace/v1`),
+//! its validator, and the human `--profile` table.
+//!
+//! A trace file is one JSON object per line:
+//!
+//! ```text
+//! {"schema":"localias-trace/v1"}
+//! {"type":"span","path":"experiment/sweep/module.check","count":589,"total_ns":48210934,"self_ns":48210934}
+//! {"type":"counter","name":"alias.unifications","value":151320}
+//! ```
+//!
+//! Span lines come sorted by path and counter lines in registry order,
+//! so two traces of the same work differ only in the `*_ns` fields —
+//! strip those (see [`Trace::normalized`]) and the trace is
+//! byte-identical for any thread count.
+
+use crate::metrics::{counter_by_name, Counter, Metrics};
+use crate::span::SpanAgg;
+use std::fmt::Write as _;
+
+/// The trace file schema identifier.
+pub const SCHEMA: &str = "localias-trace/v1";
+
+/// Everything one [`crate::drain`] observed: the merged span aggregate
+/// and a counter snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Aggregated spans, sorted by path.
+    pub spans: Vec<SpanAgg>,
+    /// Counter totals.
+    pub counters: Metrics,
+}
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Trace {
+    /// The total of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(c)
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty()
+    }
+
+    /// The thread-count-invariant shape of the trace: `(path, count)`
+    /// per span plus every non-zero counter, timestamps stripped.
+    pub fn normalized(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .spans
+            .iter()
+            .map(|s| (format!("span:{}", s.path), s.count))
+            .collect();
+        out.extend(
+            self.counters
+                .iter_nonzero()
+                .map(|(n, v)| (format!("counter:{n}"), v)),
+        );
+        out
+    }
+
+    /// Renders the versioned JSON-lines trace.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{\"schema\":\"{SCHEMA}\"}}");
+        for s in &self.spans {
+            out.push_str("{\"type\":\"span\",\"path\":\"");
+            esc(&s.path, &mut out);
+            let _ = writeln!(
+                out,
+                "\",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                s.count, s.total_ns, s.self_ns
+            );
+        }
+        for (name, value) in self.counters.iter_nonzero() {
+            out.push_str("{\"type\":\"counter\",\"name\":\"");
+            esc(name, &mut out);
+            let _ = writeln!(out, "\",\"value\":{value}}}");
+        }
+        out
+    }
+
+    /// Renders the human `--profile` table: spans sorted by total time
+    /// (descending), then every non-zero counter.
+    pub fn render_profile(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<52} {:>9} {:>12} {:>12}",
+            "span", "count", "total (ms)", "self (ms)"
+        );
+        let mut spans: Vec<&SpanAgg> = self.spans.iter().collect();
+        spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.path.cmp(&b.path)));
+        for s in spans {
+            let _ = writeln!(
+                out,
+                "{:<52} {:>9} {:>12.3} {:>12.3}",
+                s.path,
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6
+            );
+        }
+        let counters: Vec<(&str, u64)> = self.counters.iter_nonzero().collect();
+        if !counters.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "{:<52} {:>9}", "counter", "total");
+            for (name, value) in counters {
+                let _ = writeln!(out, "{name:<52} {value:>9}");
+            }
+        }
+        out
+    }
+}
+
+/// What [`validate_jsonl`] learned about a well-formed trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Number of span lines.
+    pub spans: usize,
+    /// Parsed `(name, value)` counter lines.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TraceSummary {
+    /// The reported total of one counter (0 when absent: counters are
+    /// omitted from the file when zero).
+    pub fn counter(&self, c: Counter) -> u64 {
+        let name = crate::counter_name(c);
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+}
+
+/// A strict validator for the `localias-trace/v1` JSON-lines format —
+/// the tiny schema check `scripts/check.sh` runs against real trace
+/// files. Verifies the header, every line's shape, span-path sortedness,
+/// and that counter names come from the registry.
+pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err("empty trace".into());
+    };
+    if header != format!("{{\"schema\":\"{SCHEMA}\"}}") {
+        return Err(format!("bad header line: {header}"));
+    }
+    let mut summary = TraceSummary::default();
+    let mut last_path: Option<String> = None;
+    let mut seen_counter = false;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if let Some(rest) = line.strip_prefix("{\"type\":\"span\",\"path\":\"") {
+            if seen_counter {
+                return Err(format!("line {lineno}: span after counter lines"));
+            }
+            let (path, rest) = take_json_string(rest)
+                .ok_or_else(|| format!("line {lineno}: unterminated span path"))?;
+            let rest = rest
+                .strip_prefix("\",\"count\":")
+                .ok_or_else(|| format!("line {lineno}: missing count"))?;
+            let (count, rest) = take_u64(rest)?;
+            let rest = rest
+                .strip_prefix(",\"total_ns\":")
+                .ok_or_else(|| format!("line {lineno}: missing total_ns"))?;
+            let (total_ns, rest) = take_u64(rest)?;
+            let rest = rest
+                .strip_prefix(",\"self_ns\":")
+                .ok_or_else(|| format!("line {lineno}: missing self_ns"))?;
+            let (self_ns, rest) = take_u64(rest)?;
+            if rest != "}" {
+                return Err(format!("line {lineno}: trailing content {rest:?}"));
+            }
+            if count == 0 {
+                return Err(format!("line {lineno}: zero-count span"));
+            }
+            if self_ns > total_ns {
+                return Err(format!("line {lineno}: self_ns exceeds total_ns"));
+            }
+            if let Some(prev) = &last_path {
+                if *prev >= path {
+                    return Err(format!("line {lineno}: span paths not sorted"));
+                }
+            }
+            last_path = Some(path);
+            summary.spans += 1;
+        } else if let Some(rest) = line.strip_prefix("{\"type\":\"counter\",\"name\":\"") {
+            seen_counter = true;
+            let (name, rest) = take_json_string(rest)
+                .ok_or_else(|| format!("line {lineno}: unterminated counter name"))?;
+            let rest = rest
+                .strip_prefix("\",\"value\":")
+                .ok_or_else(|| format!("line {lineno}: missing value"))?;
+            let (value, rest) = take_u64(rest)?;
+            if rest != "}" {
+                return Err(format!("line {lineno}: trailing content {rest:?}"));
+            }
+            if counter_by_name(&name).is_none() {
+                return Err(format!("line {lineno}: unknown counter `{name}`"));
+            }
+            summary.counters.push((name, value));
+        } else if line.is_empty() {
+            continue;
+        } else {
+            return Err(format!("line {lineno}: unrecognized line {line:?}"));
+        }
+    }
+    Ok(summary)
+}
+
+/// Reads a JSON string body up to (not including) its closing quote,
+/// un-escaping `\"`/`\\`; returns the decoded string and the remainder
+/// *starting at the closing quote*.
+fn take_json_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let mut v = 0u32;
+                    for _ in 0..4 {
+                        v = v * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(v)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Reads a decimal integer prefix; returns it and the remainder.
+fn take_u64(s: &str) -> Result<(u64, &str), String> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    if end == 0 {
+        return Err(format!("expected integer at {s:?}"));
+    }
+    let v = s[..end]
+        .parse()
+        .map_err(|_| format!("integer out of range at {s:?}"))?;
+    Ok((v, &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{count, drain, enable_all, span, test_lock, Counter};
+
+    fn sample_trace() -> Trace {
+        let _l = test_lock();
+        enable_all();
+        let _ = drain();
+        {
+            let _a = span!("unit.alpha");
+            let _b = span!("unit.beta");
+            count(Counter::CheckSatQueries, 11);
+            count(Counter::AliasUnifications, 4);
+        }
+        let t = drain();
+        crate::disable_metrics();
+        crate::disable_spans();
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_validator() {
+        let t = sample_trace();
+        let text = t.to_jsonl();
+        let summary = validate_jsonl(&text).expect("well-formed trace validates");
+        assert_eq!(summary.spans, t.spans.len());
+        assert_eq!(summary.counter(Counter::CheckSatQueries), 11);
+        assert_eq!(summary.counter(Counter::AliasUnifications), 4);
+        assert_eq!(summary.counter(Counter::EffectVars), 0, "absent means 0");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        let t = sample_trace();
+        let good = t.to_jsonl();
+        assert!(validate_jsonl("").is_err(), "empty");
+        assert!(validate_jsonl("{\"schema\":\"other/v9\"}\n").is_err());
+        let truncated = &good[..good.len() - 3];
+        assert!(validate_jsonl(truncated).is_err(), "truncated final line");
+        let garbled = good.replace("\"count\":", "\"cont\":");
+        assert!(validate_jsonl(&garbled).is_err(), "bad key");
+        let unknown = format!("{{\"schema\":\"{SCHEMA}\"}}\n{{\"type\":\"counter\",\"name\":\"bogus.counter\",\"value\":1}}\n");
+        assert!(validate_jsonl(&unknown).is_err(), "unknown counter");
+    }
+
+    #[test]
+    fn normalized_strips_timestamps_only() {
+        let t = sample_trace();
+        let norm = t.normalized();
+        assert!(norm.iter().any(|(k, v)| k == "span:unit.alpha" && *v == 1));
+        assert!(norm
+            .iter()
+            .any(|(k, v)| k == "counter:effects.checksat_queries" && *v == 11));
+        // Only shape survives: every entry is a span path or counter name.
+        assert!(norm
+            .iter()
+            .all(|(k, _)| k.starts_with("span:") || k.starts_with("counter:")));
+    }
+
+    #[test]
+    fn profile_table_renders_spans_and_counters() {
+        let t = sample_trace();
+        let table = t.render_profile();
+        assert!(table.contains("unit.alpha"));
+        assert!(table.contains("unit.alpha/unit.beta"));
+        assert!(table.contains("effects.checksat_queries"));
+        assert!(table.contains("total (ms)"));
+    }
+}

@@ -1,13 +1,13 @@
 #!/bin/sh
 # Runs the full §7 experiment sweep twice — cold (fresh cache) and warm
 # (fully cached) — and writes machine-readable performance reports
-# (schema localias-bench-experiment/v3, with per-shard cache counters)
-# to the repo root:
+# (schema localias-bench-experiment/v4, with per-shard cache counters
+# and an embedded per-phase profile block) to the repo root:
 #
 #   BENCH_experiment_cold.json   cold sweep, cache.misses == modules
 #   BENCH_experiment.json        warm sweep, cache.hits   == modules
 #   BENCH_intra.json             mega-module sequential-vs-wave-parallel
-#                                timings (schema localias-bench-intra/v1)
+#                                timings (schema localias-bench-intra/v2)
 #
 # Usage: scripts/bench.sh [--jobs N] [SEED]
 #        (extra args are passed through to `localias experiment`)

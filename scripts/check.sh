@@ -4,7 +4,9 @@
 # run of the wave-parallel checker, a warm-cache smoke sweep that proves
 # the incremental cache fully hits on an unchanged corpus, and a
 # crash-recovery smoke that kills a sweep mid-run and fabricates the
-# worst-case crash artifacts to prove the sharded store heals itself.
+# worst-case crash artifacts to prove the sharded store heals itself,
+# and an observability smoke that traces a sweep and validates the
+# emitted trace with `localias tracecheck`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +21,14 @@ cargo test -q --workspace
 # lose no entries. Gate it by name so a filtered test run can't skip it.
 cargo test -q -p localias-bench --test cache \
     concurrent_disjoint_sweeps_lose_no_entries >/dev/null
+
+# The observability contract is likewise gated by name: counter totals
+# and the span tree must not depend on the thread count, and on the
+# mega-module the headline counters must match their closed forms.
+cargo test -q -p localias-bench --test obs \
+    trace_shape_is_thread_invariant >/dev/null
+cargo test -q -p localias-bench --test obs \
+    mega_module_counters_match_closed_form >/dev/null
 
 # Cold pass primes a throwaway cache; warm pass must hit on all 589
 # modules and miss on none.
@@ -103,10 +113,40 @@ grep -q '"hits": 589' "$HEALED" && grep -q '"misses": 0' "$HEALED" || {
 INTRA="$CACHE/intra.json"
 cargo run -q --release -p localias-bench --bin intra -- \
     --funs 120 --intra-jobs 4 --bench-out "$INTRA" >/dev/null
-grep -q '"schema": "localias-bench-intra/v1"' "$INTRA" || {
+grep -q '"schema": "localias-bench-intra/v2"' "$INTRA" || {
     echo "check.sh: intra bench wrote an unexpected report:" >&2
     cat "$INTRA" >&2
     exit 1
 }
 
-echo "check.sh: fmt, clippy, build, tests, concurrency gate, warm-cache sweep, crash recovery, and mega smoke all passed"
+# Observability smoke: a traced sweep must emit a trace the strict
+# validator accepts, embed a profile block in the bench report, and
+# print the profile table on stderr.
+TRACE="$CACHE/trace.jsonl"
+PROFILED="$CACHE/profiled.json"
+PROFTAB="$CACHE/profile.txt"
+./target/release/localias experiment --jobs 2 --cache "$CACHE" \
+    --trace-out "$TRACE" --profile --bench-out "$PROFILED" \
+    >/dev/null 2>"$PROFTAB"
+./target/release/localias tracecheck "$TRACE" >/dev/null || {
+    echo "check.sh: emitted trace failed validation" >&2
+    cat "$TRACE" >&2
+    exit 1
+}
+grep -q '"schema":"localias-trace/v1"' "$TRACE" || {
+    echo "check.sh: trace header missing or wrong schema" >&2
+    head -n 1 "$TRACE" >&2
+    exit 1
+}
+grep -q '"profile": {' "$PROFILED" || {
+    echo "check.sh: traced sweep did not embed a profile block:" >&2
+    cat "$PROFILED" >&2
+    exit 1
+}
+grep -q 'bench.sweep' "$PROFTAB" || {
+    echo "check.sh: --profile table missing the sweep span:" >&2
+    cat "$PROFTAB" >&2
+    exit 1
+}
+
+echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, and trace smoke all passed"
