@@ -293,7 +293,7 @@ impl Gen {
     /// types (a lightweight, syntactic struct-type inference).
     fn field_cell_of(&mut self, base: &Expr, fld: &Ident) -> Option<Cell> {
         let sname = self.struct_of(base)?;
-        Some(Cell::Field(sname, fld.name.clone()))
+        Some(Cell::Field(sname, fld.name.to_string()))
     }
 
     /// Best-effort struct-name inference for a base expression.
@@ -302,9 +302,9 @@ impl Gen {
             ExprKind::Var(x) => {
                 let c = self.var_cell(&x.name);
                 match self.var_types.get(&c)? {
-                    TypeExpr::Struct(s) => Some(s.clone()),
+                    TypeExpr::Struct(s) => Some(s.to_string()),
                     TypeExpr::Ptr(inner) | TypeExpr::Array(inner, _) => match &**inner {
-                        TypeExpr::Struct(s) => Some(s.clone()),
+                        TypeExpr::Struct(s) => Some(s.to_string()),
                         _ => None,
                     },
                     _ => None,
@@ -316,9 +316,9 @@ impl Gen {
                 let fields = self.struct_fields.get(&s)?;
                 let (_, fty) = fields.iter().find(|(n, _)| *n == f.name)?;
                 match fty {
-                    TypeExpr::Struct(s2) => Some(s2.clone()),
+                    TypeExpr::Struct(s2) => Some(s2.to_string()),
                     TypeExpr::Ptr(inner) => match &**inner {
-                        TypeExpr::Struct(s2) => Some(s2.clone()),
+                        TypeExpr::Struct(s2) => Some(s2.to_string()),
                         _ => None,
                     },
                     _ => None,
@@ -355,12 +355,12 @@ impl Gen {
 
     fn call(&mut self, f: &Ident, args: &[Expr], at: NodeId) -> Ix {
         let arg_vals: Vec<Ix> = args.iter().map(|a| self.value_of(a)).collect();
-        if let Some(params) = self.params.get(&f.name).cloned() {
+        if let Some(params) = self.params.get(f.name.as_str()).cloned() {
             for (p, v) in params.iter().zip(arg_vals) {
                 let pi = self.cell(p.clone());
                 self.copies.push((v, pi));
             }
-            if let Some(&r) = self.returns.get(&f.name) {
+            if let Some(&r) = self.returns.get(f.name.as_str()) {
                 let fresh = self.fresh(at);
                 self.copies.push((r, fresh));
                 return fresh;
@@ -376,7 +376,7 @@ impl Gen {
             }
             StmtKind::Decl { ty, name, init, .. } => {
                 let fun = self.current_fun.clone();
-                let c = Cell::Var(fun, name.name.clone());
+                let c = Cell::Var(fun, name.name.to_string());
                 self.cell(c.clone());
                 self.var_types.insert(c.clone(), ty.clone());
                 if let Some(e) = init {
@@ -389,7 +389,7 @@ impl Gen {
                 // As an alias analysis, restrict is just a binding.
                 let rv = self.value_of(init);
                 let fun = self.current_fun.clone();
-                let c = Cell::Var(fun, name.name.clone());
+                let c = Cell::Var(fun, name.name.to_string());
                 let i = self.cell(c.clone());
                 self.var_types.insert(c, TypeExpr::ptr(TypeExpr::Int));
                 self.copies.push((rv, i));
@@ -473,41 +473,44 @@ pub fn analyze(m: &Module) -> PointsTo {
 
     for s in m.structs() {
         gen.struct_fields.insert(
-            s.name.name.clone(),
+            s.name.name.to_string(),
             s.fields
                 .iter()
-                .map(|(n, t)| (n.name.clone(), t.clone()))
+                .map(|(n, t)| (n.name.to_string(), t.clone()))
                 .collect(),
         );
         for (fname, fty) in &s.fields {
-            let c = Cell::Field(s.name.name.clone(), fname.name.clone());
+            let c = Cell::Field(s.name.name.to_string(), fname.name.to_string());
             gen.cell(c.clone());
             gen.var_types.insert(c, fty.clone());
         }
     }
     for g in m.globals() {
-        let c = Cell::Var(None, g.name.name.clone());
+        let c = Cell::Var(None, g.name.name.to_string());
         gen.cell(c.clone());
         gen.var_types.insert(c, g.ty.clone());
         if let TypeExpr::Array(_, _) = g.ty {
-            gen.cell(Cell::ArrayElems(None, g.name.name.clone()));
+            gen.cell(Cell::ArrayElems(None, g.name.name.to_string()));
         }
     }
     for f in m.functions() {
         let mut ps = Vec::new();
         for p in &f.params {
-            let c = Cell::Var(Some(f.name.name.clone()), p.name.name.clone());
+            let c = Cell::Var(Some(f.name.name.to_string()), p.name.name.to_string());
             gen.cell(c.clone());
             gen.var_types.insert(c.clone(), p.ty.clone());
             ps.push(c);
         }
-        gen.params.insert(f.name.name.clone(), ps);
-        let r = gen.cell(Cell::Var(Some(f.name.name.clone()), "<return>".to_string()));
-        gen.returns.insert(f.name.name.clone(), r);
+        gen.params.insert(f.name.name.to_string(), ps);
+        let r = gen.cell(Cell::Var(
+            Some(f.name.name.to_string()),
+            "<return>".to_string(),
+        ));
+        gen.returns.insert(f.name.name.to_string(), r);
     }
     for item in &m.items {
         if let ItemKind::Fun(f) = &item.kind {
-            gen.current_fun = Some(f.name.name.clone());
+            gen.current_fun = Some(f.name.name.to_string());
             gen.block(&f.body);
             gen.current_fun = None;
         }
@@ -589,7 +592,7 @@ pub fn summarize(m: &Module) -> Vec<(String, String, Vec<String>)> {
             if let StmtKind::Decl { name, ty, .. } = &s.kind {
                 if ty.is_ptr() {
                     if let Some(f) = &self.1 {
-                        self.0.push((f.clone(), name.name.clone()));
+                        self.0.push((f.clone(), name.name.to_string()));
                     }
                 }
             }
@@ -597,7 +600,7 @@ pub fn summarize(m: &Module) -> Vec<(String, String, Vec<String>)> {
         }
     }
     for f in m.functions() {
-        let mut d = Decls(Vec::new(), Some(f.name.name.clone()));
+        let mut d = Decls(Vec::new(), Some(f.name.name.to_string()));
         localias_ast::visit::walk_fun(&mut d, f);
         for (fun, var) in d.0 {
             let set: Vec<String> = pts

@@ -174,7 +174,7 @@ impl State {
             TypeExpr::Int => Ty::Int,
             TypeExpr::Lock => Ty::Lock,
             TypeExpr::Void => Ty::Void,
-            TypeExpr::Struct(s) => Ty::Struct(s.clone()),
+            TypeExpr::Struct(s) => Ty::Struct(s.to_string()),
             TypeExpr::Ptr(inner) => {
                 let content = self.lower(inner, hint);
                 let l = self.locs.fresh(format!("*{hint}"), content);
@@ -418,7 +418,7 @@ impl<H: Hooks> Walker<H> {
                 let var = self.st.bind(
                     &g.name.name,
                     VarInfo {
-                        name: g.name.name.clone(),
+                        name: g.name.name.to_string(),
                         kind: VarKind::Addressed(l),
                         ty,
                         fun: None,
@@ -454,7 +454,7 @@ impl<H: Hooks> Walker<H> {
             fn visit_expr(&mut self, e: &Expr) {
                 if let ExprKind::Unary(UnOp::AddrOf, inner) = &e.kind {
                     if let ExprKind::Var(x) = &inner.kind {
-                        self.0.insert(x.name.clone());
+                        self.0.insert(x.name.to_string());
                     }
                 }
                 localias_ast::visit::walk_expr(self, e);
@@ -487,11 +487,11 @@ impl<H: Hooks> Walker<H> {
     }
 
     fn fun(&mut self, f: &FunDef) {
-        self.st.current_fun = Some(f.name.name.clone());
+        self.st.current_fun = Some(f.name.name.to_string());
         self.hooks.enter_scope(&mut self.st, ScopeKind::Fun(f.id));
         self.st.push_scope();
 
-        let sig = self.st.funs[&f.name.name].clone();
+        let sig = self.st.funs[f.name.name.as_str()].clone();
         for (p, sig_ty) in f.params.iter().zip(&sig.params) {
             let site = BindSite::Param {
                 restrict: p.restrict,
@@ -502,7 +502,7 @@ impl<H: Hooks> Walker<H> {
             let var = self.st.bind(
                 &p.name.name,
                 VarInfo {
-                    name: p.name.name.clone(),
+                    name: p.name.name.to_string(),
                     kind,
                     ty: value_ty,
                     fun,
@@ -579,7 +579,7 @@ impl<H: Hooks> Walker<H> {
                 let var = self.st.bind(
                     &name.name,
                     VarInfo {
-                        name: name.name.clone(),
+                        name: name.name.to_string(),
                         kind,
                         ty: value_ty,
                         fun,
@@ -599,7 +599,7 @@ impl<H: Hooks> Walker<H> {
                 let var = self.st.bind(
                     &name.name,
                     VarInfo {
-                        name: name.name.clone(),
+                        name: name.name.to_string(),
                         kind,
                         ty: value_ty,
                         fun,
@@ -975,7 +975,7 @@ impl<H: Hooks> Walker<H> {
             }
             return Ty::Void;
         }
-        let sig = match self.st.funs.get(&f.name) {
+        let sig = match self.st.funs.get(f.name.as_str()) {
             Some(sig) => sig.clone(),
             None => {
                 // Implicit extern: parameters adopt the argument types;
@@ -985,7 +985,7 @@ impl<H: Hooks> Walker<H> {
                     ret: Ty::Unknown,
                     is_extern: true,
                 };
-                self.st.funs.insert(f.name.clone(), sig.clone());
+                self.st.funs.insert(f.name.to_string(), sig.clone());
                 sig
             }
         };
@@ -1135,7 +1135,7 @@ mod tests {
         impl Visitor for Fields {
             fn visit_expr(&mut self, e: &Expr) {
                 if let ExprKind::Field(_, f) = &e.kind {
-                    self.0.push((f.name.clone(), e.id));
+                    self.0.push((f.name.to_string(), e.id));
                 }
                 localias_ast::visit::walk_expr(self, e);
             }

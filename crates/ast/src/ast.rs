@@ -5,6 +5,7 @@
 //! flow-sensitive lock checker) key their facts on these ids, so a single
 //! parse can feed every analysis without re-walking source text.
 
+use crate::intern::Symbol;
 use crate::span::Span;
 use std::fmt;
 
@@ -33,17 +34,22 @@ impl fmt::Display for NodeId {
 }
 
 /// An identifier occurrence with its source span.
+///
+/// The name is an interned [`Symbol`]: every occurrence of one name in a
+/// module shares a single allocation (see [`crate::intern`]), which is
+/// most of the AST memory diet — identifier text used to be duplicated
+/// per occurrence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ident {
     /// The name.
-    pub name: String,
+    pub name: Symbol,
     /// Where it occurred.
     pub span: Span,
 }
 
 impl Ident {
     /// Creates an identifier with a dummy span (for synthesized nodes).
-    pub fn synthetic(name: impl Into<String>) -> Self {
+    pub fn synthetic(name: impl Into<Symbol>) -> Self {
         Ident {
             name: name.into(),
             span: Span::DUMMY,
@@ -76,7 +82,7 @@ pub enum TypeExpr {
     /// `T[n]`
     Array(Box<TypeExpr>, usize),
     /// `struct S`
-    Struct(String),
+    Struct(Symbol),
 }
 
 impl TypeExpr {

@@ -27,6 +27,7 @@
 //! ```
 
 use crate::ast::*;
+use crate::intern::Interner;
 use crate::span::Span;
 
 /// An AST builder that owns the node-id allocator for one module.
@@ -35,6 +36,9 @@ pub struct Builder {
     name: String,
     items: Vec<Item>,
     next_id: u32,
+    /// Per-module symbol arena, mirroring the parser's (see
+    /// [`crate::intern`]): repeated names share one allocation.
+    interner: Interner,
 }
 
 impl Builder {
@@ -44,6 +48,7 @@ impl Builder {
             name: name.into(),
             items: Vec::new(),
             next_id: 0,
+            interner: Interner::new(),
         }
     }
 
@@ -51,6 +56,13 @@ impl Builder {
         let id = NodeId(self.next_id);
         self.next_id += 1;
         id
+    }
+
+    fn ident(&mut self, name: impl AsRef<str>) -> Ident {
+        Ident {
+            name: self.interner.intern(name.as_ref()),
+            span: Span::DUMMY,
+        }
     }
 
     fn expr(&mut self, kind: ExprKind) -> Expr {
@@ -77,8 +89,8 @@ impl Builder {
     }
 
     /// Variable reference `x`.
-    pub fn var(&mut self, name: impl Into<String>) -> Expr {
-        let id = Ident::synthetic(name);
+    pub fn var(&mut self, name: impl AsRef<str>) -> Expr {
+        let id = self.ident(name);
         self.expr(ExprKind::Var(id))
     }
 
@@ -103,8 +115,8 @@ impl Builder {
     }
 
     /// Call `f(args)`.
-    pub fn call(&mut self, f: impl Into<String>, args: Vec<Expr>) -> Expr {
-        let id = Ident::synthetic(f);
+    pub fn call(&mut self, f: impl AsRef<str>, args: Vec<Expr>) -> Expr {
+        let id = self.ident(f);
         self.expr(ExprKind::Call(id, args))
     }
 
@@ -114,14 +126,14 @@ impl Builder {
     }
 
     /// Field access `a.f`.
-    pub fn field(&mut self, a: Expr, f: impl Into<String>) -> Expr {
-        let id = Ident::synthetic(f);
+    pub fn field(&mut self, a: Expr, f: impl AsRef<str>) -> Expr {
+        let id = self.ident(f);
         self.expr(ExprKind::Field(Box::new(a), id))
     }
 
     /// Pointer field access `a->f`.
-    pub fn arrow(&mut self, a: Expr, f: impl Into<String>) -> Expr {
-        let id = Ident::synthetic(f);
+    pub fn arrow(&mut self, a: Expr, f: impl AsRef<str>) -> Expr {
+        let id = self.ident(f);
         self.expr(ExprKind::Arrow(Box::new(a), id))
     }
 
@@ -143,8 +155,8 @@ impl Builder {
     }
 
     /// Declaration `ty name = init;` with [`BindingKind::Let`].
-    pub fn decl(&mut self, name: impl Into<String>, ty: TypeExpr, init: Option<Expr>) -> Stmt {
-        let name = Ident::synthetic(name);
+    pub fn decl(&mut self, name: impl AsRef<str>, ty: TypeExpr, init: Option<Expr>) -> Stmt {
+        let name = self.ident(name);
         self.stmt(StmtKind::Decl {
             binding: BindingKind::Let,
             ty,
@@ -154,8 +166,8 @@ impl Builder {
     }
 
     /// Restrict-qualified declaration `restrict ty name = init;`.
-    pub fn restrict_decl(&mut self, name: impl Into<String>, ty: TypeExpr, init: Expr) -> Stmt {
-        let name = Ident::synthetic(name);
+    pub fn restrict_decl(&mut self, name: impl AsRef<str>, ty: TypeExpr, init: Expr) -> Stmt {
+        let name = self.ident(name);
         self.stmt(StmtKind::Decl {
             binding: BindingKind::Restrict,
             ty,
@@ -165,8 +177,8 @@ impl Builder {
     }
 
     /// Scoped restrict `restrict name = init { body }`.
-    pub fn restrict_stmt(&mut self, name: impl Into<String>, init: Expr, body: Block) -> Stmt {
-        let name = Ident::synthetic(name);
+    pub fn restrict_stmt(&mut self, name: impl AsRef<str>, init: Expr, body: Block) -> Stmt {
+        let name = self.ident(name);
         self.stmt(StmtKind::Restrict { name, init, body })
     }
 
@@ -224,10 +236,10 @@ impl Builder {
     // ---- Items -----------------------------------------------------------
 
     /// Adds a global variable.
-    pub fn global(&mut self, name: impl Into<String>, ty: TypeExpr) {
+    pub fn global(&mut self, name: impl AsRef<str>, ty: TypeExpr) {
         let g = Global {
             id: self.id(),
-            name: Ident::synthetic(name),
+            name: self.ident(name),
             ty,
             span: Span::DUMMY,
         };
@@ -237,13 +249,22 @@ impl Builder {
     }
 
     /// Adds a struct definition.
-    pub fn struct_def(&mut self, name: impl Into<String>, fields: Vec<(&str, TypeExpr)>) {
+    pub fn struct_def(&mut self, name: impl AsRef<str>, fields: Vec<(&str, TypeExpr)>) {
+        let name = self.ident(name);
         let s = StructDef {
             id: self.id(),
-            name: Ident::synthetic(name),
+            name,
             fields: fields
                 .into_iter()
-                .map(|(n, t)| (Ident::synthetic(n), t))
+                .map(|(n, t)| {
+                    (
+                        Ident {
+                            name: self.interner.intern(n),
+                            span: Span::DUMMY,
+                        },
+                        t,
+                    )
+                })
                 .collect(),
             span: Span::DUMMY,
         };
@@ -255,7 +276,7 @@ impl Builder {
     /// Adds a function definition with non-restrict parameters.
     pub fn fun(
         &mut self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         params: Vec<(&str, TypeExpr)>,
         ret: TypeExpr,
         body: Block,
@@ -263,7 +284,7 @@ impl Builder {
         let params = params
             .into_iter()
             .map(|(n, t)| Param {
-                name: Ident::synthetic(n),
+                name: self.ident(n),
                 ty: t,
                 restrict: false,
             })
@@ -275,14 +296,15 @@ impl Builder {
     /// `restrict`-qualified parameters).
     pub fn fun_with_params(
         &mut self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         params: Vec<Param>,
         ret: TypeExpr,
         body: Block,
     ) {
+        let name = self.ident(name);
         let f = FunDef {
             id: self.id(),
-            name: Ident::synthetic(name),
+            name,
             params,
             ret,
             body,
@@ -296,17 +318,21 @@ impl Builder {
     /// Adds an extern declaration.
     pub fn extern_fun(
         &mut self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         params: Vec<(&str, TypeExpr)>,
         ret: TypeExpr,
     ) {
+        let name = self.ident(name);
         let e = ExternDef {
             id: self.id(),
-            name: Ident::synthetic(name),
+            name,
             params: params
                 .into_iter()
                 .map(|(n, t)| Param {
-                    name: Ident::synthetic(n),
+                    name: Ident {
+                        name: self.interner.intern(n),
+                        span: Span::DUMMY,
+                    },
                     ty: t,
                     restrict: false,
                 })

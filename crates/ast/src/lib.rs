@@ -43,6 +43,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -54,6 +55,7 @@ pub use ast::{
     BinOp, BindingKind, Block, Expr, ExprKind, FunDef, Global, Ident, Item, ItemKind, Module,
     NodeId, Param, Stmt, StmtKind, StructDef, TypeExpr, UnOp,
 };
+pub use intern::{Interner, Symbol};
 pub use lexer::{LexError, Lexer};
 pub use parser::{parse_expr, parse_module, ParseError, Parser};
 pub use span::Span;

@@ -15,6 +15,7 @@
 //! keyword (`int`, `lock`, `void`, `struct`).
 
 use crate::ast::*;
+use crate::intern::Interner;
 use crate::lexer::{LexError, Lexer};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
@@ -89,6 +90,9 @@ pub struct Parser {
     pos: usize,
     next_id: u32,
     depth: usize,
+    /// Per-parse symbol arena: every occurrence of one identifier in the
+    /// module shares a single allocation (see [`crate::intern`]).
+    interner: Interner,
 }
 
 impl Parser {
@@ -103,6 +107,7 @@ impl Parser {
             pos: 0,
             next_id: 0,
             depth: 0,
+            interner: Interner::new(),
         })
     }
 
@@ -177,6 +182,7 @@ impl Parser {
             TokenKind::Ident(name) => {
                 let span = self.span();
                 self.bump();
+                let name = self.interner.intern(&name);
                 Ok(Ident { name, span })
             }
             other => Err(self.err(format!("expected identifier, found {other}"))),

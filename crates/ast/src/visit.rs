@@ -7,6 +7,7 @@
 
 use crate::ast::ItemKind;
 use crate::ast::*;
+use crate::intern::Symbol;
 
 /// A read-only AST visitor.
 pub trait Visitor: Sized {
@@ -170,8 +171,8 @@ pub fn collect_spans(m: &Module) -> Vec<crate::span::Span> {
 ///
 /// A convenience used by several analyses and by the experiment harness to
 /// enumerate `spin_lock`/`spin_unlock` sites.
-pub fn call_sites(m: &Module) -> Vec<(String, NodeId)> {
-    struct Calls(Vec<(String, NodeId)>);
+pub fn call_sites(m: &Module) -> Vec<(Symbol, NodeId)> {
+    struct Calls(Vec<(Symbol, NodeId)>);
     impl Visitor for Calls {
         fn visit_expr(&mut self, e: &Expr) {
             if let ExprKind::Call(name, _) = &e.kind {

@@ -5,15 +5,16 @@
 //!
 //! ```text
 //! [SEED] [--jobs N | -j N] [--intra-jobs N] [--cache DIR | --no-cache]
-//! [--cache-shards N] [--bench-out FILE] [--trace-out FILE] [--profile]
-//! [--quiet | -q]
+//! [--cache-shards N] [--modules N] [--partition I/N] [--bench-out FILE]
+//! [--trace-out FILE] [--profile] [--quiet | -q]
 //! ```
 //!
 //! so the cache flags land in exactly one place instead of being re-wired
 //! per binary (which is how `--jobs` used to work). Conflicting cache
 //! flags (`--no-cache` together with `--cache` or `--cache-shards`) are
 //! rejected up front, in either order, rather than resolving by flag
-//! position.
+//! position — and `--partition` (which cooperates through the shared
+//! cache) conflicts with `--no-cache` the same way.
 
 use crate::cache::{CachePolicy, DEFAULT_SHARDS, MAX_SHARDS};
 use localias_corpus::DEFAULT_SEED;
@@ -48,6 +49,12 @@ pub struct CliOpts {
     pub profile: bool,
     /// Silence informational diagnostics (warnings still print).
     pub quiet: bool,
+    /// Corpus size override (`--modules N`): sweep an `N`-module stream
+    /// instead of the paper's 589.
+    pub modules: Option<usize>,
+    /// Partitioned sweep (`--partition I/N`): this process covers
+    /// contiguous slice `I` of `N` disjoint slices of the seeded stream.
+    pub partition: Option<(usize, usize)>,
 }
 
 impl CliOpts {
@@ -66,6 +73,8 @@ impl CliOpts {
         let mut trace_out: Option<String> = None;
         let mut profile = false;
         let mut quiet = false;
+        let mut modules: Option<usize> = None;
+        let mut partition: Option<(usize, usize)> = None;
 
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -112,6 +121,26 @@ impl CliOpts {
                     cache_shards = Some(n);
                 }
                 "--no-cache" => no_cache = true,
+                "--modules" => {
+                    if modules.is_some() {
+                        return Err("--modules given more than once".into());
+                    }
+                    let val = value_of(&mut it, &a, "a module count")?;
+                    let n: usize = val
+                        .parse()
+                        .map_err(|_| format!("bad module count `{val}`"))?;
+                    if n == 0 {
+                        return Err("--modules must be at least 1".into());
+                    }
+                    modules = Some(n);
+                }
+                "--partition" => {
+                    if partition.is_some() {
+                        return Err("--partition given more than once".into());
+                    }
+                    let val = value_of(&mut it, &a, "a slice spec I/N")?;
+                    partition = Some(parse_partition(&val)?);
+                }
                 "--bench-out" => {
                     if bench_out.is_some() {
                         return Err("--bench-out given more than once".into());
@@ -148,6 +177,11 @@ impl CliOpts {
         if no_cache && cache_shards.is_some() {
             return Err("--cache-shards and --no-cache are mutually exclusive".into());
         }
+        if no_cache && partition.is_some() {
+            // Partitioned processes cooperate through the shared on-disk
+            // cache; without it the merge step has nothing to union over.
+            return Err("--partition and --no-cache are mutually exclusive".into());
+        }
         let cache_explicit = no_cache || cache_dir.is_some() || cache_shards.is_some();
         let cache = if no_cache {
             CachePolicy::Disabled
@@ -169,6 +203,8 @@ impl CliOpts {
             trace_out,
             profile,
             quiet,
+            modules,
+            partition,
         })
     }
 
@@ -193,6 +229,31 @@ impl CliOpts {
         }
         let _ = localias_obs::init_from_env();
     }
+}
+
+/// Parses and validates a `--partition` slice spec of the form `I/N`.
+fn parse_partition(spec: &str) -> Result<(usize, usize), String> {
+    let (index, count) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("bad partition spec `{spec}` (expected I/N, e.g. 0/2)"))?;
+    let index: usize = index
+        .parse()
+        .map_err(|_| format!("bad partition index `{index}` in `{spec}`"))?;
+    let count: usize = count
+        .parse()
+        .map_err(|_| format!("bad partition count `{count}` in `{spec}`"))?;
+    if count == 0 {
+        return Err(format!(
+            "bad partition spec `{spec}`: the partition count must be at least 1"
+        ));
+    }
+    if index >= count {
+        return Err(format!(
+            "bad partition spec `{spec}`: index {index} is out of range for {count} \
+             partitions (valid indices are 0..{count})"
+        ));
+    }
+    Ok((index, count))
 }
 
 fn value_of<I>(it: &mut I, flag: &str, what: &str) -> Result<String, String>
@@ -324,6 +385,62 @@ mod tests {
                 shards: 4
             }
         );
+    }
+
+    #[test]
+    fn modules_and_partition_parse() {
+        let o = parse(&["--modules", "50000", "--partition", "1/4"]).unwrap();
+        assert_eq!(o.modules, Some(50000));
+        assert_eq!(o.partition, Some((1, 4)));
+
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.modules, None, "paper corpus size unless overridden");
+        assert_eq!(o.partition, None, "unpartitioned by default");
+
+        // A single-partition sweep is legal (useful for scripting).
+        assert_eq!(
+            parse(&["--partition", "0/1"]).unwrap().partition,
+            Some((0, 1))
+        );
+    }
+
+    #[test]
+    fn modules_and_partition_validation() {
+        assert!(parse(&["--modules"]).is_err());
+        assert!(parse(&["--modules", "x"]).is_err());
+        assert!(parse(&["--modules", "0"]).is_err());
+        assert!(parse(&["--modules", "1", "--modules", "2"]).is_err());
+
+        assert!(parse(&["--partition"]).is_err());
+        assert!(parse(&["--partition", "1"]).is_err(), "missing /N");
+        assert!(parse(&["--partition", "x/y"]).is_err());
+        assert!(parse(&["--partition", "1/"]).is_err());
+        assert!(parse(&["--partition", "/2"]).is_err());
+        assert!(parse(&["--partition", "0/2", "--partition", "1/2"]).is_err());
+
+        let err = parse(&["--partition", "0/0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&["--partition", "2/2"]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse(&["--partition", "5/4"]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    /// Like the cache-flag conflicts above: `--partition` needs the
+    /// shared cache, so `--no-cache` is rejected in either flag order.
+    #[test]
+    fn partition_no_cache_conflict_is_order_independent() {
+        for args in [
+            &["--partition", "0/2", "--no-cache"][..],
+            &["--no-cache", "--partition", "0/2"][..],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains("mutually exclusive"), "{args:?}: {err}");
+        }
+        // --partition composes with the other cache flags.
+        let o = parse(&["--partition", "0/2", "--cache", "d"]).unwrap();
+        assert_eq!(o.partition, Some((0, 2)));
+        assert!(matches!(o.cache, CachePolicy::Dir { .. }));
     }
 
     #[test]

@@ -6,12 +6,16 @@
 pub mod cache;
 pub mod cli;
 pub mod harness;
+pub mod json;
+pub mod merge;
 
 pub use cache::{
     AnalysisCache, CachePolicy, CacheStats, CachedValues, PrecisionOutcome, ANALYSIS_VERSION,
     DEFAULT_SHARDS, MAX_SHARDS,
 };
 pub use cli::CliOpts;
+pub use localias_corpus::{partition_range, CorpusStream};
+pub use merge::merge_partitions;
 
 use cache::CachedOutcome;
 use localias_ast::Module;
@@ -20,7 +24,7 @@ use localias_corpus::GeneratedModule;
 use localias_cqual::{check_locks_shared_jobs, Mode};
 use localias_obs as obs;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 /// Per-module measured error counts under the three modes.
@@ -159,6 +163,25 @@ pub struct ExperimentBench {
     /// Observability snapshot of the sweep (`None` unless the caller
     /// enabled obs collection and attached a drained [`obs::Trace`]).
     pub profile: Option<obs::Trace>,
+    /// Which slice of the corpus this sweep covered (`None` for a full,
+    /// unpartitioned run).
+    pub partition: Option<PartitionInfo>,
+    /// Per-module `(name, no-confine, confine, all-strong)` rows, in
+    /// sweep order. `None` unless the caller opts in — partition
+    /// artifacts carry them so `bench-merge` can union disjoint sweeps
+    /// into one result set.
+    pub results: Option<Vec<ModuleResult>>,
+}
+
+/// Which disjoint slice of a seeded corpus one partitioned sweep covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// Partition index, `0 ≤ index < count`.
+    pub index: usize,
+    /// Total number of cooperating partitions.
+    pub count: usize,
+    /// Total modules in the *whole* corpus the partitions split.
+    pub total: usize,
 }
 
 /// Formats an `f64` as a JSON number that parses back to the same value:
@@ -247,7 +270,7 @@ impl ExperimentBench {
     }
 
     /// Renders the stats as a small, stable JSON document
-    /// (schema `localias-bench-experiment/v4`).
+    /// (schema `localias-bench-experiment/v5`).
     ///
     /// v2 extended v1 with the `cache` block (`null` on uncached sweeps)
     /// and switched every float to a shortest-round-trip rendering, so
@@ -257,11 +280,46 @@ impl ExperimentBench {
     /// and the lock-contention counters `lock_retries`/`lock_skips`.
     /// v4 adds the `profile` block (`null` unless the run collected an
     /// obs trace): aggregated spans plus non-zero counter totals.
+    /// v5 adds `partition` (`{"index", "count", "total"}` for a
+    /// partitioned sweep, else `null`) and `results` (per-module
+    /// `[name, nc, cf, as]` rows when the caller opts in, else `null`) —
+    /// the fields `bench-merge` unions disjoint partition sweeps with.
     pub fn to_json(&self) -> String {
         let (nc, cf, st) = self.errors;
         let profile = match &self.profile {
             None => "null".to_string(),
             Some(t) => json_trace(t),
+        };
+        let partition = match &self.partition {
+            None => "null".to_string(),
+            Some(p) => format!(
+                "{{\"index\": {}, \"count\": {}, \"total\": {}}}",
+                p.index, p.count, p.total
+            ),
+        };
+        let results = match &self.results {
+            None => "null".to_string(),
+            Some(rows) => {
+                let mut out = String::from("[");
+                for (i, r) in rows.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "\n    [{}, {}, {}, {}]",
+                        json_str(&r.name),
+                        r.no_confine,
+                        r.confine,
+                        r.all_strong
+                    );
+                }
+                if !rows.is_empty() {
+                    out.push_str("\n  ");
+                }
+                out.push(']');
+                out
+            }
         };
         let cache = match &self.cache {
             None => "null".to_string(),
@@ -284,7 +342,7 @@ impl ExperimentBench {
             ),
         };
         format!(
-            "{{\n  \"schema\": \"localias-bench-experiment/v4\",\n  \
+            "{{\n  \"schema\": \"localias-bench-experiment/v5\",\n  \
              \"seed\": {},\n  \
              \"modules\": {},\n  \
              \"threads\": {},\n  \
@@ -302,6 +360,8 @@ impl ExperimentBench {
              \"potential\": {},\n    \
              \"eliminated\": {}\n  }},\n  \
              \"cache\": {cache},\n  \
+             \"partition\": {partition},\n  \
+             \"results\": {results},\n  \
              \"profile\": {profile}\n}}\n",
             self.seed,
             self.modules,
@@ -333,116 +393,164 @@ pub fn measure_corpus_timed(
     measure_corpus_cached(corpus, jobs, 1, seed, None)
 }
 
-/// What a worker learned about one pending module, beyond its result.
+/// What a worker learned about one module, beyond its result.
 enum CacheNote {
     /// Sweep ran uncached.
     Uncached,
+    /// The raw source fingerprint was already known — served without
+    /// even parsing.
+    RawHit { fp: u128 },
     /// Raw source changed but the canonical fingerprint still hit; the
     /// new raw fingerprint should alias it for the next sweep.
-    CanonHit(u128),
+    CanonHit { fp: u128, raw: u128 },
     /// True miss: record the fresh measurement under this fingerprint.
-    Miss(u128),
+    Miss { fp: u128, raw: u128 },
 }
 
-/// The work-stealing sweep, optionally backed by an [`AnalysisCache`].
+/// One worker's verdict on one module.
+struct SweepOutcome {
+    slot: usize,
+    result: ModuleResult,
+    times: PhaseTimes,
+    note: CacheNote,
+}
+
+/// Corpus size above which the default shard count starts to contend.
+const LARGE_CORPUS_SHARD_WARN: usize = 10_000;
+
+/// The streaming sweep engine every `measure_*` entry point feeds.
 ///
-/// Work distribution is a shared atomic index (work stealing at module
-/// granularity); each worker keeps `(index, result)` pairs that are
-/// merged back into corpus order afterwards, so output is byte-identical
-/// for every `jobs` value.
+/// `modules` yields `(slot, module)` pairs; `slot` is the module's index
+/// in the returned result vector (`0..out_len`). With more than one
+/// worker the iterator is drained by a producer thread into a *bounded*
+/// channel (capacity `2·threads`), so no matter how large the corpus is,
+/// only `O(threads)` modules are ever alive at once — each worker drops
+/// its module as soon as the result (or cache note) is extracted.
+/// Results are merged back into slot order afterwards, so output is
+/// byte-identical for every `jobs` value and for the sequential path.
 ///
-/// With a cache, a pre-pass resolves every module whose raw source
-/// fingerprint is already known — those hits skip the pool entirely, and
-/// a fully warm sweep never parses a module. The remaining modules fan
-/// out to the workers as usual; after the (timed) parse each worker
-/// checks the canonical fingerprint, so a formatting-only change is still
-/// a hit and only genuine content changes pay for analysis. The cache is
-/// updated in memory afterwards; persisting it is the caller's job
-/// (see [`measure_corpus_with_cache`]).
-pub fn measure_corpus_cached(
-    corpus: &[GeneratedModule],
+/// With a cache, each worker first resolves the module's raw source
+/// fingerprint against an immutable cache snapshot — a hit skips the
+/// parse entirely. Otherwise it parses and checks the canonical
+/// fingerprint, so a formatting-only change is still a hit and only
+/// genuine content changes pay for analysis. Cache mutations (aliases,
+/// fresh records) are applied on the calling thread after the sweep;
+/// persisting the store is the caller's job (see
+/// [`measure_corpus_with_cache`]).
+fn sweep_modules<M, I>(
+    modules: I,
+    out_len: usize,
     jobs: usize,
     intra_jobs: usize,
     seed: u64,
     mut cache: Option<&mut AnalysisCache>,
-) -> (Vec<ModuleResult>, ExperimentBench) {
+) -> (Vec<ModuleResult>, ExperimentBench)
+where
+    M: std::borrow::Borrow<GeneratedModule> + Send,
+    I: Iterator<Item = (usize, M)> + Send,
+{
     let threads = if jobs == 0 { default_jobs() } else { jobs };
     let _sweep_span = obs::span!("bench.sweep");
     let start = Instant::now();
 
-    let mut slots: Vec<Option<(ModuleResult, PhaseTimes)>> = corpus.iter().map(|_| None).collect();
-    let mut raws: Vec<u128> = Vec::new();
-    let mut pending: Vec<usize> = Vec::new();
-    let mut hits = 0usize;
     let shards = cache.as_deref().map_or(0, AnalysisCache::shard_count);
-    let mut shard_hits = vec![0usize; shards];
-    let mut shard_misses = vec![0usize; shards];
-
-    if let Some(c) = cache.as_deref() {
-        for (i, m) in corpus.iter().enumerate() {
-            let raw = cache::source_fingerprint(&m.source);
-            raws.push(raw);
-            let served = c
-                .resolve_raw(raw)
-                .and_then(|fp| Some((fp, c.lookup_fp(fp)?)));
-            if let Some((fp, e)) = served {
-                slots[i] = Some((e.to_result(&m.name), e.times));
-                hits += 1;
-                shard_hits[c.shard_of(fp)] += 1;
-                obs::count(obs::Counter::CacheShardHits, 1);
-            } else {
-                pending.push(i);
-            }
-        }
-    } else {
-        pending.extend(0..corpus.len());
+    if shards > 0 && shards <= DEFAULT_SHARDS && out_len > LARGE_CORPUS_SHARD_WARN {
+        obs::warn!(
+            "localias-bench: {out_len} modules over {shards} cache shards will contend; \
+             consider --cache-shards {} (max {MAX_SHARDS})",
+            (out_len / 1_000)
+                .next_power_of_two()
+                .max(shards * 2)
+                .min(MAX_SHARDS),
+        );
     }
 
-    let measured: Vec<(usize, ModuleResult, PhaseTimes, CacheNote)> = {
+    let outcomes: Vec<SweepOutcome> = {
         let snapshot: Option<&AnalysisCache> = cache.as_deref();
-        let work = |i: usize| {
-            let m = &corpus[i];
-            let t0 = Instant::now();
-            let parsed = m.parse();
-            let parse = t0.elapsed();
+        let work = |slot: usize, m: &GeneratedModule| -> SweepOutcome {
             if let Some(c) = snapshot {
+                let raw = cache::source_fingerprint(&m.source);
+                let served = c
+                    .resolve_raw(raw)
+                    .and_then(|fp| Some((fp, c.lookup_fp(fp)?)));
+                if let Some((fp, e)) = served {
+                    return SweepOutcome {
+                        slot,
+                        result: e.to_result(&m.name),
+                        times: e.times,
+                        note: CacheNote::RawHit { fp },
+                    };
+                }
+                let t0 = Instant::now();
+                let parsed = m.parse();
+                let parse = t0.elapsed();
                 let fp = cache::module_fingerprint(&parsed);
                 if let Some(e) = c.lookup_fp(fp) {
-                    return (i, e.to_result(&m.name), e.times, CacheNote::CanonHit(fp));
+                    return SweepOutcome {
+                        slot,
+                        result: e.to_result(&m.name),
+                        times: e.times,
+                        note: CacheNote::CanonHit { fp, raw },
+                    };
                 }
                 let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse, intra_jobs);
-                (i, r, t, CacheNote::Miss(fp))
+                SweepOutcome {
+                    slot,
+                    result: r,
+                    times: t,
+                    note: CacheNote::Miss { fp, raw },
+                }
             } else {
+                let t0 = Instant::now();
+                let parsed = m.parse();
+                let parse = t0.elapsed();
                 let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse, intra_jobs);
-                (i, r, t, CacheNote::Uncached)
+                SweepOutcome {
+                    slot,
+                    result: r,
+                    times: t,
+                    note: CacheNote::Uncached,
+                }
             }
         };
 
         if threads <= 1 {
-            pending.iter().map(|&i| work(i)).collect()
+            // Sequential path: generate, measure, drop — one module live.
+            modules.map(|(slot, m)| work(slot, m.borrow())).collect()
         } else {
-            let next = AtomicUsize::new(0);
+            // Bounded in-flight set: the producer blocks once the channel
+            // holds 2·threads undrained modules.
+            let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, M)>(threads * 2);
+            let rx = std::sync::Mutex::new(rx);
             // Workers inherit the sweep's span path, so the span tree is
             // identical whatever the thread count.
             let span_cx = obs::fork();
             std::thread::scope(|s| {
+                let producer = s.spawn(move || {
+                    for item in modules {
+                        if tx.send(item).is_err() {
+                            break; // workers gone (a worker panicked)
+                        }
+                    }
+                });
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         let span_cx = span_cx.clone();
-                        let (next, work, pending) = (&next, &work, &pending);
+                        let (rx, work) = (&rx, &work);
                         s.spawn(move || {
                             let _attached = span_cx.attach();
                             let mut out = Vec::new();
                             loop {
-                                let k = next.fetch_add(1, Ordering::Relaxed);
-                                if k >= pending.len() {
-                                    break out;
+                                let item = rx.lock().expect("receiver poisoned").recv();
+                                match item {
+                                    Ok((slot, m)) => out.push(work(slot, m.borrow())),
+                                    Err(_) => break out, // producer done, channel drained
                                 }
-                                out.push(work(pending[k]));
                             }
                         })
                     })
                     .collect();
+                producer.join().expect("producer thread panicked");
                 handles
                     .into_iter()
                     .flat_map(|h| h.join().expect("worker thread panicked"))
@@ -451,28 +559,39 @@ pub fn measure_corpus_cached(
         }
     };
 
+    let mut slots: Vec<Option<(ModuleResult, PhaseTimes)>> = (0..out_len).map(|_| None).collect();
+    let mut hits = 0usize;
     let mut misses = 0usize;
-    for (i, r, t, note) in measured {
-        match note {
+    let mut shard_hits = vec![0usize; shards];
+    let mut shard_misses = vec![0usize; shards];
+    for o in outcomes {
+        match o.note {
             CacheNote::Uncached => {}
-            CacheNote::CanonHit(fp) => {
+            CacheNote::RawHit { fp } => {
+                hits += 1;
+                if let Some(c) = cache.as_deref() {
+                    shard_hits[c.shard_of(fp)] += 1;
+                    obs::count(obs::Counter::CacheShardHits, 1);
+                }
+            }
+            CacheNote::CanonHit { fp, raw } => {
                 hits += 1;
                 if let Some(c) = cache.as_deref_mut() {
                     shard_hits[c.shard_of(fp)] += 1;
                     obs::count(obs::Counter::CacheShardHits, 1);
-                    c.alias_raw(raws[i], fp);
+                    c.alias_raw(raw, fp);
                 }
             }
-            CacheNote::Miss(fp) => {
+            CacheNote::Miss { fp, raw } => {
                 misses += 1;
                 if let Some(c) = cache.as_deref_mut() {
                     shard_misses[c.shard_of(fp)] += 1;
                     obs::count(obs::Counter::CacheShardMisses, 1);
-                    c.record(fp, raws[i], CachedOutcome::of(&r, t));
+                    c.record(fp, raw, CachedOutcome::of(&o.result, o.times));
                 }
             }
         }
-        slots[i] = Some((r, t));
+        slots[o.slot] = Some((o.result, o.times));
     }
 
     let mut phases = PhaseTimes::default();
@@ -512,8 +631,87 @@ pub fn measure_corpus_cached(
         eliminated: results.iter().map(ModuleResult::eliminated).sum(),
         cache: cache_stats,
         profile: None,
+        partition: None,
+        results: None,
     };
     (results, bench)
+}
+
+/// The streaming sweep over an already-materialized corpus slice,
+/// optionally backed by an [`AnalysisCache`]. Results come back in slice
+/// order, byte-identical for every `jobs` value.
+pub fn measure_corpus_cached(
+    corpus: &[GeneratedModule],
+    jobs: usize,
+    intra_jobs: usize,
+    seed: u64,
+    cache: Option<&mut AnalysisCache>,
+) -> (Vec<ModuleResult>, ExperimentBench) {
+    sweep_modules(
+        corpus.iter().enumerate(),
+        corpus.len(),
+        jobs,
+        intra_jobs,
+        seed,
+        cache,
+    )
+}
+
+/// Sweeps stream positions `range` of a [`CorpusStream`] without ever
+/// materializing the corpus: modules are generated one at a time (by the
+/// producer thread when `jobs > 1`) and dropped as soon as they are
+/// measured or served from cache, so peak memory is `O(jobs)` modules
+/// however large the range is. Results come back in stream order.
+pub fn measure_stream_cached(
+    stream: &CorpusStream,
+    range: Range<usize>,
+    jobs: usize,
+    intra_jobs: usize,
+    cache: Option<&mut AnalysisCache>,
+) -> (Vec<ModuleResult>, ExperimentBench) {
+    let base = range.start;
+    sweep_modules(
+        range.clone().map(|p| (p - base, stream.module_at(p))),
+        range.len(),
+        jobs,
+        intra_jobs,
+        stream.seed(),
+        cache,
+    )
+}
+
+/// One full streamed sweep under a [`CachePolicy`]: loads the store,
+/// runs [`measure_stream_cached`], and atomically persists the store
+/// back. Cache I/O failures degrade to warnings — results are never
+/// affected.
+pub fn measure_stream_with_cache(
+    stream: &CorpusStream,
+    range: Range<usize>,
+    jobs: usize,
+    intra_jobs: usize,
+    policy: &CachePolicy,
+) -> (Vec<ModuleResult>, ExperimentBench) {
+    match policy {
+        CachePolicy::Disabled => measure_stream_cached(stream, range, jobs, intra_jobs, None),
+        CachePolicy::Dir { dir, shards } => {
+            let mut c = AnalysisCache::load_sharded(dir, *shards);
+            let (results, mut bench) =
+                measure_stream_cached(stream, range, jobs, intra_jobs, Some(&mut c));
+            if let Err(e) = c.persist() {
+                obs::warn!(
+                    "localias-bench: warning: cache not fully written to {}: {e}",
+                    dir.display()
+                );
+            }
+            if let Some(stats) = bench.cache.as_mut() {
+                stats.store = c.store_time();
+                stats.quarantined = c.quarantined();
+                stats.lock_retries = c.lock_retries();
+                stats.lock_skips = c.lock_skips();
+            }
+            (results, bench)
+        }
+    }
 }
 
 /// One full cached sweep under a [`CachePolicy`]: loads the store, runs
@@ -569,6 +767,12 @@ pub fn finish_obs(opts: &CliOpts) -> Result<Option<obs::Trace>, String> {
     if !opts.wants_obs() {
         return Ok(None);
     }
+    // Flush the memory gauges exactly once, here — not inside the sweep,
+    // so the trace shape stays invariant across thread counts.
+    obs::gauge_max(obs::Counter::MemPeakRssBytes, obs::peak_rss_bytes());
+    let arena = localias_ast::intern::stats();
+    obs::gauge_max(obs::Counter::MemArenaBytes, arena.arena_bytes);
+    obs::gauge_max(obs::Counter::MemArenaSavedBytes, arena.saved_bytes);
     let trace = obs::drain();
     if let Some(path) = &opts.trace_out {
         std::fs::write(path, trace.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
@@ -594,14 +798,16 @@ pub fn run_experiment_timed(seed: u64, jobs: usize) -> (Vec<ModuleResult>, Exper
 
 /// [`run_experiment_timed`] under a [`CachePolicy`]: the incremental
 /// entry point the `experiment`, `summary`, and `fig6` binaries use.
+/// Streams the paper corpus rather than materializing it.
 pub fn run_experiment_cached(
     seed: u64,
     jobs: usize,
     intra_jobs: usize,
     policy: &CachePolicy,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
-    let corpus = localias_corpus::generate(seed);
-    measure_corpus_with_cache(&corpus, jobs, intra_jobs, seed, policy)
+    let stream = CorpusStream::paper(seed);
+    let range = 0..stream.len();
+    measure_stream_with_cache(&stream, range, jobs, intra_jobs, policy)
 }
 
 /// Renders a text histogram: `buckets` of `(label, count)`, scaled to
@@ -746,10 +952,14 @@ mod tests {
                 store: Duration::from_nanos(89),
             }),
             profile: None,
+            partition: None,
+            results: None,
         };
         let json = bench.to_json();
-        assert!(json.contains("\"schema\": \"localias-bench-experiment/v4\""));
+        assert!(json.contains("\"schema\": \"localias-bench-experiment/v5\""));
         assert!(json.contains("\"profile\": null"));
+        assert!(json.contains("\"partition\": null"));
+        assert!(json.contains("\"results\": null"));
         assert!(json.contains("\"hits\": 589"));
         assert!(json.contains("\"dir\": \".localias-cache\""));
         assert!(json.contains("\"shards\": 4"));

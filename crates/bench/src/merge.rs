@@ -1,0 +1,302 @@
+//! Merging partitioned bench artifacts.
+//!
+//! `localias experiment --partition i/N` writes one
+//! `localias-bench-experiment/v5` artifact per partition, each carrying
+//! its slice's per-module `results` rows. [`merge_partitions`] validates
+//! that a set of such artifacts is one complete, disjoint cover of a
+//! single seeded corpus — same seed, same partition count, every index
+//! present exactly once, every slice the size the partitioning says it
+//! must be — and unions them into a single artifact equal in result set
+//! to an unpartitioned sweep: rows concatenate in partition order (which
+//! *is* stream order, partitions being contiguous ranges), error totals
+//! recompute from the rows, wall-clock is the slowest partition (they
+//! run concurrently), and thread counts sum.
+
+use crate::json::Value;
+use crate::{json, ExperimentBench, ModuleResult, PartitionInfo, PhaseTimes};
+use localias_corpus::partition_range;
+use std::time::Duration;
+
+/// The schema the merge both consumes and produces.
+pub const MERGE_SCHEMA: &str = "localias-bench-experiment/v5";
+
+fn field<'v>(doc: &'v Value, key: &str) -> Result<&'v Value, String> {
+    doc.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn usize_field(doc: &Value, key: &str) -> Result<usize, String> {
+    field(doc, key)?
+        .as_usize()
+        .ok_or_else(|| format!("field {key:?} is not a non-negative integer"))
+}
+
+fn f64_field(doc: &Value, key: &str) -> Result<f64, String> {
+    field(doc, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+/// One partition artifact, decoded to the fields the merge needs.
+struct Partition {
+    info: PartitionInfo,
+    seed: u64,
+    threads: usize,
+    wall: Duration,
+    phases: PhaseTimes,
+    results: Vec<ModuleResult>,
+}
+
+fn decode(text: &str, label: &str) -> Result<Partition, String> {
+    let doc = json::parse(text).map_err(|e| format!("{label}: {e}"))?;
+    let schema = field(&doc, "schema")
+        .and_then(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "schema is not a string".into())
+        })
+        .map_err(|e| format!("{label}: {e}"))?;
+    if schema != MERGE_SCHEMA {
+        return Err(format!(
+            "{label}: schema {schema:?} is not {MERGE_SCHEMA:?} — \
+             regenerate the artifact with this binary"
+        ));
+    }
+    let part = field(&doc, "partition").map_err(|e| format!("{label}: {e}"))?;
+    if part.is_null() {
+        return Err(format!(
+            "{label}: not a partition artifact (\"partition\" is null); \
+             run the sweep with --partition i/N"
+        ));
+    }
+    let info = PartitionInfo {
+        index: usize_field(part, "index").map_err(|e| format!("{label}: partition.{e}"))?,
+        count: usize_field(part, "count").map_err(|e| format!("{label}: partition.{e}"))?,
+        total: usize_field(part, "total").map_err(|e| format!("{label}: partition.{e}"))?,
+    };
+    let rows = field(&doc, "results").map_err(|e| format!("{label}: {e}"))?;
+    if rows.is_null() {
+        return Err(format!(
+            "{label}: partition artifact carries no \"results\" rows"
+        ));
+    }
+    let rows = rows
+        .as_arr()
+        .ok_or_else(|| format!("{label}: \"results\" is not an array"))?;
+    let mut results = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_arr()
+            .filter(|c| c.len() == 4)
+            .ok_or_else(|| format!("{label}: results[{i}] is not a [name, nc, cf, as] row"))?;
+        results.push(ModuleResult {
+            name: cells[0]
+                .as_str()
+                .ok_or_else(|| format!("{label}: results[{i}] name is not a string"))?
+                .to_string(),
+            no_confine: cells[1]
+                .as_usize()
+                .ok_or_else(|| format!("{label}: results[{i}] counts must be integers"))?,
+            confine: cells[2]
+                .as_usize()
+                .ok_or_else(|| format!("{label}: results[{i}] counts must be integers"))?,
+            all_strong: cells[3]
+                .as_usize()
+                .ok_or_else(|| format!("{label}: results[{i}] counts must be integers"))?,
+        });
+    }
+    let phases_doc = field(&doc, "phase_cpu_seconds").map_err(|e| format!("{label}: {e}"))?;
+    let phases = PhaseTimes {
+        parse: Duration::from_secs_f64(f64_field(phases_doc, "parse").unwrap_or(0.0).max(0.0)),
+        check: Duration::from_secs_f64(f64_field(phases_doc, "check").unwrap_or(0.0).max(0.0)),
+        confine: Duration::from_secs_f64(f64_field(phases_doc, "confine").unwrap_or(0.0).max(0.0)),
+    };
+    Ok(Partition {
+        info,
+        seed: field(&doc, "seed")
+            .and_then(|v| v.as_u64().ok_or_else(|| "seed is not an integer".into()))
+            .map_err(|e| format!("{label}: {e}"))?,
+        threads: usize_field(&doc, "threads").map_err(|e| format!("{label}: {e}"))?,
+        wall: Duration::from_secs_f64(f64_field(&doc, "wall_seconds")?.max(0.0)),
+        phases,
+        results,
+    })
+}
+
+/// Merges per-partition bench JSON documents (as `(label, text)` pairs,
+/// the label naming the source for error messages) into one artifact.
+///
+/// Validation is strict: every artifact must use the current schema,
+/// agree on seed, partition count, and corpus total; the indices must
+/// cover `0..count` exactly once; and each slice must carry exactly the
+/// rows its contiguous range contains. The merged artifact's `results`
+/// are therefore the same module-result set, in the same stream order,
+/// as a single-process sweep of the whole corpus.
+pub fn merge_partitions(docs: &[(String, String)]) -> Result<ExperimentBench, String> {
+    if docs.is_empty() {
+        return Err("nothing to merge: no artifacts given".into());
+    }
+    let mut parts = docs
+        .iter()
+        .map(|(label, text)| decode(text, label))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let first = &parts[0];
+    let (seed, count, total) = (first.seed, first.info.count, first.info.total);
+    if parts.len() != count {
+        return Err(format!(
+            "expected {count} partition artifacts (per --partition i/{count}), got {}",
+            parts.len()
+        ));
+    }
+    for p in &parts {
+        if p.seed != seed {
+            return Err(format!(
+                "seed mismatch: partition {} has seed {}, partition {} has seed {}",
+                first.info.index, seed, p.info.index, p.seed
+            ));
+        }
+        if p.info.count != count || p.info.total != total {
+            return Err(format!(
+                "partitioning mismatch: {}/{} over {} modules vs {}/{} over {}",
+                first.info.index, count, total, p.info.index, p.info.count, p.info.total
+            ));
+        }
+    }
+    parts.sort_by_key(|p| p.info.index);
+    for (want, p) in parts.iter().enumerate() {
+        if p.info.index != want {
+            return Err(format!(
+                "partition indices must cover 0..{count} exactly once; \
+                 found index {} where {want} was expected",
+                p.info.index
+            ));
+        }
+        let expected = partition_range(total, p.info.index, count).len();
+        if p.results.len() != expected {
+            return Err(format!(
+                "partition {}/{count} must carry {expected} modules, artifact has {}",
+                p.info.index,
+                p.results.len()
+            ));
+        }
+    }
+
+    let mut results: Vec<ModuleResult> = Vec::with_capacity(total);
+    let mut phases = PhaseTimes::default();
+    let mut wall = Duration::ZERO;
+    let mut threads = 0usize;
+    for p in parts {
+        phases.accumulate(p.phases);
+        wall = wall.max(p.wall);
+        threads += p.threads;
+        results.extend(p.results);
+    }
+    let errors = results.iter().fold((0, 0, 0), |(nc, cf, st), r| {
+        (nc + r.no_confine, cf + r.confine, st + r.all_strong)
+    });
+    Ok(ExperimentBench {
+        seed,
+        modules: results.len(),
+        threads,
+        wall,
+        phases,
+        errors,
+        potential: results.iter().map(ModuleResult::potential).sum(),
+        eliminated: results.iter().map(ModuleResult::eliminated).sum(),
+        cache: None,
+        profile: None,
+        partition: None,
+        results: Some(results),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measure_stream_cached, CorpusStream};
+
+    fn partition_artifact(stream: &CorpusStream, index: usize, count: usize) -> (String, String) {
+        let range = stream.partition(index, count);
+        let (results, mut bench) = measure_stream_cached(stream, range, 1, 1, None);
+        bench.partition = Some(PartitionInfo {
+            index,
+            count,
+            total: stream.len(),
+        });
+        bench.results = Some(results);
+        (format!("part{index}.json"), bench.to_json())
+    }
+
+    #[test]
+    fn disjoint_partitions_merge_to_the_full_sweep() {
+        let stream = CorpusStream::new(11, 24);
+        let docs: Vec<_> = (0..3).map(|i| partition_artifact(&stream, i, 3)).collect();
+        let merged = merge_partitions(&docs).unwrap();
+
+        let (full, full_bench) = measure_stream_cached(&stream, 0..stream.len(), 1, 1, None);
+        assert_eq!(merged.modules, full.len());
+        assert_eq!(merged.errors, full_bench.errors);
+        assert_eq!(merged.potential, full_bench.potential);
+        assert_eq!(merged.eliminated, full_bench.eliminated);
+        let rows = merged.results.as_ref().unwrap();
+        for (got, want) in rows.iter().zip(&full) {
+            assert_eq!(got.name, want.name);
+            assert_eq!(
+                (got.no_confine, got.confine, got.all_strong),
+                (want.no_confine, want.confine, want.all_strong)
+            );
+        }
+        // The merged artifact is itself a full (unpartitioned) document.
+        let rendered = merged.to_json();
+        assert!(rendered.contains("\"partition\": null"));
+        assert!(rendered.contains("\"results\": ["));
+    }
+
+    #[test]
+    fn merge_order_is_index_order_not_argument_order() {
+        let stream = CorpusStream::new(5, 10);
+        let mut docs: Vec<_> = (0..2).map(|i| partition_artifact(&stream, i, 2)).collect();
+        docs.reverse();
+        let merged = merge_partitions(&docs).unwrap();
+        let (full, _) = measure_stream_cached(&stream, 0..stream.len(), 1, 1, None);
+        let names: Vec<_> = merged
+            .results
+            .unwrap()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        let want: Vec<_> = full.iter().map(|r| r.name.clone()).collect();
+        assert_eq!(names, want);
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mismatched_sets() {
+        let stream = CorpusStream::new(5, 10);
+        let p0 = partition_artifact(&stream, 0, 2);
+        let p1 = partition_artifact(&stream, 1, 2);
+
+        let err = merge_partitions(std::slice::from_ref(&p0)).unwrap_err();
+        assert!(err.contains("expected 2 partition artifacts"), "{err}");
+
+        let err = merge_partitions(&[p0.clone(), p0.clone()]).unwrap_err();
+        assert!(err.contains("exactly once"), "{err}");
+
+        let other_seed = CorpusStream::new(6, 10);
+        let q1 = partition_artifact(&other_seed, 1, 2);
+        let err = merge_partitions(&[p0.clone(), q1]).unwrap_err();
+        assert!(err.contains("seed mismatch"), "{err}");
+
+        let empty: &[(String, String)] = &[];
+        assert!(merge_partitions(empty).is_err());
+
+        let err = merge_partitions(&[(p1.0.clone(), "{not json".into()), p1.clone()]).unwrap_err();
+        assert!(err.contains("json parse error"), "{err}");
+
+        // A full (unpartitioned) artifact is rejected up front.
+        let (_, mut bench) = measure_stream_cached(&stream, 0..stream.len(), 1, 1, None);
+        bench.partition = None;
+        bench.results = None;
+        let err = merge_partitions(&[("full.json".into(), bench.to_json()), p1]).unwrap_err();
+        assert!(err.contains("not a partition artifact"), "{err}");
+    }
+}

@@ -961,7 +961,7 @@ impl Gen {
                 if let ExprKind::Var(x) = &e.kind {
                     if let Some(Some(v)) = self.st.var_of_expr.get(e.id.index()) {
                         if matches!(self.st.vars[v.index()].kind, VarKind::Register) {
-                            self.out.insert(x.name.clone());
+                            self.out.insert(x.name.to_string());
                         }
                     }
                 }
@@ -982,7 +982,7 @@ impl Gen {
             fn visit_expr(&mut self, e: &Expr) {
                 if let ExprKind::Assign(lhs, _) = &e.kind {
                     if let ExprKind::Var(x) = &lhs.kind {
-                        self.0.insert(x.name.clone());
+                        self.0.insert(x.name.to_string());
                     }
                 }
                 walk_expr(self, e);

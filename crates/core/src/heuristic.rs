@@ -60,7 +60,7 @@ fn free_vars(e: &Expr) -> HashSet<String> {
     impl Visitor for Fv {
         fn visit_expr(&mut self, e: &Expr) {
             if let ExprKind::Var(x) = &e.kind {
-                self.0.insert(x.name.clone());
+                self.0.insert(x.name.to_string());
             }
             walk_expr(self, e);
         }
@@ -77,7 +77,7 @@ fn assigned_vars(s: &Stmt, out: &mut HashSet<String>) {
         fn visit_expr(&mut self, e: &Expr) {
             if let ExprKind::Assign(lhs, _) = &e.kind {
                 if let ExprKind::Var(x) = &lhs.kind {
-                    self.0.insert(x.name.clone());
+                    self.0.insert(x.name.to_string());
                 }
             }
             walk_expr(self, e);

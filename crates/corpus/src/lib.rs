@@ -25,7 +25,7 @@ pub mod mega;
 pub mod plan;
 pub mod synth;
 
-pub use gen::{generate, GeneratedModule, DEFAULT_SEED};
+pub use gen::{generate, partition_range, CorpusStream, GeneratedModule, DEFAULT_SEED};
 pub use idiom::{Expected, Idiom};
 pub use mega::{mega_module, DEFAULT_MEGA_FUNS};
 pub use plan::{Category, FIGURE7, TOTAL_ELIMINATED, TOTAL_MODULES, TOTAL_POTENTIAL};

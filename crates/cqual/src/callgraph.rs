@@ -72,7 +72,7 @@ struct Calls {
 impl Visitor for Calls {
     fn visit_expr(&mut self, e: &Expr) {
         if let ExprKind::Call(name, _) = &e.kind {
-            self.out.push(name.name.clone());
+            self.out.push(name.name.to_string());
         }
         walk_expr(self, e);
     }
@@ -84,7 +84,7 @@ impl CallGraph {
         // Node ids: defined function names, sorted — so numeric order on
         // ids is alphabetical order on names, whatever the definition
         // order was.
-        let mut names: Vec<String> = m.functions().map(|f| f.name.name.clone()).collect();
+        let mut names: Vec<String> = m.functions().map(|f| f.name.name.to_string()).collect();
         names.sort();
         names.dedup();
         let index: HashMap<String, usize> = names
@@ -100,7 +100,7 @@ impl CallGraph {
         let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut self_rec = vec![false; n];
         for f in m.functions() {
-            let v = index[&f.name.name];
+            let v = index[f.name.name.as_str()];
             let mut calls = Calls { out: Vec::new() };
             calls.visit_block(&f.body);
             let mut out = Vec::new();

@@ -127,7 +127,7 @@ impl<'a> CheckContext<'a> {
                 let restrict = p.restrict || inferred.contains(&(f.id, p.name.name.as_str()));
                 infos.push(ParamInfo { rho_p, restrict });
             }
-            params.insert(f.name.name.clone(), Arc::new(infos));
+            params.insert(f.name.name.to_string(), Arc::new(infos));
         }
 
         CheckContext {
@@ -167,7 +167,7 @@ pub(crate) fn check_function(
         cx,
         summaries,
         caller,
-        current_fun: f.name.name.clone(),
+        current_fun: f.name.name.to_string(),
         errors: Vec::new(),
         sites: 0,
         recording: true,

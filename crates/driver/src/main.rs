@@ -10,9 +10,12 @@
 //! localias corpus  <dir> [seed]       # dump the synthetic driver corpus
 //! localias experiment [seed] [--jobs N] [--intra-jobs N]
 //!                    [--cache DIR | --no-cache] [--cache-shards N]
+//!                    [--modules N] [--partition I/N]
 //!                    [--bench-out FILE] [--trace-out FILE] [--profile]
 //!                    [--quiet]
 //!                                     # run the full Section 7 experiment
+//! localias bench-merge <part.json>... [--out FILE]
+//!                                     # union per-partition bench reports
 //! localias tracecheck <trace.jsonl>   # validate a localias-trace/v1 file
 //! ```
 //!
@@ -58,10 +61,11 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
+        Some("bench-merge") => cmd_bench_merge(&args[1..]),
         Some("tracecheck") => cmd_tracecheck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: localias <parse|check|infer|locks|corpus|experiment|tracecheck> [args]\n\
+                "usage: localias <parse|check|infer|locks|corpus|experiment|bench-merge|tracecheck> [args]\n\
                  \n\
                  parse   <file.mc>          parse and pretty-print a module\n\
                  check   <file.mc>          check explicit restrict/confine annotations\n\
@@ -70,13 +74,22 @@ fn main() -> ExitCode {
                  run     <file.mc> [arg]    execute every function (restrict = copy-and-poison)\n\
                  corpus  <dir> [seed]       write the synthetic driver corpus to <dir>\n\
                  experiment [seed] [--jobs N] [--intra-jobs N] [--cache DIR | --no-cache]\n\
-                 \x20                          [--cache-shards N] [--bench-out FILE]\n\
-                 \x20                          [--trace-out FILE] [--profile] [--quiet]\n\
+                 \x20                          [--cache-shards N] [--modules N] [--partition I/N]\n\
+                 \x20                          [--bench-out FILE] [--trace-out FILE] [--profile]\n\
+                 \x20                          [--quiet]\n\
                  \x20                          run the full Section 7 experiment in parallel,\n\
                  \x20                          incrementally via the sharded result cache\n\
                  \x20                          (default .localias-cache/, 16 shards; only\n\
                  \x20                          changed modules re-analyze, and concurrent\n\
-                 \x20                          sweeps sharing the dir merge instead of clobber)\n\
+                 \x20                          sweeps sharing the dir merge instead of clobber).\n\
+                 \x20                          --modules N streams an N-module corpus instead\n\
+                 \x20                          of the paper's 589; --partition I/N sweeps only\n\
+                 \x20                          slice I of N (run one process per slice over a\n\
+                 \x20                          shared cache, then bench-merge the reports)\n\
+                 bench-merge <part.json>... [--out FILE]\n\
+                 \x20                          union per-partition --bench-out reports from a\n\
+                 \x20                          --partition i/N sweep into one artifact equal to\n\
+                 \x20                          a single-process sweep (stdout unless --out)\n\
                  tracecheck <trace.jsonl>   validate a localias-trace/v1 JSON-lines file\n\
                  \x20                          (as written by --trace-out) and summarize it"
             );
@@ -255,8 +268,31 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
     localias_bench::init_obs(&opts);
     let seed = opts.seed_or_default();
 
-    let (results, mut bench) =
-        localias_bench::run_experiment_cached(seed, opts.jobs, opts.intra_jobs, &opts.cache);
+    let stream = match opts.modules {
+        Some(n) => localias_bench::CorpusStream::new(seed, n),
+        None => localias_bench::CorpusStream::paper(seed),
+    };
+    let range = match opts.partition {
+        Some((index, count)) => stream.partition(index, count),
+        None => 0..stream.len(),
+    };
+    let (results, mut bench) = localias_bench::measure_stream_with_cache(
+        &stream,
+        range,
+        opts.jobs,
+        opts.intra_jobs,
+        &opts.cache,
+    );
+    if let Some((index, count)) = opts.partition {
+        // Partition artifacts carry their per-module rows so bench-merge
+        // can reassemble the full sweep without re-analyzing anything.
+        bench.partition = Some(localias_bench::PartitionInfo {
+            index,
+            count,
+            total: stream.len(),
+        });
+        bench.results = Some(results.clone());
+    }
     bench.profile = localias_bench::finish_obs(&opts)?;
     let (mut clean, mut real, mut full, mut partial) = (0, 0, 0, 0);
     for r in &results {
@@ -272,18 +308,32 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "{} modules (seed {seed}):", results.len());
+    match opts.partition {
+        Some((index, count)) => {
+            let _ = writeln!(
+                out,
+                "{} modules — partition {index}/{count} of {} (seed {seed}):",
+                results.len(),
+                stream.len()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "{} modules (seed {seed}):", results.len());
+        }
+    }
     let _ = writeln!(out, "  error-free without confine:        {clean}");
     let _ = writeln!(out, "  errors unrelated to weak updates:  {real}");
     let _ = writeln!(out, "  fully recovered by confine:        {full}");
     let _ = writeln!(out, "  partially recovered (Figure 7):    {partial}");
-    let _ = writeln!(
-        out,
-        "  spurious errors: {} of {} eliminated ({:.0}%)",
-        bench.eliminated,
-        bench.potential,
-        100.0 * bench.eliminated as f64 / bench.potential as f64
-    );
+    if bench.potential > 0 {
+        let _ = writeln!(
+            out,
+            "  spurious errors: {} of {} eliminated ({:.0}%)",
+            bench.eliminated,
+            bench.potential,
+            100.0 * bench.eliminated as f64 / bench.potential as f64
+        );
+    }
     let _ = writeln!(
         out,
         "  analyzed in {:.2?} on {} thread{} ({:.0} modules/s)",
@@ -305,6 +355,56 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
     }
     if let Some(path) = &opts.trace_out {
         let _ = writeln!(out, "  wrote {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_bench_merge(args: &[String]) -> Result<String, String> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" | "-o" => {
+                if out_path.is_some() {
+                    return Err("--out given more than once".into());
+                }
+                out_path = Some(it.next().ok_or("--out requires a file path")?.clone());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path => inputs.push(path.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        return Err("usage: localias bench-merge <part.json>... [--out FILE] — \
+             give one --bench-out report per --partition i/N process"
+            .into());
+    }
+    let docs = inputs
+        .iter()
+        .map(|path| {
+            std::fs::read_to_string(path)
+                .map(|text| (path.clone(), text))
+                .map_err(|e| format!("{path}: {e}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let merged = localias_bench::merge_partitions(&docs)?;
+    let rendered = merged.to_json();
+    let mut out = String::new();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "merged {} partitions ({} modules, seed {}) into {path}",
+                inputs.len(),
+                merged.modules,
+                merged.seed
+            );
+        }
+        None => out.push_str(&rendered),
     }
     Ok(out)
 }

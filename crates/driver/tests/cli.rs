@@ -168,6 +168,137 @@ fn experiment_flag_surface_is_validated() {
 }
 
 #[test]
+fn partition_flag_surface_is_validated() {
+    // Strict slice-spec validation, rejected before any sweep runs.
+    let (_, err, ok) = localias(&["experiment", "--partition", "2/2"]);
+    assert!(!ok);
+    assert!(err.contains("out of range"), "{err}");
+
+    let (_, err, ok) = localias(&["experiment", "--partition", "0/0"]);
+    assert!(!ok);
+    assert!(err.contains("at least 1"), "{err}");
+
+    let (_, err, ok) = localias(&["experiment", "--partition", "half"]);
+    assert!(!ok);
+    assert!(err.contains("bad partition spec"), "{err}");
+
+    let (_, err, ok) = localias(&["experiment", "--modules", "0"]);
+    assert!(!ok);
+    assert!(err.contains("--modules must be at least 1"), "{err}");
+
+    // Partitioned processes cooperate through the shared cache, so
+    // --no-cache conflicts — in either flag order.
+    for args in [
+        &["experiment", "--partition", "0/2", "--no-cache"][..],
+        &["experiment", "--no-cache", "--partition", "0/2"][..],
+    ] {
+        let (_, err, ok) = localias(args);
+        assert!(!ok);
+        assert!(err.contains("mutually exclusive"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn bench_merge_usage_and_errors() {
+    let (_, err, ok) = localias(&["bench-merge"]);
+    assert!(!ok);
+    assert!(err.contains("usage: localias bench-merge"), "{err}");
+
+    let (_, err, ok) = localias(&["bench-merge", "/nonexistent/part0.json"]);
+    assert!(!ok);
+    assert!(err.contains("part0.json"), "{err}");
+
+    let (_, err, ok) = localias(&["bench-merge", "a.json", "--frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag"), "{err}");
+}
+
+/// The ISSUE's multi-process acceptance test: two concurrent `localias
+/// experiment --partition i/2` processes over one shared cache directory,
+/// bench-merged, must yield exactly the module-result set of a
+/// single-process sweep of the same corpus.
+#[test]
+fn two_process_partition_sweep_merges_to_the_single_process_results() {
+    let dir = std::env::temp_dir().join("localias-cli-partition-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+    let (cache, p0, p1, merged, full) = (
+        path("cache"),
+        path("p0.json"),
+        path("p1.json"),
+        path("merged.json"),
+        path("full.json"),
+    );
+
+    // Two partition processes run concurrently over the shared cache.
+    let spawn = |idx: usize, out: &str| {
+        Command::new(env!("CARGO_BIN_EXE_localias"))
+            .args([
+                "experiment",
+                "7",
+                "--modules",
+                "60",
+                "--partition",
+                &format!("{idx}/2"),
+                "--cache",
+                &cache,
+                "--bench-out",
+                out,
+                "--quiet",
+            ])
+            .spawn()
+            .expect("binary spawns")
+    };
+    let (mut c0, mut c1) = (spawn(0, &p0), spawn(1, &p1));
+    assert!(c0.wait().unwrap().success());
+    assert!(c1.wait().unwrap().success());
+
+    let (out, err, ok) = localias(&["bench-merge", &p0, &p1, "--out", &merged]);
+    assert!(ok, "{err}");
+    assert!(
+        out.contains("merged 2 partitions (60 modules, seed 7)"),
+        "{out}"
+    );
+
+    // The single-process reference: --partition 0/1 is the whole corpus
+    // in one slice, so its artifact carries the full per-module rows.
+    let (_, err, ok) = localias(&[
+        "experiment",
+        "7",
+        "--modules",
+        "60",
+        "--partition",
+        "0/1",
+        "--cache",
+        &path("cache-single"),
+        "--bench-out",
+        &full,
+        "--quiet",
+    ]);
+    assert!(ok, "{err}");
+
+    let merged_doc = localias_bench::json::parse(&std::fs::read_to_string(&merged).unwrap())
+        .expect("merged artifact parses");
+    let full_doc = localias_bench::json::parse(&std::fs::read_to_string(&full).unwrap())
+        .expect("single-process artifact parses");
+    assert_eq!(
+        merged_doc.get("results").unwrap(),
+        full_doc.get("results").unwrap(),
+        "merged partitions must reproduce the single-process module-result set"
+    );
+    for key in ["errors", "spurious", "modules", "seed"] {
+        assert_eq!(
+            merged_doc.get(key).unwrap(),
+            full_doc.get(key).unwrap(),
+            "field {key:?} must agree"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let (_, err, ok) = localias(&["check", "/nonexistent/definitely.mc"]);
     assert!(!ok);

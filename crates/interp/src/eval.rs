@@ -126,7 +126,7 @@ impl<'m> Interp<'m> {
         for g in module.globals() {
             let addr = mem.alloc(&g.ty);
             globals.insert(
-                g.name.name.clone(),
+                g.name.name.to_string(),
                 Binding {
                     addr,
                     ty: g.ty.clone(),
@@ -297,13 +297,13 @@ impl<'m> Interp<'m> {
                 detail: format!("field access on non-struct {ty}"),
             });
         };
-        let layout = self
-            .mem
-            .layouts()
-            .get(sname)
-            .ok_or_else(|| RuntimeError::TypeFault {
-                detail: format!("unknown struct {sname}"),
-            })?;
+        let layout =
+            self.mem
+                .layouts()
+                .get(sname.as_str())
+                .ok_or_else(|| RuntimeError::TypeFault {
+                    detail: format!("unknown struct {sname}"),
+                })?;
         let (off, fty) =
             layout
                 .fields
@@ -525,7 +525,7 @@ impl<'m> Interp<'m> {
                     }
                 }
                 self.scopes.last_mut().expect("in a scope").insert(
-                    name.name.clone(),
+                    name.name.to_string(),
                     Binding {
                         addr,
                         ty: ty.clone(),
@@ -548,7 +548,7 @@ impl<'m> Interp<'m> {
                 let xaddr = self.mem.alloc_cell(Value::Addr(copy));
                 self.scopes.push(HashMap::new());
                 self.scopes.last_mut().expect("scope").insert(
-                    name.name.clone(),
+                    name.name.to_string(),
                     Binding {
                         addr: xaddr,
                         ty: t.clone(),
@@ -654,7 +654,7 @@ impl<'m> Interp<'m> {
 
     fn call_def(&mut self, f: &FunDef, args: &[Value]) -> Result<(Value, TypeExpr), RuntimeError> {
         let saved_scopes = std::mem::take(&mut self.scopes);
-        let saved_fun = std::mem::replace(&mut self.current_fun, f.name.name.clone());
+        let saved_fun = std::mem::replace(&mut self.current_fun, f.name.name.to_string());
         self.depth += 1;
         self.scopes.push(HashMap::new());
 
@@ -677,7 +677,7 @@ impl<'m> Interp<'m> {
             };
             self.write_cell(addr, bound, &p.name.name)?;
             self.scopes.last_mut().expect("scope").insert(
-                p.name.name.clone(),
+                p.name.name.to_string(),
                 Binding {
                     addr,
                     ty: p.ty.clone(),
@@ -766,7 +766,7 @@ impl<'m> Interp<'m> {
         let names: Vec<String> = self
             .module
             .functions()
-            .map(|f| f.name.name.clone())
+            .map(|f| f.name.name.to_string())
             .collect();
         for name in names {
             self.call_with_default_args(&name, n)?;

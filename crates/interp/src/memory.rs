@@ -94,7 +94,7 @@ pub fn size_of(ty: &TypeExpr, layouts: &HashMap<String, StructLayout>) -> usize 
     match ty {
         TypeExpr::Int | TypeExpr::Lock | TypeExpr::Void | TypeExpr::Ptr(_) => 1,
         TypeExpr::Array(elem, n) => n * size_of(elem, layouts),
-        TypeExpr::Struct(s) => layouts.get(s).map(|l| l.size).unwrap_or(1),
+        TypeExpr::Struct(s) => layouts.get(s.as_str()).map(|l| l.size).unwrap_or(1),
     }
 }
 
@@ -115,20 +115,20 @@ impl Memory {
         // (no recursion is possible since struct fields are by value).
         for _ in 0..m.structs().count() + 1 {
             for s in m.structs() {
-                if layouts.contains_key(&s.name.name) {
+                if layouts.contains_key(s.name.name.as_str()) {
                     continue;
                 }
                 if s.fields.iter().all(|(_, t)| match t {
-                    TypeExpr::Struct(inner) => layouts.contains_key(inner),
+                    TypeExpr::Struct(inner) => layouts.contains_key(inner.as_str()),
                     _ => true,
                 }) {
                     let mut fields = HashMap::new();
                     let mut off = 0;
                     for (fname, fty) in &s.fields {
-                        fields.insert(fname.name.clone(), (off, fty.clone()));
+                        fields.insert(fname.name.to_string(), (off, fty.clone()));
                         off += size_of(fty, &layouts);
                     }
-                    layouts.insert(s.name.name.clone(), StructLayout { fields, size: off });
+                    layouts.insert(s.name.name.to_string(), StructLayout { fields, size: off });
                 }
             }
         }
@@ -180,7 +180,7 @@ impl Memory {
                 }
             }
             TypeExpr::Struct(s) => {
-                if let Some(layout) = self.layouts.get(s) {
+                if let Some(layout) = self.layouts.get(s.as_str()) {
                     // Fields in offset order.
                     let mut fields: Vec<(&usize, &TypeExpr)> =
                         layout.fields.values().map(|(o, t)| (o, t)).collect();

@@ -36,7 +36,9 @@ mod span;
 mod trace;
 
 pub use log::{init_from_env, log_enabled, set_level, Level};
-pub use metrics::{count, counter_name, metrics_enabled, Counter, Metrics};
+pub use metrics::{
+    count, counter_name, gauge_max, metrics_enabled, peak_rss_bytes, Counter, Metrics,
+};
 pub use span::{fork, spans_enabled, Span, SpanAgg, SpanContext};
 pub use trace::{validate_jsonl, Trace, TraceSummary, SCHEMA};
 

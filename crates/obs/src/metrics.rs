@@ -91,6 +91,13 @@ counters! {
     CacheLockSkips => "cache.lock_skips",
     /// Cache shards quarantined as corrupt or version-stale.
     CacheQuarantined => "cache.quarantined",
+    /// Peak resident-set size of the process, in bytes (high-water mark;
+    /// recorded with [`gauge_max`], so concurrent flushes keep the max).
+    MemPeakRssBytes => "mem.peak_rss_bytes",
+    /// Bytes of identifier text held in AST symbol arenas (cumulative).
+    MemArenaBytes => "mem.arena_bytes",
+    /// Bytes the symbol arenas avoided allocating via interning dedup.
+    MemArenaSavedBytes => "mem.arena_saved_bytes",
 }
 
 /// The registry itself.
@@ -107,6 +114,39 @@ pub fn count(c: Counter, n: u64) {
     if METRICS_ENABLED.load(Ordering::Relaxed) {
         COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
     }
+}
+
+/// Raises counter `c` to at least `v` (a high-water-mark gauge). Unlike
+/// [`count`], repeated flushes of the same measurement don't accumulate:
+/// `fetch_max` keeps the largest value seen since the last drain.
+#[inline]
+pub fn gauge_max(c: Counter, v: u64) {
+    if METRICS_ENABLED.load(Ordering::Relaxed) {
+        COUNTERS[c as usize].fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// The process's peak resident-set size in bytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns 0 on platforms without procfs
+/// or if the field is missing — callers treat 0 as "unavailable".
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
 }
 
 /// Takes every counter's value, resetting it to zero.
@@ -161,6 +201,27 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), COUNTER_COUNT, "duplicate counter name");
         assert_eq!(counter_by_name("no.such.counter"), None);
+    }
+
+    #[test]
+    fn gauge_max_keeps_high_water_mark() {
+        let _l = crate::test_lock();
+        crate::enable_metrics();
+        let _ = take_counters();
+        gauge_max(Counter::MemPeakRssBytes, 100);
+        gauge_max(Counter::MemPeakRssBytes, 40);
+        gauge_max(Counter::MemPeakRssBytes, 70);
+        crate::disable_metrics();
+        assert_eq!(take_counters().get(Counter::MemPeakRssBytes), 100);
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // Any running test binary has touched at least a megabyte.
+            assert!(rss > 1 << 20, "VmHWM should be over 1 MiB, got {rss}");
+        }
     }
 
     #[test]

@@ -8,6 +8,10 @@
 #   BENCH_experiment.json        warm sweep, cache.hits   == modules
 #   BENCH_intra.json             mega-module sequential-vs-wave-parallel
 #                                timings (schema localias-bench-intra/v2)
+#   BENCH_scale.json             modules/sec + peak RSS vs corpus size
+#                                (schema localias-bench-scale/v1; only
+#                                written when BENCH_SCALE=1 — it takes
+#                                minutes)
 #
 # Usage: scripts/bench.sh [--jobs N] [SEED]
 #        (extra args are passed through to `localias experiment`)
@@ -43,3 +47,12 @@ cat BENCH_experiment.json
 echo
 echo "wrote $(pwd)/BENCH_intra.json (mega-module):"
 cat BENCH_intra.json
+
+# The corpus-scale sweep (1k..50k modules, 1 and 2 partitions) takes
+# minutes, so it only runs when explicitly requested.
+if [ "${BENCH_SCALE:-0}" = "1" ]; then
+    scripts/bench_scale.sh
+else
+    echo
+    echo "skipping corpus-scale sweep (set BENCH_SCALE=1 to run scripts/bench_scale.sh)"
+fi

@@ -149,4 +149,37 @@ grep -q 'bench.sweep' "$PROFTAB" || {
     exit 1
 }
 
-echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, and trace smoke all passed"
+# Scale smoke: a 2,000-module streamed corpus swept as two concurrent
+# partition processes over a shared cache must bench-merge into one
+# artifact covering the whole corpus, and the traced partition's trace
+# must pass the strict validator.
+SCALE="$CACHE/scale"
+mkdir -p "$SCALE"
+./target/release/localias experiment 7 --modules 2000 --partition 0/2 \
+    --cache "$SCALE/cache" --bench-out "$SCALE/p0.json" \
+    --trace-out "$SCALE/p0-trace.jsonl" --quiet >/dev/null &
+PART0=$!
+./target/release/localias experiment 7 --modules 2000 --partition 1/2 \
+    --cache "$SCALE/cache" --bench-out "$SCALE/p1.json" --quiet >/dev/null
+wait "$PART0" || {
+    echo "check.sh: partition 0/2 of the scale smoke failed" >&2
+    exit 1
+}
+./target/release/localias bench-merge "$SCALE/p0.json" "$SCALE/p1.json" \
+    --out "$SCALE/merged.json" >/dev/null
+grep -q '"modules": 2000' "$SCALE/merged.json" || {
+    echo "check.sh: merged scale artifact does not cover all 2000 modules:" >&2
+    cat "$SCALE/merged.json" >&2
+    exit 1
+}
+grep -q '"partition": null' "$SCALE/merged.json" || {
+    echo "check.sh: merged scale artifact still claims to be a partition" >&2
+    exit 1
+}
+./target/release/localias tracecheck "$SCALE/p0-trace.jsonl" >/dev/null || {
+    echo "check.sh: partitioned sweep emitted an invalid trace" >&2
+    cat "$SCALE/p0-trace.jsonl" >&2
+    exit 1
+}
+
+echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, trace smoke, and partitioned scale smoke all passed"
