@@ -139,6 +139,12 @@ pub struct State {
     pub fields: FxMap<(String, String), Loc>,
     /// Function signatures by name.
     pub funs: FxMap<String, FunSig>,
+    /// Per defined function, the *bound* parameter value types in
+    /// declaration order — i.e. the types the parameter variables carry
+    /// after any binding hooks ran (a restrict parameter's pointee is
+    /// its fresh ρ′, not the signature's ρ). For duplicate definitions
+    /// the first body wins, matching the variable table's scan order.
+    pub param_tys: FxMap<String, Vec<Ty>>,
     /// Type mismatches found (standard typing errors; the analyses treat
     /// the involved locations as tainted rather than aborting).
     pub mismatches: Vec<TypeMismatch>,
@@ -160,6 +166,7 @@ impl State {
             vars: Vec::new(),
             fields: FxMap::default(),
             funs: FxMap::default(),
+            param_tys: FxMap::default(),
             mismatches: Vec::new(),
             env: Vec::new(),
             addr_taken: FxSet::default(),
@@ -492,11 +499,13 @@ impl<H: Hooks> Walker<H> {
         self.st.push_scope();
 
         let sig = self.st.funs[f.name.name.as_str()].clone();
+        let mut bound_tys = Vec::with_capacity(f.params.len());
         for (p, sig_ty) in f.params.iter().zip(&sig.params) {
             let site = BindSite::Param {
                 restrict: p.restrict,
             };
             let value_ty = self.hooks.bind_ty(&mut self.st, site, sig_ty.clone(), f.id);
+            bound_tys.push(value_ty.clone());
             let kind = self.var_kind(&p.name.name, &value_ty);
             let fun = self.st.current_fun.clone();
             let var = self.st.bind(
@@ -510,6 +519,10 @@ impl<H: Hooks> Walker<H> {
             );
             self.hooks.on_bind(&mut self.st, var, site, f.id);
         }
+        self.st
+            .param_tys
+            .entry(f.name.name.to_string())
+            .or_insert(bound_tys);
 
         self.block_inner(&f.body);
 

@@ -43,6 +43,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod fp;
 pub mod intern;
 pub mod lexer;
 pub mod parser;

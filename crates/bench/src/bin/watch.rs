@@ -1,0 +1,356 @@
+//! Benchmarks function-granular incremental recheck on the mega-module:
+//! the edit→report loop a `localias watch` session lives in.
+//!
+//! One `IncrementalSession` analyzes the mega-module cold, then a stream
+//! of seeded single-function edits (`localias_corpus::mega_edit`,
+//! alternating benign constant tweaks and lock-pair breaks), then two
+//! no-op variants (a trailing comment and a byte-identical repeat). For
+//! **every** iteration the incremental reports are asserted byte-equal
+//! to from-scratch checking of the same source, and — for edits built by
+//! the generator — the error triple is asserted against its closed form.
+//!
+//! Run with `cargo run --release -p localias-bench --bin watch`.
+//! Accepts `[SEED] [--funs N] [--edits N] [--intra-jobs N]
+//! [--bench-out FILE] [--trace-out FILE] [--profile] [--quiet]`.
+//! The machine-readable report (`--bench-out`, conventionally
+//! `BENCH_watch.json`) uses schema `localias-bench-watch/v1`: cold /
+//! per-edit / no-op latencies, hit/recheck slot counts, the check-phase
+//! and end-to-end speedups over from-scratch analysis, and the embedded
+//! obs profile block (`incr.*` counters) when `--profile` or
+//! `--trace-out` is given.
+
+use localias_bench::{finish_obs, init_obs, json_trace, CliOpts};
+use localias_corpus::{mega_edit, mega_module, MegaEditKind, DEFAULT_MEGA_FUNS};
+use localias_cqual::{check_locks_frozen, IncrStats, IncrementalSession, LockReport, Mode, MODES};
+use localias_obs as obs;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Default number of seeded edits.
+const DEFAULT_EDITS: usize = 8;
+
+/// JSON float rendering (shortest round trip; non-finite degrades to 0).
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// One from-scratch analysis of `source`: the three mode reports plus
+/// `(total_seconds, check_seconds)` — the latter covering only the three
+/// check passes, the phase the function cache accelerates.
+fn full_check(name: &str, source: &str, jobs: usize) -> ([LockReport; 3], f64, f64) {
+    let t0 = Instant::now();
+    let parsed = localias_ast::parse_module(name, source).expect("generated module parses");
+    let mut shared = localias_core::SharedAnalysis::new(&parsed);
+    // Force both analyses up front so the check timing below is pure.
+    shared.base_frozen();
+    shared.confine_frozen();
+    let t_check = Instant::now();
+    let reports = MODES.map(|mode| {
+        let (analysis, frozen) = match mode {
+            Mode::Confine => shared.confine_frozen(),
+            Mode::NoConfine | Mode::AllStrong => shared.base_frozen(),
+        };
+        check_locks_frozen(&parsed, analysis, frozen, mode, jobs)
+    });
+    let check = t_check.elapsed().as_secs_f64();
+    (reports, t0.elapsed().as_secs_f64(), check)
+}
+
+struct EditRow {
+    label: String,
+    function: String,
+    stats: IncrStats,
+    full_total: f64,
+    full_check: f64,
+}
+
+fn edit_kind_label(kind: MegaEditKind) -> &'static str {
+    match kind {
+        MegaEditKind::Compute => "compute",
+        MegaEditKind::Whitespace => "whitespace",
+        MegaEditKind::BreakLock => "break_lock",
+    }
+}
+
+/// Analyzes `source` incrementally, asserts byte-identity against
+/// from-scratch checking, and returns the stats plus the full run's
+/// timings.
+fn step(
+    session: &mut IncrementalSession,
+    name: &str,
+    source: &str,
+    jobs: usize,
+    what: &str,
+) -> (IncrStats, f64, f64) {
+    let out = session.analyze(source).expect("generated module parses");
+    // The from-scratch baseline runs at the same worker count as the
+    // session, so the speedup never flatters the incremental side.
+    let (want, full_total, full_check_secs) = full_check(name, source, jobs);
+    assert_eq!(
+        out.reports, want,
+        "{what}: incremental report must be byte-identical to from-scratch checking"
+    );
+    (out.stats, full_total, full_check_secs)
+}
+
+fn main() {
+    // Pre-extract `--funs N` and `--edits N`; the rest is the shared
+    // surface.
+    let mut rest = Vec::new();
+    let mut funs = DEFAULT_MEGA_FUNS;
+    let mut edits = DEFAULT_EDITS;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--funs" || a == "--edits" {
+            let val = args.next().unwrap_or_default();
+            let Ok(n) = val.parse() else {
+                obs::error!("watch: bad count `{val}` for {a}");
+                std::process::exit(2);
+            };
+            if a == "--funs" {
+                funs = n;
+            } else {
+                edits = n;
+            }
+        } else {
+            rest.push(a);
+        }
+    }
+    let opts = match CliOpts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            obs::error!("watch: {e}");
+            std::process::exit(2);
+        }
+    };
+    init_obs(&opts);
+    if opts.cache_explicit {
+        obs::warn!(
+            "watch: note: watch measures the in-process function cache; cache flags are ignored"
+        );
+    }
+    let seed = opts.seed_or_default();
+
+    let base = mega_module(seed, funs);
+    let mut session = IncrementalSession::new(&base.name, opts.intra_jobs);
+
+    println!(
+        "Incremental recheck on the mega-module ({funs} functions, seed {seed}, \
+         intra-jobs {})",
+        opts.intra_jobs
+    );
+    println!();
+    println!(
+        "{:<22} {:>9} {:>9} {:>11} {:>11} {:>9}",
+        "iteration", "recheck", "hits", "incr (ms)", "full (ms)", "speedup"
+    );
+    let row = |label: &str, s: &IncrStats, full_total: f64| {
+        println!(
+            "{label:<22} {:>4}/{:<4} {:>9} {:>11.3} {:>11.3} {:>8.2}x",
+            s.rechecked,
+            s.slots,
+            s.hits,
+            s.total_seconds * 1e3,
+            full_total * 1e3,
+            full_total / s.total_seconds.max(1e-9),
+        );
+    };
+
+    // ---- Cold ----
+    let (cold, cold_full_total, cold_full_check) = step(
+        &mut session,
+        &base.name,
+        &base.source,
+        opts.intra_jobs,
+        "cold",
+    );
+    assert!(cold.cold);
+    row("cold", &cold, cold_full_total);
+
+    // ---- Seeded single-function edits ----
+    let mut rows: Vec<EditRow> = Vec::new();
+    for i in 0..edits {
+        let kind = if i.is_multiple_of(2) {
+            MegaEditKind::Compute
+        } else {
+            MegaEditKind::BreakLock
+        };
+        let e = mega_edit(seed, funs, i as u64, kind);
+        let what = format!("edit {i} ({})", edit_kind_label(kind));
+        let (stats, full_total, full_check_secs) = step(
+            &mut session,
+            &e.module.name,
+            &e.module.source,
+            opts.intra_jobs,
+            &what,
+        );
+        // The generator's closed-form triple must hold for the edited
+        // module (the from-scratch reports already matched above, so an
+        // immediate byte-identical repeat reads the same reports back).
+        let out = session
+            .analyze(&e.module.source)
+            .expect("re-analysis parses");
+        assert!(out.stats.module_hit, "immediate repeat is a module hit");
+        let counts: Vec<usize> = out.reports.iter().map(LockReport::error_count).collect();
+        assert_eq!(
+            counts,
+            vec![
+                e.module.expect.no_confine,
+                e.module.expect.confine,
+                e.module.expect.all_strong
+            ],
+            "{what}: closed-form triple"
+        );
+        row(&what, &stats, full_total);
+        rows.push(EditRow {
+            label: edit_kind_label(kind).to_string(),
+            function: e.function.clone().unwrap_or_default(),
+            stats,
+            full_total,
+            full_check: full_check_secs,
+        });
+    }
+
+    // ---- No-op edits ----
+    let last = if edits > 0 {
+        let kind = if (edits - 1).is_multiple_of(2) {
+            MegaEditKind::Compute
+        } else {
+            MegaEditKind::BreakLock
+        };
+        mega_edit(seed, funs, (edits - 1) as u64, kind).module
+    } else {
+        base.clone()
+    };
+    let ws_source = format!("{}// watch no-op\n", last.source);
+    let (ws, ws_full_total, _) = step(
+        &mut session,
+        &last.name,
+        &ws_source,
+        opts.intra_jobs,
+        "whitespace no-op",
+    );
+    assert_eq!(ws.rechecked, 0, "canonical no-op must recheck nothing");
+    row("noop (whitespace)", &ws, ws_full_total);
+
+    let t0 = Instant::now();
+    let repeat = session.analyze(&ws_source).expect("repeat parses");
+    let repeat_seconds = t0.elapsed().as_secs_f64();
+    assert!(
+        repeat.stats.module_hit,
+        "byte-identical repeat is a module hit"
+    );
+    println!(
+        "{:<22} {:>4}/{:<4} {:>9} {:>11.3}",
+        "noop (byte-identical)",
+        0,
+        repeat.stats.slots,
+        repeat.stats.hits,
+        repeat_seconds * 1e3,
+    );
+
+    // ---- Aggregates ----
+    let mean = |f: &dyn Fn(&EditRow) -> f64| -> f64 {
+        if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().map(f).sum::<f64>() / rows.len() as f64
+        }
+    };
+    let mean_incr_total = mean(&|r| r.stats.total_seconds);
+    let mean_incr_check = mean(&|r| r.stats.check_seconds);
+    let mean_full_total = mean(&|r| r.full_total);
+    let mean_full_check = mean(&|r| r.full_check);
+    let mean_fraction = mean(&|r| r.stats.rechecked as f64 / r.stats.slots.max(1) as f64);
+    let check_speedup = mean_full_check / mean_incr_check.max(1e-9);
+    let total_speedup = mean_full_total / mean_incr_total.max(1e-9);
+    println!();
+    println!(
+        "edits: mean recheck fraction {:.1}% — check phase {:.3} ms vs {:.3} ms full \
+         ({check_speedup:.1}x), end-to-end {:.3} ms vs {:.3} ms full ({total_speedup:.2}x)",
+        mean_fraction * 100.0,
+        mean_incr_check * 1e3,
+        mean_full_check * 1e3,
+        mean_incr_total * 1e3,
+        mean_full_total * 1e3,
+    );
+    println!(
+        "(end-to-end stays analysis-dominated: parse + alias/confine analysis re-run \
+         whole-module; only the check phase is incremental)"
+    );
+
+    let trace = match finish_obs(&opts) {
+        Ok(t) => t,
+        Err(e) => {
+            obs::error!("watch: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(path) = &opts.bench_out {
+        let mut edit_rows = String::new();
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(
+                edit_rows,
+                "\n      {{\"kind\": \"{}\", \"function\": \"{}\", \
+                 \"total_seconds\": {}, \"check_seconds\": {}, \
+                 \"full_total_seconds\": {}, \"full_check_seconds\": {}, \
+                 \"rechecked\": {}, \"hits\": {}, \"slots\": {}, \
+                 \"summary_changes\": {}}}{}",
+                r.label,
+                r.function,
+                jf(r.stats.total_seconds),
+                jf(r.stats.check_seconds),
+                jf(r.full_total),
+                jf(r.full_check),
+                r.stats.rechecked,
+                r.stats.hits,
+                r.stats.slots,
+                r.stats.summary_changes,
+                if i + 1 < rows.len() { "," } else { "" },
+            );
+        }
+        let profile = match &trace {
+            None => "null".to_string(),
+            Some(t) => json_trace(t),
+        };
+        let json = format!(
+            "{{\n  \"schema\": \"localias-bench-watch/v1\",\n  \"seed\": {seed},\n  \
+             \"funs\": {funs},\n  \"edits\": {edits},\n  \"intra_jobs\": {},\n  \
+             \"cold\": {{\"total_seconds\": {}, \"check_seconds\": {}, \
+             \"full_total_seconds\": {}, \"full_check_seconds\": {}}},\n  \
+             \"edit\": {{\n    \"mean_total_seconds\": {},\n    \
+             \"mean_check_seconds\": {},\n    \"mean_full_total_seconds\": {},\n    \
+             \"mean_full_check_seconds\": {},\n    \"mean_rechecked_fraction\": {},\n    \
+             \"check_speedup\": {},\n    \"total_speedup\": {},\n    \
+             \"rows\": [{}\n    ]\n  }},\n  \
+             \"noop\": {{\"whitespace_seconds\": {}, \"whitespace_rechecked\": {}, \
+             \"module_hit_seconds\": {}}},\n  \"profile\": {profile}\n}}\n",
+            opts.intra_jobs,
+            jf(cold.total_seconds),
+            jf(cold.check_seconds),
+            jf(cold_full_total),
+            jf(cold_full_check),
+            jf(mean_incr_total),
+            jf(mean_incr_check),
+            jf(mean_full_total),
+            jf(mean_full_check),
+            jf(mean_fraction),
+            jf(check_speedup),
+            jf(total_speedup),
+            edit_rows,
+            jf(ws.total_seconds),
+            ws.rechecked,
+            jf(repeat_seconds),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            obs::error!("watch: {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(wrote {path})");
+    }
+}

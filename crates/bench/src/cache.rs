@@ -62,6 +62,7 @@
 //! removed.
 
 use crate::{ModuleResult, PhaseTimes};
+use localias_ast::fp;
 use localias_obs as obs;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::Write as _;
@@ -72,10 +73,14 @@ use std::time::{Duration, Instant};
 /// stale caches from older binaries can never serve wrong answers. Mixed
 /// into every canonical fingerprint *and* written in every shard header.
 ///
+/// Single-sourced from [`localias_ast::fp`] so the function-granular
+/// incremental recheck in `localias-cqual` versions its fingerprints in
+/// lockstep with this store.
+///
 /// v2: the checker moved to the frozen-analysis, call-graph-scheduled
 /// pipeline and the store grew the generic `"v"` payload (see
 /// [`CachedValues`]); every v1 store is discarded whole on load.
-pub const ANALYSIS_VERSION: u32 = 2;
+pub const ANALYSIS_VERSION: u32 = localias_ast::fp::ANALYSIS_VERSION;
 
 /// Key-domain identifier, mixed into every canonical fingerprint.
 ///
@@ -114,20 +119,9 @@ const LOCK_BASE_MS: u64 = 1;
 /// Backoff ceiling per sleep.
 const LOCK_CAP_MS: u64 = 50;
 
-const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
-const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
-
-fn fnv1a(mut h: u128, bytes: &[u8]) -> u128 {
-    for &b in bytes {
-        h ^= b as u128;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
 /// Fingerprint of a module's raw source text (the pre-parse fast path).
 pub fn source_fingerprint(source: &str) -> u128 {
-    fnv1a(fnv1a(FNV_OFFSET, b"raw;"), source.as_bytes())
+    fp::fingerprint("raw;", source)
 }
 
 /// Fingerprint of one §8 precision-sweep subject. Domain-separated from
@@ -136,7 +130,7 @@ pub fn source_fingerprint(source: &str) -> u128 {
 /// one kind ever hitting an entry of the other.
 pub fn precision_fingerprint(source: &str) -> u128 {
     let domain = format!("raw;precision;{STORE_SCHEMA};av{ANALYSIS_VERSION};{PRECISION_CONFIG};");
-    fnv1a(fnv1a(FNV_OFFSET, domain.as_bytes()), source.as_bytes())
+    fp::fingerprint(&domain, source)
 }
 
 /// Canonical fingerprint of a parsed module: hash of its pretty-printed
@@ -145,7 +139,7 @@ pub fn precision_fingerprint(source: &str) -> u128 {
 pub fn module_fingerprint(m: &localias_ast::Module) -> u128 {
     let canon = localias_ast::pretty::print_module(m);
     let domain = format!("{STORE_SCHEMA};av{ANALYSIS_VERSION};{ANALYSIS_CONFIG};");
-    fnv1a(fnv1a(FNV_OFFSET, domain.as_bytes()), canon.as_bytes())
+    fp::fingerprint(&domain, &canon)
 }
 
 /// Where (whether) a sweep keeps its cache.

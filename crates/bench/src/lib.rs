@@ -230,8 +230,10 @@ fn json_str(s: &str) -> String {
 
 /// Renders an [`obs::Trace`] as a JSON object: a `spans` array (path,
 /// count, total/self nanoseconds) plus a `counters` object keyed by the
-/// registry's dotted names, non-zero entries only.
-fn json_trace(t: &obs::Trace) -> String {
+/// registry's dotted names, non-zero entries only. Public so bench
+/// binaries with their own report schemas (e.g. `watch`) can embed the
+/// same profile block the experiment schema uses.
+pub fn json_trace(t: &obs::Trace) -> String {
     let mut out = String::from("{\n    \"spans\": [");
     for (i, s) in t.spans.iter().enumerate() {
         if i > 0 {
@@ -418,6 +420,23 @@ struct SweepOutcome {
 /// Corpus size above which the default shard count starts to contend.
 const LARGE_CORPUS_SHARD_WARN: usize = 10_000;
 
+/// The concrete `--cache-shards` value to suggest for a corpus of
+/// `modules` modules currently running on `shards` shards.
+///
+/// Targets roughly one shard per thousand modules (shards hold whole
+/// result records, so a thousand records per shard file keeps each file
+/// small enough to rewrite cheaply), rounded up to a power of two to
+/// match the sharding hash's mixing; never suggests less than doubling
+/// the current count (the warning only fires when the current count
+/// contends, so any useful suggestion is a strict increase) and never
+/// more than [`MAX_SHARDS`].
+fn suggest_cache_shards(modules: usize, shards: usize) -> usize {
+    (modules / 1_000)
+        .next_power_of_two()
+        .max(shards.saturating_mul(2))
+        .min(MAX_SHARDS)
+}
+
 /// The streaming sweep engine every `measure_*` entry point feeds.
 ///
 /// `modules` yields `(slot, module)` pairs; `slot` is the module's index
@@ -458,10 +477,7 @@ where
         obs::warn!(
             "localias-bench: {out_len} modules over {shards} cache shards will contend; \
              consider --cache-shards {} (max {MAX_SHARDS})",
-            (out_len / 1_000)
-                .next_power_of_two()
-                .max(shards * 2)
-                .min(MAX_SHARDS),
+            suggest_cache_shards(out_len, shards),
         );
     }
 
@@ -897,6 +913,25 @@ mod tests {
         let cf = check_locks(&m, Mode::Confine).error_count();
         assert_eq!(nc, 4);
         assert_eq!(cf, 0);
+    }
+
+    #[test]
+    fn shard_suggestion_tracks_corpus_size() {
+        // ~1k modules per shard, rounded up to a power of two.
+        assert_eq!(suggest_cache_shards(50_000, DEFAULT_SHARDS), 64);
+        assert_eq!(suggest_cache_shards(100_000, DEFAULT_SHARDS), 128);
+        assert_eq!(suggest_cache_shards(200_000, DEFAULT_SHARDS), MAX_SHARDS);
+        // Huge corpora clamp at the store's shard-count ceiling.
+        assert_eq!(suggest_cache_shards(10_000_000, DEFAULT_SHARDS), MAX_SHARDS);
+        // The suggestion is always a strict increase over a contending
+        // count (the warning's precondition: shards <= DEFAULT_SHARDS).
+        for shards in 1..=DEFAULT_SHARDS {
+            for modules in [LARGE_CORPUS_SHARD_WARN + 1, 20_000, 500_000] {
+                let s = suggest_cache_shards(modules, shards);
+                assert!(s > shards, "modules={modules} shards={shards} -> {s}");
+                assert!(s <= MAX_SHARDS);
+            }
+        }
     }
 
     /// Every float in the JSON report must be locale-independent and

@@ -325,6 +325,28 @@ impl<'m> SharedAnalysis<'m> {
             self.confine_frozen.as_ref().expect("just computed"),
         )
     }
+
+    /// Both frozen analyses at once — `(base, confine)` — for callers
+    /// that interleave modes over one borrow (e.g. the incremental
+    /// rechecker, which keeps per-analysis check contexts alive across
+    /// its three mode passes). Each separate `base_frozen()` /
+    /// `confine_frozen()` call reborrows `&mut self` and so invalidates
+    /// the other's references; this forces both memoizations first and
+    /// then hands out shared references together.
+    pub fn both_frozen(&mut self) -> ((&Analysis, &FrozenLocs), (&Analysis, &FrozenLocs)) {
+        self.base_frozen();
+        self.confine_frozen();
+        (
+            (
+                self.base.as_ref().expect("base computed"),
+                self.base_frozen.as_ref().expect("base frozen"),
+            ),
+            (
+                &self.confine.as_ref().expect("confine computed").analysis,
+                self.confine_frozen.as_ref().expect("confine frozen"),
+            ),
+        )
+    }
 }
 
 /// Maps each block to `(parent block, index of the containing statement)`.

@@ -27,6 +27,6 @@ pub mod synth;
 
 pub use gen::{generate, partition_range, CorpusStream, GeneratedModule, DEFAULT_SEED};
 pub use idiom::{Expected, Idiom};
-pub use mega::{mega_module, DEFAULT_MEGA_FUNS};
+pub use mega::{mega_edit, mega_module, MegaEdit, MegaEditKind, DEFAULT_MEGA_FUNS};
 pub use plan::{Category, FIGURE7, TOTAL_ELIMINATED, TOTAL_MODULES, TOTAL_POTENTIAL};
 pub use synth::random_module_source;

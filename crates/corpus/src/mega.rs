@@ -89,9 +89,7 @@ fn compute_blocks(src: &mut String, rng: &mut Rng64, blocks: usize) {
 pub fn mega_module(seed: u64, funs: usize) -> GeneratedModule {
     let funs = funs.max(8);
     let mut rng = Rng64::seed_from_u64(seed ^ 0x6d65_6761); // "mega"
-    let n_top = (funs / 10).max(1);
-    let n_mid = (funs * 3 / 10).max(2);
-    let n_leaf = funs - n_top - n_mid;
+    let (n_top, n_mid, n_leaf) = mega_layout(funs);
 
     let mut src = String::new();
     let _ = writeln!(src, "int mega_sink;");
@@ -210,6 +208,134 @@ pub fn mega_module(seed: u64, funs: usize) -> GeneratedModule {
     }
 }
 
+/// The `(tops, mids, leaves)` layer sizes of a `funs`-function
+/// mega-module (after the `funs.max(8)` floor).
+fn mega_layout(funs: usize) -> (usize, usize, usize) {
+    let funs = funs.max(8);
+    let n_top = (funs / 10).max(1);
+    let n_mid = (funs * 3 / 10).max(2);
+    (n_top, n_mid, funs - n_top - n_mid)
+}
+
+/// The kind of single-function edit [`mega_edit`] applies.
+///
+/// Each kind has a **closed-form expected triple**, derived from the
+/// generator's construction (and pinned by tests that run the real
+/// checker on edited modules):
+///
+/// * [`Compute`](MegaEditKind::Compute) — a constant tweak inside one
+///   lock-free compute leaf. No lock is touched, so the triple stays the
+///   base `(a, 0, 0)` and the edited function's summary is unchanged:
+///   an incremental recheck's dirty cone is exactly that one function.
+/// * [`Whitespace`](MegaEditKind::Whitespace) — a trailing comment.
+///   Comments normalize away in the canonical form, so the triple stays
+///   `(a, 0, 0)` and an incremental recheck re-runs *zero* functions.
+/// * [`BreakLock`](MegaEditKind::BreakLock) — one array leaf's
+///   `spin_unlock` becomes a second `spin_lock`. Under weak updates the
+///   leaf already erred once (the release saw ⊤) and still errs once
+///   (the second acquire sees ⊤), so `no_confine` stays `a`; under
+///   confine inference or all-strong updates the first acquire is a
+///   strong update to `locked`, which the second acquire's `unlocked`
+///   requirement rejects — one error where there was none. The triple
+///   becomes `(a, 1, 1)`, and because only the edited leaf's *errors*
+///   change while its summary does too (exit state of the element
+///   location), the dirty cone is the leaf plus its owning mid and that
+///   mid's callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MegaEditKind {
+    /// Tweak an arithmetic constant in a compute leaf (triple unchanged).
+    Compute,
+    /// Append a comment — canonical no-op (triple unchanged).
+    Whitespace,
+    /// Replace an array leaf's unlock with a second lock
+    /// (`(a, 0, 0)` → `(a, 1, 1)`).
+    BreakLock,
+}
+
+/// A single-function edit of a generated mega-module.
+#[derive(Debug, Clone)]
+pub struct MegaEdit {
+    /// The edited module; `expect` carries the closed-form triple for
+    /// the edited source.
+    pub module: GeneratedModule,
+    /// Which edit was applied.
+    pub kind: MegaEditKind,
+    /// The function the edit landed in (`None` for whitespace edits,
+    /// which touch no function's canonical text).
+    pub function: Option<String>,
+}
+
+/// Applies one seeded single-function edit to `mega_module(seed, funs)`.
+///
+/// Deterministic in `(seed, funs, edit_seed, kind)`; distinct
+/// `edit_seed`s pick (generally) distinct target functions. See
+/// [`MegaEditKind`] for each kind's closed-form expected triple.
+///
+/// # Panics
+///
+/// Panics if the generated module has no leaf of the required kind —
+/// impossible for `funs >= 8`, where the leaf layer always contains
+/// array, scalar, and compute leaves.
+pub fn mega_edit(seed: u64, funs: usize, edit_seed: u64, kind: MegaEditKind) -> MegaEdit {
+    let base = mega_module(seed, funs);
+    let (_, _, n_leaf) = mega_layout(funs);
+    let mut rng = Rng64::seed_from_u64(edit_seed ^ 0x6564_6974); // "edit"
+    let leaves_of = |rem: usize| -> Vec<usize> { (0..n_leaf).filter(|k| k % 3 == rem).collect() };
+
+    let mut source = base.source.clone();
+    let mut expect = base.expect;
+    let function;
+    match kind {
+        MegaEditKind::Compute => {
+            let candidates = leaves_of(2);
+            let k = candidates[rng.gen_range(0..candidates.len())];
+            let header = format!("void leaf{k:04}(int n) {{\n");
+            let at = source.find(&header).expect("compute leaf header present");
+            let body = at + header.len();
+            // The first statement compute_blocks emits: `int acc0 = C;`.
+            let assign = source[body..].find("acc0 = ").expect("acc0 init") + body + 7;
+            let end = source[assign..].find(';').expect("terminated init") + assign;
+            let old: u64 = source[assign..end].parse().expect("integer constant");
+            source.replace_range(assign..end, &format!("{}", (old + 1) % 64));
+            function = Some(format!("leaf{k:04}"));
+        }
+        MegaEditKind::Whitespace => {
+            let _ = writeln!(source, "// no-op edit {edit_seed}");
+            function = None;
+        }
+        MegaEditKind::BreakLock => {
+            let candidates = leaves_of(0);
+            let k = candidates[rng.gen_range(0..candidates.len())];
+            let needle = format!("    spin_unlock(&mega_arr{k:04}[n]);\n");
+            let fixed = format!("    spin_lock(&mega_arr{k:04}[n]);\n");
+            let edited = source.replacen(&needle, &fixed, 1);
+            assert_ne!(edited, source, "array leaf unlock present");
+            source = edited;
+            expect.confine += 1;
+            expect.all_strong += 1;
+            function = Some(format!("leaf{k:04}"));
+        }
+    }
+
+    MegaEdit {
+        module: GeneratedModule {
+            name: format!("{}_edit{edit_seed}", base.name),
+            // A broken module mixes recovered idioms with one genuine
+            // bug, so its confine column is nonzero — the `Partial`
+            // population slice.
+            category: if kind == MegaEditKind::BreakLock {
+                Category::Partial
+            } else {
+                base.category
+            },
+            expect,
+            source,
+        },
+        kind,
+        function,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +366,67 @@ mod tests {
         assert_eq!(m.expect.no_confine, 18);
         assert_eq!(m.expect.confine, 0);
         assert_eq!(m.expect.all_strong, 0);
+    }
+
+    /// Runs the real checker and asserts the module's `expect` triple.
+    fn assert_triple(m: &GeneratedModule) {
+        use localias_cqual::{check_locks, Mode};
+        let parsed = m.parse();
+        let got = (
+            check_locks(&parsed, Mode::NoConfine).error_count(),
+            check_locks(&parsed, Mode::Confine).error_count(),
+            check_locks(&parsed, Mode::AllStrong).error_count(),
+        );
+        let want = (m.expect.no_confine, m.expect.confine, m.expect.all_strong);
+        assert_eq!(got, want, "{}", m.name);
+    }
+
+    #[test]
+    fn edits_are_deterministic() {
+        for kind in [
+            MegaEditKind::Compute,
+            MegaEditKind::Whitespace,
+            MegaEditKind::BreakLock,
+        ] {
+            let a = mega_edit(7, 40, 3, kind);
+            let b = mega_edit(7, 40, 3, kind);
+            assert_eq!(a.module.source, b.module.source, "{kind:?}");
+            assert_eq!(a.function, b.function, "{kind:?}");
+            assert_ne!(a.module.source, mega_module(7, 40).source, "{kind:?} edits");
+        }
+    }
+
+    #[test]
+    fn compute_edit_keeps_the_closed_form_triple() {
+        let base = mega_module(5, 40);
+        let e = mega_edit(5, 40, 9, MegaEditKind::Compute);
+        assert_eq!(e.module.expect, base.expect, "triple unchanged");
+        assert!(e.function.is_some());
+        assert_triple(&e.module);
+    }
+
+    #[test]
+    fn whitespace_edit_is_a_canonical_noop() {
+        use localias_ast::pretty;
+        let base = mega_module(5, 40);
+        let e = mega_edit(5, 40, 9, MegaEditKind::Whitespace);
+        assert_eq!(e.module.expect, base.expect);
+        assert_eq!(e.function, None);
+        // The canonical forms are identical — the strongest statement of
+        // "no-op": an incremental session re-checks zero functions.
+        assert_eq!(
+            pretty::print_module(&base.parse()),
+            pretty::print_module(&e.module.parse()),
+        );
+    }
+
+    #[test]
+    fn break_lock_edit_matches_the_closed_form_triple() {
+        let base = mega_module(5, 40);
+        let e = mega_edit(5, 40, 9, MegaEditKind::BreakLock);
+        assert_eq!(e.module.expect.no_confine, base.expect.no_confine);
+        assert_eq!(e.module.expect.confine, 1);
+        assert_eq!(e.module.expect.all_strong, 1);
+        assert_triple(&e.module);
     }
 }

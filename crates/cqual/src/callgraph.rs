@@ -31,6 +31,7 @@
 
 use localias_ast::visit::{walk_expr, Visitor};
 use localias_ast::{Expr, ExprKind, Module};
+use localias_obs as obs;
 use std::collections::HashMap;
 
 /// A call graph over a module's defined functions, with its SCC
@@ -81,6 +82,7 @@ impl Visitor for Calls {
 impl CallGraph {
     /// Builds the graph, condensation, schedule, and waves for `m`.
     pub fn build(m: &Module) -> CallGraph {
+        let _span = obs::span!("cqual.graph");
         // Node ids: defined function names, sorted — so numeric order on
         // ids is alphabetical order on names, whatever the definition
         // order was.
@@ -244,6 +246,29 @@ impl CallGraph {
     /// (which only happens for cyclic callees) or undefined.
     pub fn uses_summary(&self, caller: usize, callee: usize) -> bool {
         self.pos[callee] < self.pos[caller]
+    }
+
+    /// Whether `f`'s body yields exactly node `v`'s recorded edges (the
+    /// same defined-callee set and self-recursion flag). A graph built
+    /// over a *different* parse of the module is still valid verbatim
+    /// when the function name sequence is unchanged and this holds for
+    /// every function whose body changed — the graph mentions no node
+    /// ids, only names and indices.
+    pub fn callees_match(&self, v: usize, f: &localias_ast::FunDef) -> bool {
+        let mut calls = Calls { out: Vec::new() };
+        calls.visit_block(&f.body);
+        let mut out = Vec::new();
+        let mut self_rec = false;
+        for callee in calls.out {
+            if callee == f.name.name {
+                self_rec = true;
+            } else if let Some(&c) = self.index.get(&callee) {
+                out.push(c);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        self_rec == self.self_rec[v] && out == self.callees[v]
     }
 }
 

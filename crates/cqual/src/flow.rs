@@ -23,6 +23,7 @@
 //! store. See `crates/cqual/src/intra.rs` for where the paper's
 //! restrict/confine machinery plugs into the per-function walk.
 
+use crate::fx::FxHashMap;
 use crate::intra::{check_function, CheckContext, FunOutcome};
 use crate::report::LockReport;
 use crate::summary::Summaries;
@@ -30,7 +31,6 @@ use localias_alias::FrozenLocs;
 use localias_ast::{FunDef, Module};
 use localias_core::Analysis;
 use localias_obs as obs;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -171,12 +171,12 @@ pub fn check_locks_frozen_timed(
     let threads = resolve_jobs(intra_jobs);
     // With duplicate definitions the later one wins (legacy behaviour of
     // the name-keyed function map).
-    let by_name: HashMap<&str, &FunDef> =
+    let by_name: FxHashMap<&str, &FunDef> =
         m.functions().map(|f| (f.name.name.as_str(), f)).collect();
 
     let n = cx.graph.len();
     let mut outcomes: Vec<Option<FunOutcome>> = (0..n).map(|_| None).collect();
-    let mut summaries: Summaries = HashMap::new();
+    let mut summaries: Summaries = Summaries::default();
     let mut stats = IntraStats {
         threads,
         functions: n,
@@ -236,10 +236,10 @@ pub fn check_locks_frozen_timed(
 /// their spans under the spawner's current span path (via
 /// [`obs::fork`]), so the merged span tree is identical to a sequential
 /// run's.
-fn check_wave_parallel(
+pub(crate) fn check_wave_parallel(
     cx: &CheckContext<'_>,
     summaries: &Summaries,
-    by_name: &HashMap<&str, &FunDef>,
+    by_name: &FxHashMap<&str, &FunDef>,
     wave: &[usize],
     threads: usize,
 ) -> Vec<(usize, FunOutcome, f64)> {
@@ -276,7 +276,7 @@ fn check_wave_parallel(
 
 /// Resolves an `--intra-jobs` value: `0` means one worker per available
 /// core.
-fn resolve_jobs(jobs: usize) -> usize {
+pub(crate) fn resolve_jobs(jobs: usize) -> usize {
     if jobs == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())

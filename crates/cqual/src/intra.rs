@@ -18,6 +18,7 @@
 //! [`FrozenLocs`] snapshot.
 
 use crate::callgraph::CallGraph;
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::qual::LockState;
 use crate::report::{LockError, LockOp};
 use crate::store::Store;
@@ -26,18 +27,17 @@ use localias_alias::{FrozenLocs, Loc, State, Ty};
 use localias_ast::{intrinsics, Block, Expr, ExprKind, FunDef, Module, NodeId, Stmt, StmtKind};
 use localias_core::{Analysis, ConfineSite};
 use localias_obs as obs;
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::flow::Mode;
 
 /// A scope boundary requiring lock-state copy-in/copy-out.
 #[derive(Debug, Clone, Copy)]
-struct RangeScope {
-    start: usize,
-    end: usize,
-    rho: Loc,
-    rho_p: Loc,
+pub(crate) struct RangeScope {
+    pub(crate) start: usize,
+    pub(crate) end: usize,
+    pub(crate) rho: Loc,
+    pub(crate) rho_p: Loc,
 }
 
 /// Everything a function check reads and nothing it writes: the module,
@@ -47,18 +47,21 @@ struct RangeScope {
 pub(crate) struct CheckContext<'a> {
     pub mode: Mode,
     /// The typing/aliasing state (read-only: expression types, variables).
-    state: &'a State,
+    pub(crate) state: &'a State,
     /// The frozen location snapshot all resolution goes through.
     pub frozen: &'a FrozenLocs,
-    /// The call graph with its schedule and wave partition.
-    pub graph: CallGraph,
+    /// The call graph with its schedule and wave partition. Shared:
+    /// the graph depends only on the module, so one build serves every
+    /// mode's context (see [`CheckContext::new_shared`]).
+    pub graph: Arc<CallGraph>,
     /// Range scopes by block id, from confine outcomes.
-    range_scopes: HashMap<NodeId, Vec<RangeScope>>,
+    pub(crate) range_scopes: FxHashMap<NodeId, Vec<RangeScope>>,
     /// `(ρ, ρ')` for explicit confine/restrict statements, by stmt id.
-    stmt_scopes: HashMap<NodeId, (Loc, Loc)>,
-    /// Per-function parameter metadata; `Arc` so each call site shares it
-    /// across threads instead of cloning the vector.
-    params: HashMap<String, Arc<Vec<ParamInfo>>>,
+    pub(crate) stmt_scopes: FxHashMap<NodeId, (Loc, Loc)>,
+    /// Per-function parameter metadata, indexed by call-graph node;
+    /// `Arc` so each call site shares it across threads instead of
+    /// cloning the vector.
+    pub(crate) params: Vec<Arc<Vec<ParamInfo>>>,
 }
 
 impl<'a> CheckContext<'a> {
@@ -70,8 +73,22 @@ impl<'a> CheckContext<'a> {
         frozen: &'a FrozenLocs,
         mode: Mode,
     ) -> CheckContext<'a> {
-        let mut range_scopes: HashMap<NodeId, Vec<RangeScope>> = HashMap::new();
-        let mut stmt_scopes = HashMap::new();
+        Self::new_shared(m, analysis, frozen, mode, Arc::new(CallGraph::build(m)))
+    }
+
+    /// [`CheckContext::new`] with a pre-built call graph — the graph is
+    /// a function of the module alone, so callers constructing several
+    /// contexts over one module (one per analysis/mode) build it once.
+    pub fn new_shared(
+        m: &'a Module,
+        analysis: &'a Analysis,
+        frozen: &'a FrozenLocs,
+        mode: Mode,
+        graph: Arc<CallGraph>,
+    ) -> CheckContext<'a> {
+        let _span = obs::span!("cqual.context");
+        let mut range_scopes: FxHashMap<NodeId, Vec<RangeScope>> = FxHashMap::default();
+        let mut stmt_scopes = FxHashMap::default();
         for c in &analysis.confines {
             let Some((rho, rho_p)) = c.locs else { continue };
             match c.site {
@@ -108,37 +125,52 @@ impl<'a> CheckContext<'a> {
         // programmer wrote the qualifier *or* parameter-restrict
         // inference proved it (a successful candidate keyed by the
         // function node and parameter name).
-        let inferred: HashSet<(NodeId, &str)> = analysis
+        let inferred: FxHashSet<(NodeId, &str)> = analysis
             .candidates
             .iter()
             .filter(|c| c.restricted)
             .map(|c| (c.at, c.name.as_str()))
             .collect();
-        let mut params: HashMap<String, Arc<Vec<ParamInfo>>> = HashMap::new();
+        // The alias analysis records each function's *bound* parameter
+        // value types (post binding hooks, first definition wins), so
+        // parameter metadata is a direct positional lookup — no pass
+        // over the variable table. For duplicate definitions the later
+        // one wins, matching the name-keyed function map.
+        let empty = Arc::new(Vec::new());
+        let mut params: Vec<Arc<Vec<ParamInfo>>> = vec![empty; graph.len()];
         for f in m.functions() {
-            let mut infos = Vec::new();
-            for p in &f.params {
-                let rho_p = analysis
-                    .state
-                    .vars
-                    .iter()
-                    .find(|v| v.fun.as_deref() == Some(&f.name.name) && v.name == p.name.name)
-                    .and_then(|v| v.ty.pointee());
+            let Some(v) = graph.node(&f.name.name) else {
+                continue;
+            };
+            let tys = analysis.state.param_tys.get(f.name.name.as_str());
+            let mut infos = Vec::with_capacity(f.params.len());
+            for (i, p) in f.params.iter().enumerate() {
+                let rho_p = tys.and_then(|t| t.get(i)).and_then(|ty| ty.pointee());
                 let restrict = p.restrict || inferred.contains(&(f.id, p.name.name.as_str()));
                 infos.push(ParamInfo { rho_p, restrict });
             }
-            params.insert(f.name.name.to_string(), Arc::new(infos));
+            params[v] = Arc::new(infos);
         }
 
         CheckContext {
             mode,
             state: &analysis.state,
             frozen,
-            graph: CallGraph::build(m),
+            graph,
             range_scopes,
             stmt_scopes,
             params,
         }
+    }
+
+    /// Re-tags the context with a different [`Mode`]. The mode only
+    /// gates behaviour inside [`check_function`]; everything the
+    /// context *holds* is mode-independent, so `NoConfine` and
+    /// `AllStrong` (which consume the same base analysis) can share one
+    /// construction.
+    pub(crate) fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -215,7 +247,7 @@ impl LoopExits {
 #[derive(Debug, Default)]
 struct ReqSink {
     reqs: Vec<(Loc, LockState, LockOp)>,
-    seen: HashSet<Loc>,
+    seen: FxHashSet<Loc>,
 }
 
 /// Walks one function body, tracking the abstract store. All shared
@@ -490,7 +522,7 @@ impl FunctionChecker<'_, '_> {
             .get(callee)
             .cloned()
             .expect("dependency summary published before caller is checked");
-        let map = self.retarget_map(callee, args);
+        let map = self.retarget_map(c, args);
         for (loc, required, _op) in &sum.first_req {
             let target = retarget(&map, self.cx.frozen, *loc);
             self.require(store, target, *required, LockOp::CallRequirement, site);
@@ -504,11 +536,9 @@ impl FunctionChecker<'_, '_> {
 
     /// Maps a callee's restrict-parameter `ρ'` locations to the actual
     /// arguments' pointee locations at this call site.
-    fn retarget_map(&mut self, callee: &str, args: &[Expr]) -> HashMap<Loc, Loc> {
-        let mut map = HashMap::new();
-        let Some(infos) = self.cx.params.get(callee).cloned() else {
-            return map;
-        };
+    fn retarget_map(&mut self, callee: usize, args: &[Expr]) -> FxHashMap<Loc, Loc> {
+        let mut map = FxHashMap::default();
+        let infos = self.cx.params[callee].clone();
         for (info, arg) in infos.iter().zip(args) {
             if !info.restrict {
                 continue;

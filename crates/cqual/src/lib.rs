@@ -39,6 +39,8 @@
 
 pub mod callgraph;
 pub mod flow;
+pub mod fx;
+pub mod incremental;
 mod intra;
 pub mod qual;
 pub mod report;
@@ -51,6 +53,7 @@ pub use flow::{
     check_locks_shared_jobs, check_locks_shared_timed, check_locks_with, IntraStats, Mode,
     WaveStat,
 };
+pub use incremental::{IncrOutcome, IncrStats, IncrementalSession, MODES};
 pub use qual::LockState;
 pub use report::{LockError, LockOp, LockReport};
 pub use store::{strong_updatable, Store};

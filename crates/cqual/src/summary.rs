@@ -13,15 +13,15 @@
 //! inside a `confine` gets strong updates through
 //! `do_with_lock(&locks[i])`.
 
+use crate::fx::FxHashMap;
 use crate::qual::LockState;
 use crate::report::LockOp;
 use localias_alias::{FrozenLocs, Loc};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Per-function interprocedural summary. Immutable once published; share
 /// via [`Arc`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct Summary {
     /// Lock state required on entry, per location (first use).
     pub first_req: Vec<(Loc, LockState, LockOp)>,
@@ -32,7 +32,7 @@ pub(crate) struct Summary {
 /// The published summaries, keyed by function name. Between waves the
 /// scheduler inserts the completed wave's summaries; during a wave the
 /// map is only read (shared as `&Summaries` across worker threads).
-pub(crate) type Summaries = HashMap<String, Arc<Summary>>;
+pub(crate) type Summaries = FxHashMap<String, Arc<Summary>>;
 
 /// Parameter metadata for retargeting restrict-parameter summaries.
 #[derive(Debug, Clone)]
@@ -45,7 +45,7 @@ pub(crate) struct ParamInfo {
 
 /// Resolves one summary location through the call-site retarget map and
 /// the frozen location table.
-pub(crate) fn retarget(map: &HashMap<Loc, Loc>, frozen: &FrozenLocs, loc: Loc) -> Loc {
+pub(crate) fn retarget(map: &FxHashMap<Loc, Loc>, frozen: &FrozenLocs, loc: Loc) -> Loc {
     let target = map.get(&loc).copied().unwrap_or(loc);
     frozen.find(target)
 }

@@ -7,6 +7,9 @@
 //! localias infer   <file.mc>          # restrict + confine inference
 //! localias locks   <file.mc> [mode]   # flow-sensitive lock checking
 //! localias run     <file.mc> [arg]    # execute under the §3.2 semantics
+//! localias watch   <file.mc> [--iterations N] [--poll-ms MS]
+//!                    [--intra-jobs N] [--verify] [--quiet]
+//!                                     # re-check incrementally on every save
 //! localias corpus  <dir> [seed]       # dump the synthetic driver corpus
 //! localias experiment [seed] [--jobs N] [--intra-jobs N]
 //!                    [--cache DIR | --no-cache] [--cache-shards N]
@@ -37,7 +40,7 @@
 
 use localias_ast::span::LineMap;
 use localias_ast::{parse_module, pretty, Module, NodeId};
-use localias_cqual::{check_locks, Mode};
+use localias_cqual::{check_locks, IncrementalSession, Mode, MODES};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -59,19 +62,27 @@ fn main() -> ExitCode {
         Some("infer") => cmd_infer(&args[1..]),
         Some("locks") => cmd_locks(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("bench-merge") => cmd_bench_merge(&args[1..]),
         Some("tracecheck") => cmd_tracecheck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: localias <parse|check|infer|locks|corpus|experiment|bench-merge|tracecheck> [args]\n\
+                "usage: localias <parse|check|infer|locks|run|watch|corpus|experiment|bench-merge|tracecheck> [args]\n\
                  \n\
                  parse   <file.mc>          parse and pretty-print a module\n\
                  check   <file.mc>          check explicit restrict/confine annotations\n\
                  infer   <file.mc> [--general]  run restrict and confine inference\n\
                  locks   <file.mc> [mode]   lock checking (noconfine|confine|allstrong)\n\
                  run     <file.mc> [arg]    execute every function (restrict = copy-and-poison)\n\
+                 watch   <file.mc> [--iterations N] [--poll-ms MS] [--intra-jobs N]\n\
+                 \x20                          [--verify] [--quiet]\n\
+                 \x20                          re-run the three lock checks on every save,\n\
+                 \x20                          re-checking only edited functions plus their\n\
+                 \x20                          summary-change cone (--verify cross-checks every\n\
+                 \x20                          report against from-scratch analysis; --iterations\n\
+                 \x20                          exits after N analyses, for scripting)\n\
                  corpus  <dir> [seed]       write the synthetic driver corpus to <dir>\n\
                  experiment [seed] [--jobs N] [--intra-jobs N] [--cache DIR | --no-cache]\n\
                  \x20                          [--cache-shards N] [--modules N] [--partition I/N]\n\
@@ -246,6 +257,138 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
         let _ = writeln!(out, "  no dynamic lock faults");
     }
     Ok(out)
+}
+
+/// `localias watch FILE` — an edit→report loop over one module.
+///
+/// Holds a [`IncrementalSession`], re-analyzing the file whenever its
+/// mtime or length changes. Each analysis prints one line: the
+/// per-mode error counts and what the incremental engine did (how many
+/// function×mode slots were re-checked vs served from the function
+/// cache). `--verify` additionally re-checks from scratch each time and
+/// fails loudly if the incremental reports ever diverge — the
+/// byte-identity contract, enforced live. `--iterations N` exits after
+/// N analyses (the first, cold one included), which is how scripts and
+/// tests drive the loop; without it the command polls until killed.
+fn cmd_watch(args: &[String]) -> Result<String, String> {
+    const USAGE: &str = "usage: localias watch <file.mc> [--iterations N] \
+         [--poll-ms MS] [--intra-jobs N] [--verify] [--quiet]";
+    let mut path: Option<String> = None;
+    let mut iterations: Option<u64> = None;
+    let mut poll_ms: u64 = 200;
+    let mut intra_jobs: usize = 1;
+    let mut verify = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    let parse_num = |flag: &str, val: Option<&String>| -> Result<u64, String> {
+        let val = val.ok_or_else(|| format!("{flag} requires a number"))?;
+        val.parse()
+            .map_err(|_| format!("bad count `{val}` for {flag}"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iterations" => iterations = Some(parse_num(a, it.next())?),
+            "--poll-ms" => poll_ms = parse_num(a, it.next())?.max(1),
+            "--intra-jobs" => intra_jobs = parse_num(a, it.next())? as usize,
+            "--verify" => verify = true,
+            "--quiet" => quiet = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or(USAGE)?;
+    let name = std::path::Path::new(&path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("module")
+        .to_string();
+
+    let fingerprint = |p: &str| -> Option<(std::time::SystemTime, u64)> {
+        let meta = std::fs::metadata(p).ok()?;
+        Some((meta.modified().ok()?, meta.len()))
+    };
+
+    let mut session = IncrementalSession::new(&name, intra_jobs);
+    let max_iters = iterations.unwrap_or(u64::MAX);
+    let mut done = 0u64;
+    let mut last_fp = fingerprint(&path);
+    while done < max_iters {
+        if done > 0 {
+            // Block until the file visibly changes (mtime or length).
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+                let cur = fingerprint(&path);
+                if cur != last_fp {
+                    last_fp = cur;
+                    break;
+                }
+            }
+        }
+        done += 1;
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let t0 = std::time::Instant::now();
+        let out = match session.analyze(&src) {
+            Ok(out) => out,
+            Err(e) => {
+                // A half-saved file is normal in a watch loop: report and
+                // keep polling (the session state is untouched).
+                println!("[{done}] parse error: {e}");
+                continue;
+            }
+        };
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let s = &out.stats;
+        let label = if s.module_hit {
+            "no-op"
+        } else if s.cold {
+            "cold"
+        } else if s.full_fallback {
+            "full"
+        } else {
+            "incr"
+        };
+        let counts: Vec<String> = MODES
+            .iter()
+            .zip(&out.reports)
+            .map(|(m, r)| format!("{m:?} {}", r.error_count()))
+            .collect();
+        if s.module_hit {
+            println!(
+                "[{done}] {label}: {} — source unchanged, {ms:.1} ms",
+                counts.join(", ")
+            );
+        } else {
+            println!(
+                "[{done}] {label}: {} — rechecked {}/{} ({} hits), {ms:.1} ms",
+                counts.join(", "),
+                s.rechecked,
+                s.slots,
+                s.hits,
+            );
+        }
+        if !quiet {
+            for (mode, report) in MODES.iter().zip(&out.reports) {
+                for e in &report.errors {
+                    println!("    [{mode:?}] {e}");
+                }
+            }
+        }
+        if verify {
+            let m = parse_module(&name, &src).map_err(|e| format!("{path}: {e}"))?;
+            let want = MODES.map(|mode| check_locks(&m, mode));
+            if out.reports != want {
+                return Err(format!(
+                    "watch: iteration {done}: incremental reports diverge from \
+                     from-scratch checking — this is a bug"
+                ));
+            }
+            if !quiet {
+                println!("    verified: byte-identical to from-scratch checking");
+            }
+        }
+    }
+    Ok(String::new())
 }
 
 fn cmd_corpus(args: &[String]) -> Result<String, String> {

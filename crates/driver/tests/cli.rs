@@ -325,3 +325,72 @@ fn diagnostics_carry_line_numbers() {
     let (out, _, _) = localias(&["check", p.to_str().unwrap()]);
     assert!(out.contains("(line 2:"), "the restrict is on line 2: {out}");
 }
+
+/// A two-function module: `helper` wraps a lock pair, `caller` uses it.
+/// Editing only `caller`'s body must leave `helper` cache-served.
+const WATCH_BASE: &str = "lock locks[8];\nextern void work();\nvoid helper(int i) {\n    spin_lock(&locks[i]);\n    work();\n    spin_unlock(&locks[i]);\n}\nvoid caller(int i) { helper(i); }\n";
+
+/// Same module with `caller`'s body edited (an extra call).
+const WATCH_EDIT: &str = "lock locks[8];\nextern void work();\nvoid helper(int i) {\n    spin_lock(&locks[i]);\n    work();\n    spin_unlock(&locks[i]);\n}\nvoid caller(int i) { work(); helper(i); }\n";
+
+#[test]
+fn watch_single_iteration_verifies_and_exits() {
+    let p = write_temp("watch1.mc", WATCH_BASE);
+    let (out, err, ok) = localias(&[
+        "watch",
+        p.to_str().unwrap(),
+        "--iterations",
+        "1",
+        "--verify",
+    ]);
+    assert!(ok, "{out}{err}");
+    assert!(out.contains("[1] cold:"), "{out}");
+    assert!(out.contains("verified: byte-identical"), "{out}");
+}
+
+#[test]
+fn watch_rejects_unknown_flags() {
+    let (_, err, ok) = localias(&["watch", "nosuch.mc", "--frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag"), "{err}");
+}
+
+#[test]
+fn watch_picks_up_an_edit_and_rechecks_incrementally() {
+    use std::io::Read as _;
+    let p = write_temp("watch2.mc", WATCH_BASE);
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_localias"))
+        .args([
+            "watch",
+            p.to_str().unwrap(),
+            "--iterations",
+            "2",
+            "--poll-ms",
+            "25",
+            "--verify",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    // Give the watcher time to do the cold pass and record the mtime,
+    // then save an edit touching only `caller`.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    std::fs::write(&p, WATCH_EDIT).unwrap();
+    let status = child.wait().expect("watch exits after 2 iterations");
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut out)
+        .unwrap();
+    assert!(status.success(), "{out}");
+    assert!(out.contains("[1] cold:"), "{out}");
+    assert!(out.contains("[2] incr:"), "{out}");
+    // 2 functions × 3 modes = 6 slots; only `caller` re-checks (its
+    // summary is unchanged, so the cone stops there).
+    assert!(
+        out.contains("rechecked 3/6 (3 hits)"),
+        "editing one of two functions must leave the other cache-served: {out}"
+    );
+}

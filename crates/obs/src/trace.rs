@@ -114,15 +114,37 @@ impl Trace {
                 s.self_ns as f64 / 1e6
             );
         }
-        let counters: Vec<(&str, u64)> = self.counters.iter_nonzero().collect();
+        let mut counters: Vec<(&str, u64)> = self.counters.iter_nonzero().collect();
+        // Registry declaration order puts the `mem.*` gauges in a block
+        // at the end; sorting by name instead files every row — counter
+        // or gauge — under its subsystem prefix.
+        counters.sort_unstable_by_key(|&(name, _)| name);
         if !counters.is_empty() {
             let _ = writeln!(out);
-            let _ = writeln!(out, "{:<52} {:>9}", "counter", "total");
+            let _ = writeln!(out, "{:<52} {:>12}", "counter", "total");
             for (name, value) in counters {
-                let _ = writeln!(out, "{name:<52} {value:>9}");
+                let _ = writeln!(out, "{name:<52} {:>12}", render_counter_value(name, value));
             }
         }
         out
+    }
+}
+
+/// Renders one counter row's value. `mem.*` byte gauges humanize to
+/// B/KiB/MiB (the JSON trace keeps the raw byte count); everything else
+/// prints as a plain count.
+fn render_counter_value(name: &str, value: u64) -> String {
+    if !(name.starts_with("mem.") && name.ends_with("_bytes")) {
+        return value.to_string();
+    }
+    const KIB: f64 = 1024.0;
+    let v = value as f64;
+    if v < KIB {
+        format!("{value} B")
+    } else if v < KIB * KIB {
+        format!("{:.1} KiB", v / KIB)
+    } else {
+        format!("{:.1} MiB", v / (KIB * KIB))
     }
 }
 
@@ -329,5 +351,34 @@ mod tests {
         assert!(table.contains("unit.alpha/unit.beta"));
         assert!(table.contains("effects.checksat_queries"));
         assert!(table.contains("total (ms)"));
+    }
+
+    #[test]
+    fn profile_table_sorts_rows_and_humanizes_byte_gauges() {
+        let _l = test_lock();
+        enable_all();
+        let _ = drain();
+        count(Counter::CqualLockSites, 3);
+        count(Counter::CacheShardHits, 5);
+        crate::gauge_max(Counter::MemPeakRssBytes, 27 * 1024 * 1024 + 512 * 1024);
+        crate::gauge_max(Counter::MemArenaBytes, 1536);
+        let t = drain();
+        crate::disable_metrics();
+        crate::disable_spans();
+        let table = t.render_profile();
+        // Rows sort by name, not registry declaration order (which puts
+        // cqual.* before cache.* and the mem.* gauges in a trailing
+        // block).
+        let pos = |needle: &str| {
+            table
+                .find(needle)
+                .unwrap_or_else(|| panic!("{needle} missing: {table}"))
+        };
+        assert!(pos("cache.shard_hits") < pos("cqual.lock_sites"));
+        assert!(pos("cqual.lock_sites") < pos("mem.arena_bytes"));
+        // Byte gauges humanize; plain counters stay plain counts.
+        assert!(table.contains("1.5 KiB"), "{table}");
+        assert!(table.contains("27.5 MiB"), "{table}");
+        assert!(!table.contains("28835840"), "{table}");
     }
 }

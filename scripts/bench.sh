@@ -8,6 +8,10 @@
 #   BENCH_experiment.json        warm sweep, cache.hits   == modules
 #   BENCH_intra.json             mega-module sequential-vs-wave-parallel
 #                                timings (schema localias-bench-intra/v2)
+#   BENCH_watch.json             function-granular incremental recheck:
+#                                cold/edit/no-op latencies + check-phase
+#                                speedup over from-scratch analysis
+#                                (schema localias-bench-watch/v1)
 #   BENCH_scale.json             modules/sec + peak RSS vs corpus size
 #                                (schema localias-bench-scale/v1; only
 #                                written when BENCH_SCALE=1 — it takes
@@ -47,6 +51,20 @@ cat BENCH_experiment.json
 echo
 echo "wrote $(pwd)/BENCH_intra.json (mega-module):"
 cat BENCH_intra.json
+
+# Function-granular incremental recheck on the mega-module: seeded
+# single-function edits against an IncrementalSession, every report
+# asserted byte-identical to from-scratch checking. The headline is
+# check-phase vs check-phase at --intra-jobs 1 — parallelism helps the
+# full check more than the (already tiny) incremental one, so the
+# single-thread number is the honest comparison; end-to-end stays
+# analysis-dominated by design (see EXPERIMENTS.md).
+./target/release/watch --funs 300 --edits 8 --intra-jobs 1 --profile \
+    --bench-out BENCH_watch.json
+
+echo
+echo "wrote $(pwd)/BENCH_watch.json (incremental recheck):"
+cat BENCH_watch.json
 
 # The corpus-scale sweep (1k..50k modules, 1 and 2 partitions) takes
 # minutes, so it only runs when explicitly requested.

@@ -5,8 +5,10 @@
 # the incremental cache fully hits on an unchanged corpus, and a
 # crash-recovery smoke that kills a sweep mid-run and fabricates the
 # worst-case crash artifacts to prove the sharded store heals itself,
-# and an observability smoke that traces a sweep and validates the
-# emitted trace with `localias tracecheck`.
+# a watch-determinism smoke proving incremental recheck reports stay
+# byte-identical to full rechecks at two worker counts, and an
+# observability smoke that traces a sweep and validates the emitted
+# trace with `localias tracecheck`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -119,6 +121,50 @@ grep -q '"schema": "localias-bench-intra/v2"' "$INTRA" || {
     exit 1
 }
 
+# Watch-determinism smoke: after an edit, the incremental report must
+# be byte-identical to a full recheck at --intra-jobs 1 and 4
+# (`--verify` re-checks from scratch and fails the process on any
+# divergence, every iteration).
+WATCHDIR="$CACHE/watch"
+mkdir -p "$WATCHDIR"
+for JOBS in 1 4; do
+    WFILE="$WATCHDIR/mod$JOBS.mc"
+    printf '%s\n' \
+        'lock locks[8];' \
+        'extern void work();' \
+        'void helper(int i) {' \
+        '    spin_lock(&locks[i]);' \
+        '    work();' \
+        '    spin_unlock(&locks[i]);' \
+        '}' \
+        'void caller(int i) { helper(i); }' >"$WFILE"
+    (
+        sleep 0.5
+        printf '%s\n' \
+            'lock locks[8];' \
+            'extern void work();' \
+            'void helper(int i) {' \
+            '    spin_lock(&locks[i]);' \
+            '    work();' \
+            '}' \
+            'void caller(int i) { helper(i); }' >"$WFILE"
+    ) &
+    EDITOR_PID=$!
+    WOUT="$WATCHDIR/out$JOBS.txt"
+    ./target/release/localias watch "$WFILE" --iterations 2 --poll-ms 25 \
+        --intra-jobs "$JOBS" --verify --quiet >"$WOUT" || {
+        echo "check.sh: watch --verify diverged at --intra-jobs $JOBS:" >&2
+        cat "$WOUT" >&2
+        exit 1
+    }
+    wait "$EDITOR_PID"
+    grep -q '^\[2\] incr:' "$WOUT" || {
+        echo "check.sh: watch did not pick up the edit at --intra-jobs $JOBS:" >&2
+        cat "$WOUT" >&2
+        exit 1
+    }
+done
+
 # Observability smoke: a traced sweep must emit a trace the strict
 # validator accepts, embed a profile block in the bench report, and
 # print the profile table on stderr.
@@ -182,4 +228,4 @@ grep -q '"partition": null' "$SCALE/merged.json" || {
     exit 1
 }
 
-echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, trace smoke, and partitioned scale smoke all passed"
+echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, watch-determinism smoke, trace smoke, and partitioned scale smoke all passed"
