@@ -66,7 +66,7 @@ impl fmt::Display for Cell {
 }
 
 /// A set-variable index: `pts(i)` is the points-to set of node `i`.
-type Ix = usize;
+pub type Ix = usize;
 
 /// Constraint forms awaiting complex resolution.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +83,9 @@ pub struct PointsTo {
     cells: Vec<Cell>,
     ix: HashMap<Cell, Ix>,
     sets: Vec<BTreeSet<Ix>>,
+    /// The set-variable holding each evaluated expression's value,
+    /// recorded during constraint generation (keyed by `NodeId`).
+    expr_value: HashMap<NodeId, Ix>,
 }
 
 impl PointsTo {
@@ -125,6 +128,15 @@ impl PointsTo {
     pub fn total_size(&self) -> usize {
         self.sets.iter().map(BTreeSet::len).sum()
     }
+
+    /// The points-to set of the *value* of expression `id`, as cells —
+    /// `None` if the expression was never evaluated during generation.
+    /// This is the query alias backends use to refine a unification
+    /// class: which objects may this pointer expression actually target?
+    pub fn expr_points_to(&self, id: NodeId) -> Option<impl Iterator<Item = &Cell>> {
+        let &v = self.expr_value.get(&id)?;
+        Some(self.sets[v].iter().map(move |&j| &self.cells[j]))
+    }
 }
 
 /// Analysis driver.
@@ -145,6 +157,9 @@ struct Gen {
     returns: HashMap<String, Ix>,
     /// Parameter cells per function (for call wiring).
     params: HashMap<String, Vec<Cell>>,
+    /// Value set-variable of every evaluated expression (see
+    /// [`PointsTo::expr_points_to`]).
+    expr_value: HashMap<NodeId, Ix>,
 }
 
 impl Gen {
@@ -175,8 +190,15 @@ impl Gen {
 
     /// The set-variable holding the *value* of expression `e`, emitting
     /// constraints for its evaluation. Non-pointer expressions return a
-    /// fresh empty node.
+    /// fresh empty node. Every evaluated expression's value node is
+    /// recorded in `expr_value`.
     fn value_of(&mut self, e: &Expr) -> Ix {
+        let ix = self.value_of_inner(e);
+        self.expr_value.insert(e.id, ix);
+        ix
+    }
+
+    fn value_of_inner(&mut self, e: &Expr) -> Ix {
         match &e.kind {
             ExprKind::Var(x) => {
                 let c = self.var_cell(&x.name);
@@ -469,6 +491,7 @@ pub fn analyze(m: &Module) -> PointsTo {
         struct_fields: HashMap::new(),
         returns: HashMap::new(),
         params: HashMap::new(),
+        expr_value: HashMap::new(),
     };
 
     for s in m.structs() {
@@ -574,6 +597,7 @@ pub fn analyze(m: &Module) -> PointsTo {
         cells: gen.cells,
         ix: gen.ix,
         sets,
+        expr_value: gen.expr_value,
     }
 }
 

@@ -23,7 +23,7 @@ use localias_obs as obs;
 
 /// An immutable resolution table over the abstract locations of one
 /// analysis run. See the module docs for the freezing invariant.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrozenLocs {
     /// Canonical representative of every key, fully compressed.
     rep: Vec<u32>,
@@ -45,6 +45,27 @@ impl FrozenLocs {
             mult.push(table.multiplicity(l));
             tainted.push(table.is_tainted(l));
         }
+        FrozenLocs { rep, mult, tainted }
+    }
+
+    /// Builds a snapshot directly from parallel per-key tables — the
+    /// constructor alias *backends* other than the live Steensgaard table
+    /// use (e.g. the Andersen refinement, which splits classes and so
+    /// cannot be captured from any `LocTable`).
+    ///
+    /// `rep` must be idempotent (`rep[rep[l]] == rep[l]` for every key):
+    /// the checker resolves through a single lookup, exactly like the
+    /// capture of a path-compressed union-find.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths differ, or (debug builds) if `rep`
+    /// is not idempotent or names an out-of-range key.
+    pub fn from_parts(rep: Vec<u32>, mult: Vec<Multiplicity>, tainted: Vec<bool>) -> FrozenLocs {
+        assert_eq!(rep.len(), mult.len());
+        assert_eq!(rep.len(), tainted.len());
+        debug_assert!(rep.iter().all(|&r| (r as usize) < rep.len()));
+        debug_assert!(rep.iter().all(|&r| rep[r as usize] == r), "rep idempotent");
         FrozenLocs { rep, mult, tainted }
     }
 

@@ -4,6 +4,14 @@
 //! typing walk (short identifier strings) spend real time probing hash
 //! maps; SipHash's per-lookup cost dwarfs the one-multiply mix below.
 //! Not DoS-resistant — fine for keys the analyses allocate themselves.
+//!
+//! This is the workspace's single `FxHasher` home: `localias-cqual`
+//! re-exports it (the checker's hot maps use the [`FxHashMap`] /
+//! [`FxHashSet`] spellings). It lives here rather than in
+//! `localias-core` because this crate is the root-most analysis crate —
+//! `core` and `cqual` both already depend on it. Map iteration order is
+//! never observable in reports (every ordered artifact is assembled from
+//! deterministic schedules), so consumers may not rely on it.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -65,6 +73,12 @@ pub type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// A `HashSet` using [`FxHasher`].
 pub type FxSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
 
+/// Alias for [`FxMap`] under the conventional rustc name.
+pub type FxHashMap<K, V> = FxMap<K, V>;
+
+/// Alias for [`FxSet`] under the conventional rustc name.
+pub type FxHashSet<T> = FxSet<T>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +97,30 @@ mod tests {
             ints.insert(i, i * 2);
         }
         assert_eq!(ints.get(&999), Some(&1998));
+    }
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let mut set = FxHashSet::default();
+        for i in 0..10_000u32 {
+            set.insert(i);
+        }
+        assert_eq!(set.len(), 10_000);
+        let mut strs = FxHashSet::default();
+        for i in 0..10_000u32 {
+            strs.insert(format!("fun{i:04}"));
+        }
+        assert_eq!(strs.len(), 10_000);
+    }
+
+    #[test]
+    fn tail_bytes_participate_in_the_hash() {
+        fn h(b: &[u8]) -> u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write(b);
+            hasher.finish()
+        }
+        assert_ne!(h(b"abcdefgh1"), h(b"abcdefgh2"));
+        assert_ne!(h(b"ab"), h(b"ba"), "tail byte order is mixed");
     }
 }

@@ -17,7 +17,10 @@
 //!   uses to generate effect constraints;
 //! * [`andersen`] — an inclusion-based (subset) points-to analysis over
 //!   the same AST, for precision comparisons (the direction the paper's
-//!   §8 leaves unexplored).
+//!   §8 leaves unexplored);
+//! * [`backend`] — the pluggable freeze seam: [`backend::Backend`]
+//!   selects whether the checker's frozen view is the verbatim
+//!   unification capture or the Andersen-refined split of it.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 //! ```
 
 pub mod andersen;
+pub mod backend;
 pub mod frozen;
 pub mod fx;
 pub mod loc;
@@ -39,8 +43,9 @@ pub mod steensgaard;
 pub mod ty;
 pub mod union_find;
 
+pub use backend::{AliasBackend, AndersenBackend, Backend, SteensgaardBackend};
 pub use frozen::FrozenLocs;
-pub use fx::{FxHasher, FxMap, FxSet};
+pub use fx::{FxHashMap, FxHashSet, FxHasher, FxMap, FxSet};
 pub use loc::{Loc, LocTable};
 pub use steensgaard::{
     analyze, analyze_with, BindSite, FunSig, Hooks, ModuleAliases, NoHooks, ScopeKind, State,

@@ -81,6 +81,17 @@ struct LocInfo {
     tainted: bool,
     /// How many concrete objects the class may stand for.
     mult: Multiplicity,
+    /// The multiplicity this *key* was allocated with, before any
+    /// unification joined it into a class. Never mutated; alternative
+    /// alias backends recompute class multiplicities from these when they
+    /// split a Steensgaard class into finer pieces.
+    created: Multiplicity,
+    /// `true` if [`LocTable::raise_multiplicity`] was applied to the
+    /// class (a failed `restrict`/`confine` forcing `ρ'` to `Many`).
+    /// Such classes carry checker-visible state beyond what the creation
+    /// multiplicities encode, so backends must not re-derive their
+    /// multiplicity.
+    raised: bool,
 }
 
 /// The table of all abstract locations for one analysis run, with their
@@ -116,6 +127,8 @@ impl LocTable {
             content,
             tainted: false,
             mult,
+            created: mult,
+            raised: false,
         });
         Loc(key)
     }
@@ -133,6 +146,21 @@ impl LocTable {
         let r = self.find(l);
         let cur = self.info[r.index()].mult;
         self.info[r.index()].mult = cur.max(m);
+        self.info[r.index()].raised = true;
+    }
+
+    /// The multiplicity key `l` was allocated with ([`LocTable::fresh`] /
+    /// [`LocTable::fresh_with`]) — a per-*key* property that unification
+    /// never changes, unlike [`LocTable::multiplicity`].
+    pub fn created_multiplicity(&self, l: Loc) -> Multiplicity {
+        self.info[l.index()].created
+    }
+
+    /// Returns `true` if [`LocTable::raise_multiplicity`] was ever
+    /// applied to `l`'s class (directly or to a class later merged in).
+    pub fn is_raised(&mut self, l: Loc) -> bool {
+        let r = self.find(l);
+        self.info[r.index()].raised
     }
 
     /// Number of allocated location keys (not equivalence classes).
@@ -217,6 +245,8 @@ impl LocTable {
             }
             let t = self.info[loser.index()].tainted;
             self.info[winner.index()].tainted |= t;
+            let raised = self.info[loser.index()].raised;
+            self.info[winner.index()].raised |= raised;
             let m = self.info[loser.index()].mult;
             let w = self.info[winner.index()].mult;
             self.info[winner.index()].mult = w.join(m);
@@ -291,6 +321,32 @@ mod tests {
         t.union_raw(b, a);
         assert_eq!(t.name(a), "first");
         assert_eq!(t.name(b), "first");
+    }
+
+    #[test]
+    fn created_multiplicity_survives_union_and_raise() {
+        let mut t = LocTable::new();
+        let a = t.fresh_with("a", Ty::Int, Multiplicity::One);
+        let b = t.fresh_with("b", Ty::Int, Multiplicity::One);
+        t.union_raw(a, b);
+        assert_eq!(t.multiplicity(a), Multiplicity::Many, "class joins");
+        assert_eq!(t.created_multiplicity(a), Multiplicity::One);
+        assert_eq!(t.created_multiplicity(b), Multiplicity::One);
+        assert!(!t.is_raised(a));
+        t.raise_multiplicity(b, Multiplicity::Many);
+        assert!(t.is_raised(a), "raised is a class property");
+        assert_eq!(t.created_multiplicity(a), Multiplicity::One);
+    }
+
+    #[test]
+    fn raised_propagates_through_union() {
+        let mut t = LocTable::new();
+        let a = t.fresh("a", Ty::Int);
+        let b = t.fresh("b", Ty::Int);
+        t.raise_multiplicity(b, Multiplicity::Many);
+        assert!(!t.is_raised(a));
+        t.union_raw(a, b);
+        assert!(t.is_raised(a));
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! The alias-backend precision/perf frontier: runs the full Section 7
+//! experiment once per alias backend and prints the two sweeps side by
+//! side — the four module categories, per-mode error totals, the
+//! elimination rate, and wall-clock throughput — so the cost of the
+//! more precise inclusion-based (Andersen) freeze is measured against
+//! the paper's unification-based (Steensgaard) configuration rather
+//! than guessed.
+//!
+//! Run with `cargo run --release -p localias-bench --bin alias`.
+//! Accepts the shared sweep flags (`--seed`, `--jobs N`, `--intra-jobs N`,
+//! `--cache DIR` / `--no-cache` / `--cache-shards N`, `--obs` /
+//! `--obs-out FILE`). `--alias` is accepted but ignored: this binary
+//! always sweeps every backend. The machine-readable report (schema
+//! `localias-bench-alias/v1`) is written to `BENCH_alias.json`, or to
+//! `--bench-out FILE` when given.
+//!
+//! On the default seed the Steensgaard sweep must reproduce the paper's
+//! headline split — 352/85/138/14 over 589 modules — and the binary
+//! exits non-zero if it does not, so the frontier numbers are anchored
+//! to a verified baseline.
+
+use std::fmt::Write as _;
+
+use localias_alias::Backend;
+use localias_bench::{
+    finish_obs, init_obs, json_trace, run_experiment_cached, CliOpts, ExperimentBench, ModuleResult,
+};
+use localias_corpus::DEFAULT_SEED;
+use localias_obs as obs;
+
+/// The paper's four-way module split at 589 modules: error-free without
+/// confine, errors unrelated to weak updates, fully recovered by confine
+/// inference, and the Figure 7 residue.
+const PAPER_CATEGORIES: (usize, usize, usize, usize) = (352, 85, 138, 14);
+
+/// One backend's sweep, reduced to the frontier quantities.
+struct FrontierRow {
+    backend: Backend,
+    modules: usize,
+    categories: (usize, usize, usize, usize),
+    errors: (usize, usize, usize),
+    potential: usize,
+    eliminated: usize,
+    bench: ExperimentBench,
+}
+
+/// Splits per-module results into the paper's four categories
+/// (clean / real errors / fully recovered / partially recovered).
+fn categories(results: &[ModuleResult]) -> (usize, usize, usize, usize) {
+    let clean = results.iter().filter(|r| r.no_confine == 0).count();
+    let real = results
+        .iter()
+        .filter(|r| r.no_confine > 0 && r.no_confine == r.all_strong)
+        .count();
+    let full = results
+        .iter()
+        .filter(|r| r.no_confine > r.all_strong && r.confine == r.all_strong)
+        .count();
+    let partial = results
+        .iter()
+        .filter(|r| r.no_confine > r.all_strong && r.confine > r.all_strong)
+        .count();
+    (clean, real, full, partial)
+}
+
+fn sweep(backend: Backend, seed: u64, opts: &CliOpts) -> FrontierRow {
+    let (results, bench) =
+        run_experiment_cached(seed, opts.jobs, opts.intra_jobs, backend, &opts.cache);
+    let errors = (
+        results.iter().map(|r| r.no_confine).sum(),
+        results.iter().map(|r| r.confine).sum(),
+        results.iter().map(|r| r.all_strong).sum(),
+    );
+    FrontierRow {
+        backend,
+        modules: results.len(),
+        categories: categories(&results),
+        errors,
+        potential: results.iter().map(ModuleResult::potential).sum(),
+        eliminated: results.iter().map(ModuleResult::eliminated).sum(),
+        bench,
+    }
+}
+
+impl FrontierRow {
+    fn elimination_rate(&self) -> f64 {
+        100.0 * self.eliminated as f64 / self.potential.max(1) as f64
+    }
+
+    fn matches_paper(&self) -> Option<bool> {
+        (self.modules == 589).then(|| self.categories == PAPER_CATEGORIES)
+    }
+
+    fn json(&self) -> String {
+        let (clean, real, full, partial) = self.categories;
+        let (nc, cf, st) = self.errors;
+        let matches = match self.matches_paper() {
+            None => "null".to_string(),
+            Some(b) => b.to_string(),
+        };
+        let cache = match &self.bench.cache {
+            None => "null".to_string(),
+            Some(c) => format!("{{\"hits\": {}, \"misses\": {}}}", c.hits, c.misses),
+        };
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n      \"backend\": \"{}\",\n      \"modules\": {},\n      \
+             \"wall_seconds\": {},\n      \"modules_per_sec\": {},\n      \
+             \"errors\": {{\"no_confine\": {nc}, \"confine\": {cf}, \"all_strong\": {st}}},\n      \
+             \"categories\": {{\"clean\": {clean}, \"real\": {real}, \"full\": {full}, \
+             \"partial\": {partial}}},\n      \
+             \"potential\": {},\n      \"eliminated\": {},\n      \
+             \"elimination_rate\": {},\n      \"matches_paper\": {matches},\n      \
+             \"cache\": {cache}\n    }}",
+            self.backend,
+            self.modules,
+            self.bench.wall.as_secs_f64(),
+            self.bench.modules_per_sec(),
+            self.potential,
+            self.eliminated,
+            self.elimination_rate(),
+        );
+        out
+    }
+}
+
+fn report_json(
+    seed: u64,
+    opts: &CliOpts,
+    rows: &[FrontierRow],
+    profile: &Option<obs::Trace>,
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"localias-bench-alias/v1\",\n");
+    let _ = write!(
+        out,
+        "  \"seed\": {seed},\n  \"jobs\": {},\n  \"intra_jobs\": {},\n  \"backends\": [\n    ",
+        opts.jobs, opts.intra_jobs
+    );
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n    ");
+        }
+        out.push_str(&row.json());
+    }
+    out.push_str("\n  ],\n  \"profile\": ");
+    match profile {
+        None => out.push_str("null"),
+        Some(t) => out.push_str(&json_trace(t)),
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() {
+    let opts = match CliOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            obs::error!("alias: {e}");
+            std::process::exit(2);
+        }
+    };
+    init_obs(&opts);
+    let seed = opts.seed_or_default();
+
+    let rows: Vec<FrontierRow> = Backend::ALL
+        .iter()
+        .map(|&b| sweep(b, seed, &opts))
+        .collect();
+    let profile = match finish_obs(&opts) {
+        Ok(trace) => trace,
+        Err(e) => {
+            obs::error!("alias: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "Alias backend frontier — {} modules (seed {seed})",
+        rows[0].modules
+    );
+    println!();
+    println!("{:<42} {:>14} {:>14}", "", "steensgaard", "andersen");
+    let pair =
+        |f: &dyn Fn(&FrontierRow) -> String| -> (String, String) { (f(&rows[0]), f(&rows[1])) };
+    let print_row = |label: &str, f: &dyn Fn(&FrontierRow) -> String| {
+        let (a, b) = pair(f);
+        println!("{label:<42} {a:>14} {b:>14}");
+    };
+    print_row("error-free without confine", &|r| {
+        r.categories.0.to_string()
+    });
+    print_row("errors unrelated to weak updates", &|r| {
+        r.categories.1.to_string()
+    });
+    print_row("confine == all-strong (fully recovered)", &|r| {
+        r.categories.2.to_string()
+    });
+    print_row("confine misses strong updates (Figure 7)", &|r| {
+        r.categories.3.to_string()
+    });
+    print_row("no-confine errors (total)", &|r| r.errors.0.to_string());
+    print_row("confine errors (total)", &|r| r.errors.1.to_string());
+    print_row("all-strong errors (total)", &|r| r.errors.2.to_string());
+    print_row("eliminated / potential", &|r| {
+        format!("{}/{}", r.eliminated, r.potential)
+    });
+    print_row("elimination rate", &|r| {
+        format!("{:.0}%", r.elimination_rate())
+    });
+    print_row("wall time", &|r| format!("{:.2?}", r.bench.wall));
+    print_row("modules/s", &|r| {
+        format!("{:.0}", r.bench.modules_per_sec())
+    });
+    println!();
+
+    let out_path = opts
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_alias.json".to_string());
+    if let Err(e) = std::fs::write(&out_path, report_json(seed, &opts, &rows, &profile)) {
+        obs::error!("alias: {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("(wrote {out_path})");
+
+    // Anchor the frontier to the verified baseline: on the default seed
+    // the Steensgaard sweep must reproduce the paper's headline split.
+    if seed == DEFAULT_SEED {
+        if let Some(false) = rows[0].matches_paper() {
+            obs::error!(
+                "alias: steensgaard categories {:?} diverge from the paper's {:?}",
+                rows[0].categories,
+                PAPER_CATEGORIES
+            );
+            std::process::exit(1);
+        }
+        println!("steensgaard baseline matches the paper: 352/85/138/14 over 589 modules");
+    }
+}

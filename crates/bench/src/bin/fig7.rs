@@ -45,8 +45,14 @@ fn main() {
                 .clone()
         })
         .collect();
-    let (measured, mut bench) =
-        measure_corpus_with_cache(&rows, opts.jobs, opts.intra_jobs, seed, &opts.cache);
+    let (measured, mut bench) = measure_corpus_with_cache(
+        &rows,
+        opts.jobs,
+        opts.intra_jobs,
+        seed,
+        opts.alias,
+        &opts.cache,
+    );
     match finish_obs(&opts) {
         Ok(trace) => bench.profile = trace,
         Err(e) => {

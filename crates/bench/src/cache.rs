@@ -119,9 +119,15 @@ const LOCK_BASE_MS: u64 = 1;
 /// Backoff ceiling per sleep.
 const LOCK_CAP_MS: u64 = 50;
 
-/// Fingerprint of a module's raw source text (the pre-parse fast path).
-pub fn source_fingerprint(source: &str) -> u128 {
-    fp::fingerprint("raw;", source)
+/// Fingerprint of a module's raw source text (the pre-parse fast path),
+/// domain-separated by the alias backend. The Steensgaard default stays
+/// byte-identical to the historical untagged domain, so existing stores
+/// remain valid; any other backend appends its
+/// [`Backend::domain_tag`](localias_alias::Backend::domain_tag), so a
+/// backend switch against a warm cache can never serve a stale hit.
+pub fn source_fingerprint(source: &str, backend: localias_alias::Backend) -> u128 {
+    let domain = format!("raw;{}", backend.domain_tag());
+    fp::fingerprint(&domain, source)
 }
 
 /// Fingerprint of one §8 precision-sweep subject. Domain-separated from
@@ -134,11 +140,15 @@ pub fn precision_fingerprint(source: &str) -> u128 {
 }
 
 /// Canonical fingerprint of a parsed module: hash of its pretty-printed
-/// source, domain-separated by the analysis version and configuration.
+/// source, domain-separated by the analysis version, configuration, and
+/// alias backend (Steensgaard untagged — see [`source_fingerprint`]).
 /// Deliberately independent of the corpus seed and the module's name.
-pub fn module_fingerprint(m: &localias_ast::Module) -> u128 {
+pub fn module_fingerprint(m: &localias_ast::Module, backend: localias_alias::Backend) -> u128 {
     let canon = localias_ast::pretty::print_module(m);
-    let domain = format!("{STORE_SCHEMA};av{ANALYSIS_VERSION};{ANALYSIS_CONFIG};");
+    let domain = format!(
+        "{STORE_SCHEMA};av{ANALYSIS_VERSION};{ANALYSIS_CONFIG};{}",
+        backend.domain_tag()
+    );
     fp::fingerprint(&domain, &canon)
 }
 
@@ -949,16 +959,30 @@ mod tests {
             "// a comment\nint   g;\nvoid f()   {\n\n    g = 1;\n}\n",
         )
         .unwrap();
-        assert_eq!(module_fingerprint(&a), module_fingerprint(&b));
+        let steens = localias_alias::Backend::Steensgaard;
+        assert_eq!(
+            module_fingerprint(&a, steens),
+            module_fingerprint(&b, steens)
+        );
 
         let c = parse_module("c", "int g;\nvoid f() { g = 2; }\n").unwrap();
-        assert_ne!(module_fingerprint(&a), module_fingerprint(&c));
+        assert_ne!(
+            module_fingerprint(&a, steens),
+            module_fingerprint(&c, steens)
+        );
     }
 
     #[test]
     fn raw_fingerprint_is_exact() {
-        assert_eq!(source_fingerprint("int g;"), source_fingerprint("int g;"));
-        assert_ne!(source_fingerprint("int g;"), source_fingerprint("int g; "));
+        let steens = localias_alias::Backend::Steensgaard;
+        assert_eq!(
+            source_fingerprint("int g;", steens),
+            source_fingerprint("int g;", steens)
+        );
+        assert_ne!(
+            source_fingerprint("int g;", steens),
+            source_fingerprint("int g; ", steens)
+        );
     }
 
     #[test]
@@ -1073,11 +1097,27 @@ mod tests {
 
     #[test]
     fn fingerprint_domains_never_collide() {
+        use localias_alias::Backend;
         let src = "int g;\nvoid f() { g = 1; }\n";
         assert_ne!(
-            source_fingerprint(src),
+            source_fingerprint(src, Backend::Steensgaard),
             precision_fingerprint(src),
             "precision keys are domain-separated from experiment keys"
+        );
+        assert_ne!(
+            source_fingerprint(src, Backend::Steensgaard),
+            source_fingerprint(src, Backend::Andersen),
+            "per-backend raw keys are domain-separated"
+        );
+        let m = parse_module("m", src).unwrap();
+        assert_ne!(
+            module_fingerprint(&m, Backend::Steensgaard),
+            module_fingerprint(&m, Backend::Andersen),
+            "per-backend canonical keys are domain-separated"
+        );
+        assert_ne!(
+            source_fingerprint(src, Backend::Andersen),
+            precision_fingerprint(src),
         );
     }
 

@@ -18,6 +18,7 @@ pub use localias_corpus::{partition_range, CorpusStream};
 pub use merge::merge_partitions;
 
 use cache::CachedOutcome;
+use localias_alias::Backend;
 use localias_ast::Module;
 use localias_core::SharedAnalysis;
 use localias_corpus::GeneratedModule;
@@ -75,21 +76,23 @@ impl ModuleResult {
         let t0 = Instant::now();
         let parsed = m.parse();
         let parse = t0.elapsed();
-        Self::measure_parsed(&m.name, &parsed, parse, 1)
+        Self::measure_parsed(&m.name, &parsed, parse, 1, Backend::Steensgaard)
     }
 
     /// Runs the analysis pipelines on an already-parsed module (the cache
     /// parses first to canonicalize, so the miss path must not re-parse).
     /// `intra_jobs` fans each lock check out across the module's call-graph
     /// waves; reports are byte-identical for every value, so cached results
-    /// are valid whatever `intra_jobs` produced them.
+    /// are valid whatever `intra_jobs` produced them. `backend` selects
+    /// the alias backend the frozen snapshots are produced through.
     fn measure_parsed(
         name: &str,
         parsed: &Module,
         parse: Duration,
         intra_jobs: usize,
+        backend: Backend,
     ) -> (ModuleResult, PhaseTimes) {
-        let mut shared = SharedAnalysis::new(parsed);
+        let mut shared = SharedAnalysis::new_with_backend(parsed, backend);
         let t1 = Instant::now();
         let no_confine =
             check_locks_shared_jobs(&mut shared, Mode::NoConfine, intra_jobs).error_count();
@@ -392,7 +395,7 @@ pub fn measure_corpus_timed(
     jobs: usize,
     seed: u64,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
-    measure_corpus_cached(corpus, jobs, 1, seed, None)
+    measure_corpus_cached(corpus, jobs, 1, seed, Backend::Steensgaard, None)
 }
 
 /// What a worker learned about one module, beyond its result.
@@ -462,6 +465,7 @@ fn sweep_modules<M, I>(
     jobs: usize,
     intra_jobs: usize,
     seed: u64,
+    backend: Backend,
     mut cache: Option<&mut AnalysisCache>,
 ) -> (Vec<ModuleResult>, ExperimentBench)
 where
@@ -485,7 +489,7 @@ where
         let snapshot: Option<&AnalysisCache> = cache.as_deref();
         let work = |slot: usize, m: &GeneratedModule| -> SweepOutcome {
             if let Some(c) = snapshot {
-                let raw = cache::source_fingerprint(&m.source);
+                let raw = cache::source_fingerprint(&m.source, backend);
                 let served = c
                     .resolve_raw(raw)
                     .and_then(|fp| Some((fp, c.lookup_fp(fp)?)));
@@ -500,7 +504,7 @@ where
                 let t0 = Instant::now();
                 let parsed = m.parse();
                 let parse = t0.elapsed();
-                let fp = cache::module_fingerprint(&parsed);
+                let fp = cache::module_fingerprint(&parsed, backend);
                 if let Some(e) = c.lookup_fp(fp) {
                     return SweepOutcome {
                         slot,
@@ -509,7 +513,8 @@ where
                         note: CacheNote::CanonHit { fp, raw },
                     };
                 }
-                let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse, intra_jobs);
+                let (r, t) =
+                    ModuleResult::measure_parsed(&m.name, &parsed, parse, intra_jobs, backend);
                 SweepOutcome {
                     slot,
                     result: r,
@@ -520,7 +525,8 @@ where
                 let t0 = Instant::now();
                 let parsed = m.parse();
                 let parse = t0.elapsed();
-                let (r, t) = ModuleResult::measure_parsed(&m.name, &parsed, parse, intra_jobs);
+                let (r, t) =
+                    ModuleResult::measure_parsed(&m.name, &parsed, parse, intra_jobs, backend);
                 SweepOutcome {
                     slot,
                     result: r,
@@ -661,6 +667,7 @@ pub fn measure_corpus_cached(
     jobs: usize,
     intra_jobs: usize,
     seed: u64,
+    backend: Backend,
     cache: Option<&mut AnalysisCache>,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     sweep_modules(
@@ -669,6 +676,7 @@ pub fn measure_corpus_cached(
         jobs,
         intra_jobs,
         seed,
+        backend,
         cache,
     )
 }
@@ -683,6 +691,7 @@ pub fn measure_stream_cached(
     range: Range<usize>,
     jobs: usize,
     intra_jobs: usize,
+    backend: Backend,
     cache: Option<&mut AnalysisCache>,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     let base = range.start;
@@ -692,6 +701,7 @@ pub fn measure_stream_cached(
         jobs,
         intra_jobs,
         stream.seed(),
+        backend,
         cache,
     )
 }
@@ -705,14 +715,17 @@ pub fn measure_stream_with_cache(
     range: Range<usize>,
     jobs: usize,
     intra_jobs: usize,
+    backend: Backend,
     policy: &CachePolicy,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     match policy {
-        CachePolicy::Disabled => measure_stream_cached(stream, range, jobs, intra_jobs, None),
+        CachePolicy::Disabled => {
+            measure_stream_cached(stream, range, jobs, intra_jobs, backend, None)
+        }
         CachePolicy::Dir { dir, shards } => {
             let mut c = AnalysisCache::load_sharded(dir, *shards);
             let (results, mut bench) =
-                measure_stream_cached(stream, range, jobs, intra_jobs, Some(&mut c));
+                measure_stream_cached(stream, range, jobs, intra_jobs, backend, Some(&mut c));
             if let Err(e) = c.persist() {
                 obs::warn!(
                     "localias-bench: warning: cache not fully written to {}: {e}",
@@ -738,14 +751,17 @@ pub fn measure_corpus_with_cache(
     jobs: usize,
     intra_jobs: usize,
     seed: u64,
+    backend: Backend,
     policy: &CachePolicy,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     match policy {
-        CachePolicy::Disabled => measure_corpus_cached(corpus, jobs, intra_jobs, seed, None),
+        CachePolicy::Disabled => {
+            measure_corpus_cached(corpus, jobs, intra_jobs, seed, backend, None)
+        }
         CachePolicy::Dir { dir, shards } => {
             let mut c = AnalysisCache::load_sharded(dir, *shards);
             let (results, mut bench) =
-                measure_corpus_cached(corpus, jobs, intra_jobs, seed, Some(&mut c));
+                measure_corpus_cached(corpus, jobs, intra_jobs, seed, backend, Some(&mut c));
             if let Err(e) = c.persist() {
                 obs::warn!(
                     "localias-bench: warning: cache not fully written to {}: {e}",
@@ -819,11 +835,12 @@ pub fn run_experiment_cached(
     seed: u64,
     jobs: usize,
     intra_jobs: usize,
+    backend: Backend,
     policy: &CachePolicy,
 ) -> (Vec<ModuleResult>, ExperimentBench) {
     let stream = CorpusStream::paper(seed);
     let range = 0..stream.len();
-    measure_stream_with_cache(&stream, range, jobs, intra_jobs, policy)
+    measure_stream_with_cache(&stream, range, jobs, intra_jobs, backend, policy)
 }
 
 /// Renders a text histogram: `buckets` of `(label, count)`, scaled to
@@ -1039,7 +1056,7 @@ mod tests {
 
         let (results, mut bench) = {
             let corpus = localias_corpus::generate(1);
-            measure_corpus_cached(&corpus[..1], 1, 1, 1, None)
+            measure_corpus_cached(&corpus[..1], 1, 1, 1, Backend::Steensgaard, None)
         };
         assert_eq!(results.len(), 1);
         bench.profile = Some(trace);

@@ -214,10 +214,12 @@ pub fn merge_partitions(docs: &[(String, String)]) -> Result<ExperimentBench, St
 mod tests {
     use super::*;
     use crate::{measure_stream_cached, CorpusStream};
+    use localias_alias::Backend;
 
     fn partition_artifact(stream: &CorpusStream, index: usize, count: usize) -> (String, String) {
         let range = stream.partition(index, count);
-        let (results, mut bench) = measure_stream_cached(stream, range, 1, 1, None);
+        let (results, mut bench) =
+            measure_stream_cached(stream, range, 1, 1, Backend::Steensgaard, None);
         bench.partition = Some(PartitionInfo {
             index,
             count,
@@ -233,7 +235,8 @@ mod tests {
         let docs: Vec<_> = (0..3).map(|i| partition_artifact(&stream, i, 3)).collect();
         let merged = merge_partitions(&docs).unwrap();
 
-        let (full, full_bench) = measure_stream_cached(&stream, 0..stream.len(), 1, 1, None);
+        let (full, full_bench) =
+            measure_stream_cached(&stream, 0..stream.len(), 1, 1, Backend::Steensgaard, None);
         assert_eq!(merged.modules, full.len());
         assert_eq!(merged.errors, full_bench.errors);
         assert_eq!(merged.potential, full_bench.potential);
@@ -258,7 +261,8 @@ mod tests {
         let mut docs: Vec<_> = (0..2).map(|i| partition_artifact(&stream, i, 2)).collect();
         docs.reverse();
         let merged = merge_partitions(&docs).unwrap();
-        let (full, _) = measure_stream_cached(&stream, 0..stream.len(), 1, 1, None);
+        let (full, _) =
+            measure_stream_cached(&stream, 0..stream.len(), 1, 1, Backend::Steensgaard, None);
         let names: Vec<_> = merged
             .results
             .unwrap()
@@ -293,7 +297,8 @@ mod tests {
         assert!(err.contains("json parse error"), "{err}");
 
         // A full (unpartitioned) artifact is rejected up front.
-        let (_, mut bench) = measure_stream_cached(&stream, 0..stream.len(), 1, 1, None);
+        let (_, mut bench) =
+            measure_stream_cached(&stream, 0..stream.len(), 1, 1, Backend::Steensgaard, None);
         bench.partition = None;
         bench.results = None;
         let err = merge_partitions(&[("full.json".into(), bench.to_json()), p1]).unwrap_err();

@@ -53,7 +53,7 @@ pub use heuristic::{
 };
 pub use outcome::{CandidateOutcome, ConfineOutcome, ConfineSite, Diag, Reason, RestrictOutcome};
 
-use localias_alias::{analyze_with, FrozenLocs, State};
+use localias_alias::{analyze_with, Backend, FrozenLocs, Loc, State};
 use localias_ast::visit::{walk_module, Visitor};
 use localias_ast::{Module, NodeId, StmtKind};
 use localias_effects::{solve_with, ConstraintSystem, Solution};
@@ -107,6 +107,66 @@ impl Analysis {
     /// thread.
     pub fn freeze(&mut self) -> FrozenLocs {
         self.state.locs.freeze()
+    }
+
+    /// The locations the downstream checker consults *by identity*: the
+    /// `(ρ, ρ')` pairs of every restrict/candidate/confine outcome, plus
+    /// the pointee `ρ_p` of every `restrict` parameter (explicit or
+    /// inferred as a restricted candidate). The checker transfers lock
+    /// state across scope boundaries and retargets summaries through
+    /// these exact keys, so a refining alias backend must leave their
+    /// classes untouched — see [`Analysis::freeze_with`].
+    pub fn pinned_locs(&self, m: &Module) -> Vec<Loc> {
+        let mut pinned = Vec::new();
+        let push_pair = |locs: Option<(Loc, Loc)>, pinned: &mut Vec<Loc>| {
+            if let Some((a, b)) = locs {
+                pinned.push(a);
+                pinned.push(b);
+            }
+        };
+        for r in &self.restricts {
+            push_pair(r.locs, &mut pinned);
+        }
+        for c in &self.candidates {
+            push_pair(c.locs, &mut pinned);
+        }
+        for c in &self.confines {
+            push_pair(c.locs, &mut pinned);
+        }
+        // Parameter pointees the checker may retarget through (matching
+        // the checker's own restrict test: explicit annotation OR an
+        // inferred restricted candidate on that function × name).
+        let inferred: std::collections::HashSet<(NodeId, &str)> = self
+            .candidates
+            .iter()
+            .filter(|c| c.restricted)
+            .map(|c| (c.at, c.name.as_str()))
+            .collect();
+        for f in m.functions() {
+            let Some(tys) = self.state.param_tys.get(f.name.name.as_str()) else {
+                continue;
+            };
+            for (p, ty) in f.params.iter().zip(tys) {
+                if p.restrict || inferred.contains(&(f.id, p.name.name.as_str())) {
+                    if let Some(l) = ty.pointee() {
+                        pinned.push(l);
+                    }
+                }
+            }
+        }
+        pinned
+    }
+
+    /// Freezes the location table through the selected alias [`Backend`].
+    ///
+    /// [`Backend::Steensgaard`] is the verbatim capture of
+    /// [`Analysis::freeze`] (byte-identical snapshot); [`Backend::Andersen`]
+    /// refines that capture by splitting unification classes the
+    /// inclusion-based points-to analysis proves independent, never
+    /// touching classes that hold a [`Analysis::pinned_locs`] key.
+    pub fn freeze_with(&mut self, backend: Backend, m: &Module) -> FrozenLocs {
+        let pinned = self.pinned_locs(m);
+        backend.dispatch().freeze(m, &mut self.state, &pinned)
     }
 
     /// `true` if every explicit annotation checked and the module has no
@@ -255,30 +315,57 @@ fn infer_confines_from(m: &Module, candidates: Vec<ConfineCandidate>) -> Confine
 /// ([`SharedAnalysis::base_frozen`]/[`SharedAnalysis::confine_frozen`]),
 /// which answers resolution queries immutably and never changes which
 /// locations are equal.
+///
+/// The snapshots are produced through the selected alias [`Backend`]
+/// ([`Analysis::freeze_with`]) and memoized *per backend*: the base and
+/// confine analyses themselves are backend-invariant (the typing walk is
+/// always the unification analysis), so switching backends re-freezes but
+/// never re-analyzes.
 #[derive(Debug)]
 pub struct SharedAnalysis<'m> {
     module: &'m Module,
+    backend: Backend,
     base: Option<Analysis>,
     confine: Option<ConfineInference>,
-    base_frozen: Option<FrozenLocs>,
-    confine_frozen: Option<FrozenLocs>,
+    base_frozen: [Option<FrozenLocs>; Backend::ALL.len()],
+    confine_frozen: [Option<FrozenLocs>; Backend::ALL.len()],
 }
 
 impl<'m> SharedAnalysis<'m> {
-    /// Creates an empty cache for `module`; nothing is computed yet.
+    /// Creates an empty cache for `module` with the default
+    /// ([`Backend::Steensgaard`]) alias backend; nothing is computed yet.
     pub fn new(module: &'m Module) -> Self {
+        Self::new_with_backend(module, Backend::Steensgaard)
+    }
+
+    /// Creates an empty cache for `module` freezing through `backend`.
+    pub fn new_with_backend(module: &'m Module, backend: Backend) -> Self {
         SharedAnalysis {
             module,
+            backend,
             base: None,
             confine: None,
-            base_frozen: None,
-            confine_frozen: None,
+            base_frozen: [None, None],
+            confine_frozen: [None, None],
         }
     }
 
     /// The module under analysis.
     pub fn module(&self) -> &'m Module {
         self.module
+    }
+
+    /// The alias backend frozen snapshots are produced through.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Switches the alias backend for subsequent `*_frozen` calls. Cheap:
+    /// analyses are backend-invariant and snapshots are memoized per
+    /// backend, so flipping back and forth never recomputes anything
+    /// already done.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
     }
 
     /// The plain checking analysis ([`check`]), computed on first use.
@@ -303,26 +390,32 @@ impl<'m> SharedAnalysis<'m> {
     /// use and memoized; the returned references are immutable, so any
     /// number of checker threads can share them.
     pub fn base_frozen(&mut self) -> (&Analysis, &FrozenLocs) {
-        if self.base_frozen.is_none() {
-            let frozen = self.base().freeze();
-            self.base_frozen = Some(frozen);
+        let (backend, module) = (self.backend, self.module);
+        if self.base_frozen[backend.index()].is_none() {
+            let frozen = self.base().freeze_with(backend, module);
+            self.base_frozen[backend.index()] = Some(frozen);
         }
         (
             self.base.as_ref().expect("base computed"),
-            self.base_frozen.as_ref().expect("just computed"),
+            self.base_frozen[backend.index()]
+                .as_ref()
+                .expect("just computed"),
         )
     }
 
     /// The confine-inference analysis together with its frozen location
     /// snapshot, computed on first use.
     pub fn confine_frozen(&mut self) -> (&Analysis, &FrozenLocs) {
-        if self.confine_frozen.is_none() {
-            let frozen = self.confine().analysis.freeze();
-            self.confine_frozen = Some(frozen);
+        let (backend, module) = (self.backend, self.module);
+        if self.confine_frozen[backend.index()].is_none() {
+            let frozen = self.confine().analysis.freeze_with(backend, module);
+            self.confine_frozen[backend.index()] = Some(frozen);
         }
         (
             &self.confine.as_ref().expect("confine computed").analysis,
-            self.confine_frozen.as_ref().expect("just computed"),
+            self.confine_frozen[backend.index()]
+                .as_ref()
+                .expect("just computed"),
         )
     }
 
@@ -336,14 +429,15 @@ impl<'m> SharedAnalysis<'m> {
     pub fn both_frozen(&mut self) -> ((&Analysis, &FrozenLocs), (&Analysis, &FrozenLocs)) {
         self.base_frozen();
         self.confine_frozen();
+        let ix = self.backend.index();
         (
             (
                 self.base.as_ref().expect("base computed"),
-                self.base_frozen.as_ref().expect("base frozen"),
+                self.base_frozen[ix].as_ref().expect("base frozen"),
             ),
             (
                 &self.confine.as_ref().expect("confine computed").analysis,
-                self.confine_frozen.as_ref().expect("confine frozen"),
+                self.confine_frozen[ix].as_ref().expect("confine frozen"),
             ),
         )
     }
@@ -1146,5 +1240,106 @@ mod tests {
         assert_eq!(a.candidates.len(), 1);
         assert_eq!(a.candidates[0].name, "p");
         assert!(a.candidates[0].restricted);
+    }
+
+    /// Two locks only conflated by Steensgaard's flow-insensitivity:
+    /// `g` merges their classes through pointer assignments, while every
+    /// lock operation in `f` consults them independently.
+    const SPLITTABLE: &str = r#"
+        lock a;
+        lock b;
+        extern void work();
+        void f() {
+            spin_lock(&a); work(); spin_unlock(&a);
+            spin_lock(&b); work(); spin_unlock(&b);
+        }
+        void g() {
+            lock *x;
+            lock *y;
+            x = &a;
+            y = &b;
+            x = y;
+        }
+    "#;
+
+    #[test]
+    fn freeze_with_steensgaard_is_identical_to_freeze() {
+        let m = parse(SPLITTABLE);
+        let mut a = check(&m);
+        let plain = a.freeze();
+        let via_backend = a.freeze_with(Backend::Steensgaard, &m);
+        assert_eq!(plain, via_backend);
+    }
+
+    #[test]
+    fn freeze_with_andersen_refines_conflated_locks() {
+        let m = parse(SPLITTABLE);
+        let mut a = check(&m);
+        let coarse = a.freeze();
+        let la = loc_of_global(&a, "a");
+        let lb = loc_of_global(&a, "b");
+        assert!(coarse.same(la, lb), "Steensgaard conflates a and b");
+        assert!(!coarse.strong_updatable(la));
+        let fine = a.freeze_with(Backend::Andersen, &m);
+        assert!(!fine.same(la, lb), "Andersen splits a from b");
+        assert!(fine.strong_updatable(fine.find(la)));
+        assert!(fine.strong_updatable(fine.find(lb)));
+    }
+
+    #[test]
+    fn pinned_locs_cover_outcomes_and_restrict_params() {
+        let m = parse(
+            r#"
+            lock locks[8];
+            extern void work();
+            void do_with_lock(lock *restrict l) {
+                spin_lock(l);
+                work();
+                spin_unlock(l);
+            }
+            void foo(int i) { do_with_lock(&locks[i]); }
+            "#,
+        );
+        let a = check(&m);
+        let pinned = a.pinned_locs(&m);
+        assert!(!pinned.is_empty());
+        for r in &a.restricts {
+            let (rho, rho_p) = r.locs.expect("checked restrict has locs");
+            assert!(pinned.contains(&rho));
+            assert!(pinned.contains(&rho_p));
+        }
+    }
+
+    #[test]
+    fn shared_analysis_memoizes_frozen_per_backend() {
+        let m = parse(SPLITTABLE);
+        let mut shared = SharedAnalysis::new(&m);
+        assert_eq!(shared.backend(), Backend::Steensgaard);
+        let steens = shared.base_frozen().1.clone();
+        shared.set_backend(Backend::Andersen);
+        assert_eq!(shared.backend(), Backend::Andersen);
+        let anders = shared.base_frozen().1.clone();
+        assert_ne!(steens, anders, "backends produce different snapshots");
+        // Flipping back serves the original memo, not a recomputation of
+        // the analysis: the snapshot is identical.
+        shared.set_backend(Backend::Steensgaard);
+        assert_eq!(&steens, shared.base_frozen().1);
+        // Confine mode runs end-to-end under Andersen too.
+        let mut shared2 = SharedAnalysis::new_with_backend(&m, Backend::Andersen);
+        let ((_, bf), (_, cf)) = shared2.both_frozen();
+        assert!(!bf.is_empty());
+        assert!(!cf.is_empty());
+    }
+
+    /// The canonical location of global `name` in `a`'s state.
+    fn loc_of_global(a: &Analysis, name: &str) -> Loc {
+        a.state
+            .vars
+            .iter()
+            .find_map(|v| match (v.name == name && v.fun.is_none(), &v.kind) {
+                (true, localias_alias::VarKind::Addressed(l)) => Some(*l),
+                _ => None,
+            })
+            .expect("global location")
     }
 }

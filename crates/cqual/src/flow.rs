@@ -317,4 +317,140 @@ mod tests {
             }
         }
     }
+
+    /// The checker consumes *only* the frozen snapshot: once a
+    /// [`FrozenLocs`](localias_alias::FrozenLocs) view is captured,
+    /// mutating the live location table must not change the report. This
+    /// is the invariant that makes alias backends pluggable — a backend
+    /// only has to produce a snapshot, never to keep the live table in
+    /// sync with it.
+    #[test]
+    fn checker_reads_only_the_frozen_view() {
+        let m = localias_ast::parse_module(
+            "t",
+            r#"
+            lock a;
+            lock b;
+            extern void work();
+            void f() {
+                spin_lock(&a); work(); spin_unlock(&a);
+                spin_lock(&b); work(); spin_unlock(&b);
+            }
+            "#,
+        )
+        .expect("parse");
+        for mode in [Mode::NoConfine, Mode::Confine, Mode::AllStrong] {
+            let mut a = localias_core::check(&m);
+            let frozen = a.freeze();
+            let base = check_locks_frozen(&m, &a, &frozen, mode, 1);
+            // Vandalize the live table: merge everything into one tainted,
+            // weakly-updatable class.
+            let n = a.state.locs.len() as u32;
+            for i in 1..n {
+                a.state
+                    .locs
+                    .union_raw(localias_alias::Loc(0), localias_alias::Loc(i));
+            }
+            a.state.locs.taint(localias_alias::Loc(0));
+            a.state.locs.raise_multiplicity(
+                localias_alias::Loc(0),
+                localias_alias::loc::Multiplicity::Many,
+            );
+            let got = check_locks_frozen(&m, &a, &frozen, mode, 1);
+            assert_eq!(
+                got, base,
+                "{mode:?}: live-table mutation leaked into the report"
+            );
+        }
+    }
+
+    /// The Steensgaard backend selected explicitly through
+    /// [`SharedAnalysis::new_with_backend`](localias_core::SharedAnalysis::new_with_backend)
+    /// is byte-identical to the historical default path, across all three
+    /// modes and several worker counts.
+    #[test]
+    fn steensgaard_backend_reports_are_byte_identical() {
+        let m = localias_ast::parse_module(
+            "t",
+            r#"
+            lock l;
+            lock other;
+            void locker() { spin_lock(&l); }
+            void unlocker() { spin_unlock(&l); }
+            void seq() { locker(); unlocker(); spin_lock(&other); spin_unlock(&other); }
+            "#,
+        )
+        .expect("parse");
+        for mode in [Mode::NoConfine, Mode::Confine, Mode::AllStrong] {
+            let base = check_locks(&m, mode);
+            for jobs in [1, 2, 8] {
+                let mut shared = localias_core::SharedAnalysis::new_with_backend(
+                    &m,
+                    localias_alias::Backend::Steensgaard,
+                );
+                let got = check_locks_shared_jobs(&mut shared, mode, jobs);
+                assert_eq!(got, base, "{mode:?} jobs={jobs}");
+            }
+        }
+    }
+
+    /// End-to-end precision win: on a module where unification conflates
+    /// two locks that inclusion-based analysis keeps apart, the Andersen
+    /// backend eliminates the spurious weak-update errors in the
+    /// no-confine baseline, and all three modes still run to completion.
+    #[test]
+    fn andersen_backend_eliminates_spurious_conflation_errors() {
+        let m = localias_ast::parse_module(
+            "t",
+            r#"
+            lock a;
+            lock b;
+            extern void work();
+            void f() {
+                spin_lock(&a); work(); spin_unlock(&a);
+                spin_lock(&b); work(); spin_unlock(&b);
+            }
+            void g() {
+                lock *x;
+                lock *y;
+                x = &a;
+                y = &b;
+                x = y;
+            }
+            "#,
+        )
+        .expect("parse");
+        let steens = {
+            let mut shared = localias_core::SharedAnalysis::new_with_backend(
+                &m,
+                localias_alias::Backend::Steensgaard,
+            );
+            check_locks_shared_jobs(&mut shared, Mode::NoConfine, 1)
+        };
+        let anders = {
+            let mut shared = localias_core::SharedAnalysis::new_with_backend(
+                &m,
+                localias_alias::Backend::Andersen,
+            );
+            check_locks_shared_jobs(&mut shared, Mode::NoConfine, 1)
+        };
+        assert!(
+            steens.error_count() > 0,
+            "Steensgaard should conflate a with b and report weak-update errors"
+        );
+        assert!(
+            anders.error_count() < steens.error_count(),
+            "Andersen ({}) should beat Steensgaard ({}) on the conflated module",
+            anders.error_count(),
+            steens.error_count()
+        );
+        // The refined classes must not break the other checker modes.
+        for mode in [Mode::Confine, Mode::AllStrong] {
+            let mut shared = localias_core::SharedAnalysis::new_with_backend(
+                &m,
+                localias_alias::Backend::Andersen,
+            );
+            let _ = check_locks_shared_jobs(&mut shared, mode, 1);
+        }
+    }
 }

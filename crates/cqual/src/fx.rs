@@ -1,107 +1,15 @@
-//! A fast non-cryptographic hasher for the checker's hot maps.
+//! Fast non-cryptographic hashing for the checker's hot maps.
 //!
 //! The incremental recheck path is dominated by small hash-map
 //! operations (location maps, per-function caches, variable indexes)
-//! whose keys are short strings or integers. `std`'s default SipHash is
-//! DoS-resistant but ~5× slower on such keys; none of these maps are
-//! keyed by attacker-controlled input across a trust boundary, so the
-//! classic FxHash multiply-xor mix (as used by rustc) is the right
-//! trade. Iteration order is never observable in reports — every
-//! ordered artifact is assembled from the deterministic call-graph
-//! schedule — so swapping the hasher cannot perturb output.
+//! whose keys are short strings or integers; the classic FxHash
+//! multiply-xor mix is the right trade there (none of these maps are
+//! keyed by attacker-controlled input across a trust boundary).
+//!
+//! The hasher itself lives in `localias-alias` — this crate used to
+//! carry a near-identical copy, now deduplicated into that single home
+//! (see [`localias_alias::fx`]). Iteration order is never observable in
+//! reports — every ordered artifact is assembled from the deterministic
+//! call-graph schedule — so sharing one hasher cannot perturb output.
 
-use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// `HashMap` with the [`FxHasher`].
-pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
-
-/// `HashSet` with the [`FxHasher`].
-pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
-
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-/// The rustc-style multiply-xor hasher: one rotate, one xor, and one
-/// multiply per 8-byte chunk.
-#[derive(Default)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut tail = [0u8; 8];
-            tail[..rest.len()].copy_from_slice(rest);
-            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.add(v);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.add(v as u64);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn distinct_keys_hash_distinctly() {
-        let mut set = FxHashSet::default();
-        for i in 0..10_000u32 {
-            set.insert(i);
-        }
-        assert_eq!(set.len(), 10_000);
-        let mut strs = FxHashSet::default();
-        for i in 0..10_000u32 {
-            strs.insert(format!("fun{i:04}"));
-        }
-        assert_eq!(strs.len(), 10_000);
-    }
-
-    #[test]
-    fn tail_bytes_participate_in_the_hash() {
-        fn h(b: &[u8]) -> u64 {
-            let mut hasher = FxHasher::default();
-            hasher.write(b);
-            hasher.finish()
-        }
-        assert_ne!(h(b"abcdefgh1"), h(b"abcdefgh2"));
-        assert_ne!(h(b"a"), h(b"a\0"), "length is mixed into the tail");
-    }
-}
+pub use localias_alias::fx::{FxHashMap, FxHashSet, FxHasher};

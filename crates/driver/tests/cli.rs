@@ -168,6 +168,24 @@ fn experiment_flag_surface_is_validated() {
 }
 
 #[test]
+fn alias_backend_flag_surface_is_validated() {
+    // An unknown backend fails fast and names the valid choices.
+    let (_, err, ok) = localias(&["experiment", "--alias", "unification"]);
+    assert!(!ok);
+    assert!(err.contains("unknown alias backend"), "{err}");
+    assert!(err.contains("steensgaard"), "{err}");
+    assert!(err.contains("andersen"), "{err}");
+
+    let (_, err, ok) = localias(&["experiment", "--alias"]);
+    assert!(!ok);
+    assert!(err.contains("--alias requires"), "{err}");
+
+    // The usage text documents the flag.
+    let (_, err, _) = localias(&[]);
+    assert!(err.contains("--alias"), "{err}");
+}
+
+#[test]
 fn partition_flag_surface_is_validated() {
     // Strict slice-spec validation, rejected before any sweep runs.
     let (_, err, ok) = localias(&["experiment", "--partition", "2/2"]);

@@ -55,6 +55,12 @@ counters! {
     AliasUnifications => "alias.unifications",
     /// Union-find `find` operations (live table and frozen snapshot).
     AliasFindOps => "alias.find_ops",
+    /// Freezes performed by the Steensgaard backend (identity capture).
+    BackendSteensgaardFreezes => "alias.backend.steensgaard_freezes",
+    /// Freezes performed by the Andersen backend (points-to refinement).
+    BackendAndersenFreezes => "alias.backend.andersen_freezes",
+    /// Steensgaard classes the Andersen backend split into finer classes.
+    BackendSplitClasses => "alias.backend.split_classes",
     /// Effect variables allocated.
     EffectVars => "effects.vars",
     /// Constraint edges added (inclusions + equations).

@@ -12,6 +12,11 @@
 #                                cold/edit/no-op latencies + check-phase
 #                                speedup over from-scratch analysis
 #                                (schema localias-bench-watch/v1)
+#   BENCH_alias.json             alias-backend precision/perf frontier:
+#                                both backends over the calibrated
+#                                corpus, categories + error totals +
+#                                wall time side by side (schema
+#                                localias-bench-alias/v1)
 #   BENCH_scale.json             modules/sec + peak RSS vs corpus size
 #                                (schema localias-bench-scale/v1; only
 #                                written when BENCH_SCALE=1 — it takes
@@ -65,6 +70,18 @@ cat BENCH_intra.json
 echo
 echo "wrote $(pwd)/BENCH_watch.json (incremental recheck):"
 cat BENCH_watch.json
+
+# Alias-backend frontier: the full experiment once per backend, printed
+# side by side and asserted against the paper's 352/85/138/14 baseline
+# for the Steensgaard column. Cold for both backends (fresh cache dir)
+# so the wall-time comparison is fair.
+rm -rf "$CACHE-alias"
+./target/release/alias --cache "$CACHE-alias" --bench-out BENCH_alias.json
+rm -rf "$CACHE-alias"
+
+echo
+echo "wrote $(pwd)/BENCH_alias.json (backend frontier):"
+cat BENCH_alias.json
 
 # The corpus-scale sweep (1k..50k modules, 1 and 2 partitions) takes
 # minutes, so it only runs when explicitly requested.

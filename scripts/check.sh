@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
-cargo build --release
+cargo build --release --workspace
 cargo test -q --workspace
 
 # The concurrent-writer regression is the load-bearing test of the
@@ -228,4 +228,25 @@ grep -q '"partition": null' "$SCALE/merged.json" || {
     exit 1
 }
 
-echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, watch-determinism smoke, trace smoke, and partitioned scale smoke all passed"
+# Alias-backend smoke: the Andersen backend must run the full three-mode
+# sweep end-to-end, emit a valid trace, and key its own cache domain —
+# a cache warmed by the default (Steensgaard) sweep serves it zero hits.
+ALIAS="$CACHE/alias"
+mkdir -p "$ALIAS"
+./target/release/localias experiment 7 --modules 80 \
+    --cache "$ALIAS/cache" --quiet >/dev/null
+./target/release/localias experiment 7 --modules 80 --alias andersen \
+    --cache "$ALIAS/cache" --bench-out "$ALIAS/andersen.json" \
+    --trace-out "$ALIAS/andersen-trace.jsonl" --quiet >/dev/null
+grep -q '"misses": 80' "$ALIAS/andersen.json" || {
+    echo "check.sh: andersen sweep hit the steensgaard cache domain:" >&2
+    cat "$ALIAS/andersen.json" >&2
+    exit 1
+}
+./target/release/localias tracecheck "$ALIAS/andersen-trace.jsonl" >/dev/null || {
+    echo "check.sh: andersen sweep emitted an invalid trace" >&2
+    cat "$ALIAS/andersen-trace.jsonl" >&2
+    exit 1
+}
+
+echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, watch-determinism smoke, trace smoke, partitioned scale smoke, and andersen backend smoke all passed"
