@@ -21,7 +21,12 @@
 ///
 /// v2: the checker moved to the frozen-analysis, call-graph-scheduled
 /// pipeline and the store grew the generic `"v"` payload.
-pub const ANALYSIS_VERSION: u32 = 2;
+///
+/// v3: havoc (calls into recursive cycles) became total — untouched
+/// locations drop to Top and the clobber propagates through summaries —
+/// fixing a soundness hole where a cycle's lock effects were invisible
+/// to callers (found by `localias fuzz`; see DESIGN.md §12).
+pub const ANALYSIS_VERSION: u32 = 3;
 
 /// FNV-1a 128-bit offset basis.
 pub const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;

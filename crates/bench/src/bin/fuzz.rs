@@ -1,0 +1,149 @@
+//! Differential-fuzzing benchmark: throughput and precision of the
+//! checker-vs-interpreter oracle loop (`localias_bench::fuzz`).
+//!
+//! Run with `cargo run --release -p localias-bench --bin fuzz`.
+//! `--modules N` sets the number of fuzzed modules (default 2000), the
+//! positional argument the corpus seed; the shared observability flags
+//! (`--trace-out FILE`, `--profile`, `--quiet`) are honored. The
+//! machine-readable report (schema `localias-bench-fuzz/v1`) is
+//! written to `BENCH_fuzz.json`, or to `--bench-out FILE` when given:
+//! modules/s fuzzed, the false-positive rate per mode per backend,
+//! shrinker statistics, and the embedded obs profile block.
+//!
+//! The binary exits non-zero on any soundness divergence — a fuzz
+//! sweep doubles as a release gate.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use localias_alias::Backend;
+use localias_bench::fuzz::{mode_name, run_fuzz, FuzzConfig, FuzzReport};
+use localias_bench::{finish_obs, init_obs, json_trace, CliOpts};
+use localias_cqual::MODES;
+use localias_obs as obs;
+
+fn fp_rates_json(report: &FuzzReport) -> String {
+    let mut out = String::from("[\n    ");
+    for (bi, backend) in Backend::ALL.into_iter().enumerate() {
+        if bi > 0 {
+            out.push_str(",\n    ");
+        }
+        let _ = write!(out, "{{\"backend\": \"{}\", \"modes\": {{", backend.name());
+        for (mi, &mode) in MODES.iter().enumerate() {
+            if mi > 0 {
+                out.push_str(", ");
+            }
+            let st = &report.stats[backend.index()][mi];
+            let _ = write!(
+                out,
+                "\"{}\": {{\"flagged\": {}, \"true_positives\": {}, \
+                 \"false_positives\": {}, \"rate\": {}}}",
+                mode_name(mode),
+                st.flagged_funs,
+                st.true_positive_funs,
+                st.false_positive_funs,
+                st.fp_rate(),
+            );
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n  ]");
+    out
+}
+
+fn report_json(
+    cfg: &FuzzConfig,
+    report: &FuzzReport,
+    wall_seconds: f64,
+    profile: &Option<obs::Trace>,
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"localias-bench-fuzz/v1\",\n");
+    let _ = write!(
+        out,
+        "  \"seed\": {},\n  \"iterations\": {},\n  \"fuel\": {},\n  \
+         \"wall_seconds\": {wall_seconds},\n  \"modules_per_sec\": {},\n  \
+         \"entries\": {},\n  \"runs\": {},\n  \"dyn_faults\": {},\n  \
+         \"leaks\": {},\n  \"restrict_violations\": {},\n  \
+         \"out_of_fuel\": {},\n  \"exec_errors\": {},\n  \
+         \"divergences\": {},\n  \"fp_rates\": {},\n  \
+         \"shrink\": {{\"candidates\": {}, \"steps\": {}}},\n  \"profile\": ",
+        cfg.seed,
+        cfg.iterations,
+        cfg.fuel,
+        report.modules as f64 / wall_seconds.max(1e-9),
+        report.entries,
+        report.runs,
+        report.dyn_faults,
+        report.leaks,
+        report.restrict_violations,
+        report.out_of_fuel,
+        report.exec_errors,
+        report.divergences.len(),
+        fp_rates_json(report),
+        report.shrink_candidates,
+        report.shrink_steps,
+    );
+    match profile {
+        None => out.push_str("null"),
+        Some(t) => out.push_str(&json_trace(t)),
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() {
+    let opts = match CliOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            obs::error!("fuzz: {e}");
+            std::process::exit(2);
+        }
+    };
+    init_obs(&opts);
+    let cfg = FuzzConfig {
+        seed: opts.seed_or_default(),
+        iterations: opts.modules.unwrap_or(2000) as u64,
+        ..FuzzConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let report = run_fuzz(&cfg);
+    let wall = t0.elapsed();
+    let profile = match finish_obs(&opts) {
+        Ok(trace) => trace,
+        Err(e) => {
+            obs::error!("fuzz: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "Differential fuzzing — {} modules (seed {}), {:.2?}, {:.0} modules/s",
+        report.modules,
+        cfg.seed,
+        wall,
+        report.modules as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    println!();
+    print!("{}", report.summary());
+    println!();
+
+    let out_path = opts
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_fuzz.json".to_string());
+    let json = report_json(&cfg, &report, wall.as_secs_f64(), &profile);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        obs::error!("fuzz: {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("(wrote {out_path})");
+
+    if !report.clean() {
+        obs::error!(
+            "fuzz: {} soundness divergence(s) — the checker missed real faults",
+            report.divergences.len()
+        );
+        std::process::exit(1);
+    }
+}

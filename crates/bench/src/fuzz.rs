@@ -1,0 +1,915 @@
+//! Differential soundness fuzzing: the interpreter as ground-truth
+//! oracle for the static lock checker (`localias fuzz`).
+//!
+//! Each iteration draws a module from the seeded catalog generator
+//! ([`localias_corpus::fuzz_module`]), runs the three checker modes
+//! through both alias backends, and *executes* every defined function
+//! under `localias-interp`, which detects real locking mistakes
+//! (double acquire, release of an unheld lock) the way a kernel
+//! lockdep would. The two verdicts are compared per entry function:
+//!
+//! * **unsound** — the entry faulted dynamically but no function it can
+//!   reach (itself plus transitive defined callees) carries a static
+//!   error under some mode × backend. The checker blessed a real bug;
+//!   any such divergence fails the run.
+//! * **theorem-1** — the module passes the checking analysis
+//!   ([`localias_core::check`] reports no diagnostics and every
+//!   explicit `restrict`/`confine` verifies) yet execution raises a
+//!   restrict violation. Theorem 1 of the paper says this can never
+//!   happen, so it too fails the run.
+//! * **true/false positive** — a statically flagged function that does
+//!   / does not fault under any executed entry. False positives are
+//!   expected (the analysis is conservative); their *rate* per mode and
+//!   backend is the report's precision metric.
+//!
+//! Reachability (not "errored in the same function") is the soundness
+//! bar because the checker may attribute one dynamic mistake to a
+//! different frame than the oracle does: a callee's unmet lock
+//! requirement surfaces as a `CallRequirement` error at the caller,
+//! and a havocked summary reports at the first post-havoc site.
+//!
+//! Divergences are shrunk to 1-minimal counterexamples by
+//! [`shrink_source`]: repeatedly delete a top-level item, delete a
+//! statement, or splice a control-flow statement's body inline, keeping
+//! any edit that still diverges, until no single edit does. The checker
+//! is pluggable ([`run_fuzz_with`]) so the harness tests can inject a
+//! deliberately broken checker and watch the fuzzer catch and shrink
+//! it.
+//!
+//! Everything is single-threaded and seeded: the same
+//! [`FuzzConfig`] produces a byte-identical verdict
+//! [`stream`](FuzzReport::stream), which the determinism tests pin.
+//! See `DESIGN.md` §12.
+
+use localias_alias::Backend;
+use localias_ast::{parse_module, pretty, Block, ItemKind, Module, Stmt, StmtKind, TypeExpr};
+use localias_core::SharedAnalysis;
+use localias_corpus::fuzz_module;
+use localias_cqual::{check_locks_shared, CallGraph, LockReport, Mode, MODES};
+use localias_interp::memory::default_value;
+use localias_interp::{Interp, RuntimeError, Value};
+use localias_obs as obs;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Configuration of one fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Corpus seed; module `i` is a pure function of `(seed, i)`.
+    pub seed: u64,
+    /// Number of modules to generate and check.
+    pub iterations: u64,
+    /// Interpreter fuel per execution (statements + expressions).
+    pub fuel: u64,
+    /// Whether to shrink divergent modules to minimal counterexamples.
+    pub shrink: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 42,
+            iterations: 1000,
+            fuel: 100_000,
+            shrink: true,
+        }
+    }
+}
+
+/// Static lock reports per alias backend (outer index, [`Backend::ALL`]
+/// order) and checker mode (inner index, [`MODES`] order).
+#[derive(Debug, Clone, Default)]
+pub struct StaticMatrix(pub [[LockReport; 3]; 2]);
+
+/// The real checker under test: all three modes through both backends,
+/// sharing one base analysis per backend via [`SharedAnalysis`].
+pub fn real_static_matrix(m: &Module) -> StaticMatrix {
+    let mut out = StaticMatrix::default();
+    for backend in Backend::ALL {
+        let mut shared = SharedAnalysis::new_with_backend(m, backend);
+        for (mi, &mode) in MODES.iter().enumerate() {
+            out.0[backend.index()][mi] = check_locks_shared(&mut shared, mode);
+        }
+    }
+    out
+}
+
+/// Per-(mode × backend) precision tally over statically flagged
+/// functions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeStats {
+    /// Functions with at least one static error attributed to them.
+    pub flagged_funs: u64,
+    /// Flagged functions that also faulted dynamically.
+    pub true_positive_funs: u64,
+    /// Flagged functions that never faulted under any executed entry.
+    pub false_positive_funs: u64,
+}
+
+impl ModeStats {
+    /// Fraction of flagged functions that never faulted (0.0 when
+    /// nothing was flagged).
+    pub fn fp_rate(&self) -> f64 {
+        if self.flagged_funs == 0 {
+            0.0
+        } else {
+            self.false_positive_funs as f64 / self.flagged_funs as f64
+        }
+    }
+
+    fn accumulate(&mut self, o: ModeStats) {
+        self.flagged_funs += o.flagged_funs;
+        self.true_positive_funs += o.true_positive_funs;
+        self.false_positive_funs += o.false_positive_funs;
+    }
+}
+
+/// How a module's static and dynamic verdicts disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// A dynamic lock fault with no static error anywhere the entry
+    /// reaches — the checker missed a real bug.
+    Unsound,
+    /// A check-clean module raised a restrict violation at run time,
+    /// contradicting the paper's Theorem 1.
+    Theorem1,
+}
+
+impl DivergenceKind {
+    /// Lower-case tag used in the verdict stream and repro file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            DivergenceKind::Unsound => "unsound",
+            DivergenceKind::Theorem1 => "theorem1",
+        }
+    }
+}
+
+/// One soundness divergence, with the module that exhibits it.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Module name (`fuzz<index>`).
+    pub module: String,
+    /// Corpus index of the module (replay with the run's seed).
+    pub index: u64,
+    /// The entry function whose execution diverged.
+    pub entry: String,
+    /// Backend under which the checker missed the fault; `None` for
+    /// Theorem-1 divergences (the gate is mode/backend-independent).
+    pub backend: Option<Backend>,
+    /// Mode under which the checker missed the fault; `None` for
+    /// Theorem-1 divergences.
+    pub mode: Option<Mode>,
+    /// The divergence class.
+    pub kind: DivergenceKind,
+    /// The oracle's description of the dynamic fault.
+    pub detail: String,
+    /// Full source of the diverging module.
+    pub source: String,
+    /// 1-minimal shrunk source, when shrinking was enabled.
+    pub shrunk: Option<String>,
+}
+
+/// The result of a fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Modules generated and differentially checked.
+    pub modules: u64,
+    /// Entry functions executed.
+    pub entries: u64,
+    /// Interpreter runs (entry × argument tuple).
+    pub runs: u64,
+    /// Dynamic lock faults observed across all runs.
+    pub dyn_faults: u64,
+    /// Runs that returned normally with a lock still held.
+    pub leaks: u64,
+    /// Runs ending in a memory/type/unbound execution error.
+    pub exec_errors: u64,
+    /// Runs that exhausted their fuel (inconclusive, not counted as
+    /// ground truth).
+    pub out_of_fuel: u64,
+    /// Runs that raised a restrict violation (only divergent when the
+    /// module was check-clean).
+    pub restrict_violations: u64,
+    /// Precision tallies, indexed `[backend][mode]` in
+    /// [`Backend::ALL`] / [`MODES`] order.
+    pub stats: [[ModeStats; 3]; 2],
+    /// All soundness divergences found (empty on a clean run).
+    pub divergences: Vec<Divergence>,
+    /// Shrinker edits attempted.
+    pub shrink_candidates: u64,
+    /// Shrinker edits accepted.
+    pub shrink_steps: u64,
+    /// The deterministic per-module verdict stream (byte-identical for
+    /// identical configs).
+    pub stream: String,
+}
+
+impl FuzzReport {
+    /// `true` when no soundness divergence was found.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Human-readable summary table.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fuzzed {} modules: {} entries, {} runs, {} dynamic faults, \
+             {} leaks, {} restrict violations, {} fuel-outs, {} exec errors",
+            self.modules,
+            self.entries,
+            self.runs,
+            self.dyn_faults,
+            self.leaks,
+            self.restrict_violations,
+            self.out_of_fuel,
+            self.exec_errors,
+        );
+        let _ = writeln!(
+            s,
+            "false-positive rate (flagged functions that never fault):"
+        );
+        for backend in Backend::ALL {
+            let mut row = format!("  {:<12}", backend.name());
+            for (mi, &mode) in MODES.iter().enumerate() {
+                let st = &self.stats[backend.index()][mi];
+                let _ = write!(
+                    row,
+                    " {}={:.1}% ({}/{})",
+                    mode_name(mode),
+                    100.0 * st.fp_rate(),
+                    st.false_positive_funs,
+                    st.flagged_funs
+                );
+            }
+            let _ = writeln!(s, "{row}");
+        }
+        let _ = writeln!(
+            s,
+            "shrinker: {} steps over {} candidates",
+            self.shrink_steps, self.shrink_candidates
+        );
+        let _ = writeln!(s, "divergences: {}", self.divergences.len());
+        for d in &self.divergences {
+            let _ = writeln!(s, "  {}", divergence_line(d));
+        }
+        s
+    }
+}
+
+/// Short lower-case mode tag.
+pub fn mode_name(m: Mode) -> &'static str {
+    match m {
+        Mode::NoConfine => "noconfine",
+        Mode::Confine => "confine",
+        Mode::AllStrong => "allstrong",
+    }
+}
+
+fn divergence_line(d: &Divergence) -> String {
+    let at = match (d.backend, d.mode) {
+        (Some(b), Some(m)) => format!(" backend={} mode={}", b.name(), mode_name(m)),
+        _ => String::new(),
+    };
+    format!(
+        "!! {} {} entry={}{}: {}",
+        d.kind.name(),
+        d.module,
+        d.entry,
+        at,
+        d.detail
+    )
+}
+
+/// A divergence detected inside [`check_one`], before the module source
+/// is attached.
+#[derive(Debug, Clone)]
+struct Diverge {
+    entry: String,
+    backend: Option<Backend>,
+    mode: Option<Mode>,
+    kind: DivergenceKind,
+    detail: String,
+}
+
+/// The differential verdict for one module.
+#[derive(Debug, Clone, Default)]
+struct ModuleOutcome {
+    entries: u64,
+    runs: u64,
+    dyn_faults: u64,
+    leaks: u64,
+    exec_errors: u64,
+    out_of_fuel: u64,
+    restrict_violations: u64,
+    /// Static error counts, `[backend][mode]`.
+    errs: [[usize; 3]; 2],
+    stats: [[ModeStats; 3]; 2],
+    divergences: Vec<Diverge>,
+}
+
+/// The integer argument tuples an entry is executed under: indices
+/// distinct per parameter (drives distinct-element paths), all ones
+/// (drives guarded branches, recursion depth, and same-value aliasing),
+/// and all zeros (the guard-off path). Deduplicated, so a nullary entry
+/// runs once.
+fn int_assignments(params: usize) -> Vec<Vec<i64>> {
+    let mut out: Vec<Vec<i64>> = Vec::new();
+    let distinct: Vec<i64> = (0..params as i64).collect();
+    let ones = vec![1i64; params];
+    let zeros = vec![0i64; params];
+    for v in [distinct, ones, zeros] {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Functions reachable from `entry` in the call graph (itself plus
+/// transitive defined callees).
+fn reach_of(cg: &CallGraph, entry: &str) -> BTreeSet<String> {
+    let mut seen = BTreeSet::new();
+    let Some(start) = cg.node(entry) else {
+        seen.insert(entry.to_string());
+        return seen;
+    };
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if seen.insert(cg.name(v).to_string()) {
+            stack.extend_from_slice(cg.callees(v));
+        }
+    }
+    seen
+}
+
+/// Differentially checks one parsed module: static matrix vs. the
+/// interpreter oracle. Pure and deterministic — also the shrinker's
+/// predicate.
+fn check_one(m: &Module, fuel: u64, checker: &dyn Fn(&Module) -> StaticMatrix) -> ModuleOutcome {
+    let matrix = checker(m);
+
+    // Theorem-1 gate: does the plain checking analysis accept the
+    // module? (Diagnostics clean, every explicit restrict/confine
+    // verified.) Only then is a dynamic restrict violation a divergence.
+    let check_clean = localias_core::check(m).clean();
+
+    let cg = CallGraph::build(m);
+    let mut out = ModuleOutcome::default();
+    // Functions the oracle saw fault (by the frame the fault occurred
+    // in), and entries whose execution produced at least one fault.
+    let mut fault_funs: BTreeSet<String> = BTreeSet::new();
+    let mut faulted_entries: Vec<(String, String)> = Vec::new();
+    let mut theorem1: Option<(String, String)> = None;
+
+    for f in m.functions() {
+        out.entries += 1;
+        let name = f.name.name.to_string();
+        let mut first_fault: Option<String> = None;
+        for ints in int_assignments(f.params.len()) {
+            out.runs += 1;
+            let mut interp = Interp::new(m, fuel);
+            let args: Vec<Value> = f
+                .params
+                .iter()
+                .enumerate()
+                .map(|(pi, p)| match &p.ty {
+                    TypeExpr::Int => Value::Int(ints[pi]),
+                    TypeExpr::Ptr(inner) => interp.fresh_object(inner),
+                    other => default_value(other),
+                })
+                .collect();
+            let res = interp.call_entry(&name, &args);
+            out.dyn_faults += interp.lock_faults.len() as u64;
+            for lf in &interp.lock_faults {
+                fault_funs.insert(lf.fun.clone());
+                if first_fault.is_none() {
+                    first_fault = Some(format!("{}: {}", lf.fun, lf.detail));
+                }
+            }
+            match res {
+                Ok(_) => {
+                    if interp.held_locks() > 0 {
+                        out.leaks += 1;
+                    }
+                }
+                Err(RuntimeError::RestrictViolation { detail }) => {
+                    out.restrict_violations += 1;
+                    if check_clean && theorem1.is_none() {
+                        theorem1 = Some((name.clone(), detail));
+                    }
+                }
+                Err(RuntimeError::OutOfFuel) => out.out_of_fuel += 1,
+                Err(_) => out.exec_errors += 1,
+            }
+        }
+        if let Some(detail) = first_fault {
+            faulted_entries.push((name, detail));
+        }
+    }
+
+    // Reach sets only matter for entries that actually faulted.
+    let reaches: Vec<(String, BTreeSet<String>, String)> = faulted_entries
+        .into_iter()
+        .map(|(entry, detail)| {
+            let reach = reach_of(&cg, &entry);
+            (entry, reach, detail)
+        })
+        .collect();
+
+    for backend in Backend::ALL {
+        for (mi, &mode) in MODES.iter().enumerate() {
+            let rep = &matrix.0[backend.index()][mi];
+            out.errs[backend.index()][mi] = rep.errors.len();
+            let mut flagged: BTreeSet<&str> = BTreeSet::new();
+            for e in &rep.errors {
+                flagged.insert(e.fun.as_str());
+            }
+            let st = &mut out.stats[backend.index()][mi];
+            for &fun in &flagged {
+                st.flagged_funs += 1;
+                if fault_funs.contains(fun) {
+                    st.true_positive_funs += 1;
+                } else {
+                    st.false_positive_funs += 1;
+                }
+            }
+            for (entry, reach, detail) in &reaches {
+                if reach.iter().all(|g| !flagged.contains(g.as_str())) {
+                    out.divergences.push(Diverge {
+                        entry: entry.clone(),
+                        backend: Some(backend),
+                        mode: Some(mode),
+                        kind: DivergenceKind::Unsound,
+                        detail: detail.clone(),
+                    });
+                }
+            }
+        }
+    }
+    if let Some((entry, detail)) = theorem1 {
+        out.divergences.push(Diverge {
+            entry,
+            backend: None,
+            mode: None,
+            kind: DivergenceKind::Theorem1,
+            detail: format!("restrict violation: {detail}"),
+        });
+    }
+    out
+}
+
+/// Runs the fuzzer against the real checker.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    run_fuzz_with(cfg, &real_static_matrix)
+}
+
+/// Runs the fuzzer against an arbitrary checker — the harness tests
+/// inject a deliberately unsound one here and assert it is caught.
+pub fn run_fuzz_with(cfg: &FuzzConfig, checker: &dyn Fn(&Module) -> StaticMatrix) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..cfg.iterations {
+        let fm = fuzz_module(cfg.seed, i);
+        let m = parse_module(&fm.name, &fm.source).unwrap_or_else(|e| {
+            panic!(
+                "fuzz generator produced an unparsable module \
+                 (seed {}, index {i}): {e}\n{}",
+                cfg.seed, fm.source
+            )
+        });
+        let oc = check_one(&m, cfg.fuel, checker);
+
+        report.modules += 1;
+        report.entries += oc.entries;
+        report.runs += oc.runs;
+        report.dyn_faults += oc.dyn_faults;
+        report.leaks += oc.leaks;
+        report.exec_errors += oc.exec_errors;
+        report.out_of_fuel += oc.out_of_fuel;
+        report.restrict_violations += oc.restrict_violations;
+        for b in 0..2 {
+            for mi in 0..3 {
+                report.stats[b][mi].accumulate(oc.stats[b][mi]);
+            }
+        }
+        obs::count(obs::Counter::FuzzModules, 1);
+        obs::count(obs::Counter::FuzzEntries, oc.entries);
+        obs::count(obs::Counter::FuzzRuns, oc.runs);
+        obs::count(obs::Counter::FuzzDynFaults, oc.dyn_faults);
+
+        let _ = writeln!(
+            report.stream,
+            "{} idioms={} entries={} runs={} faults={} st={}/{}/{} an={}/{}/{}",
+            fm.name,
+            fm.idioms.join("+"),
+            oc.entries,
+            oc.runs,
+            oc.dyn_faults,
+            oc.errs[0][0],
+            oc.errs[0][1],
+            oc.errs[0][2],
+            oc.errs[1][0],
+            oc.errs[1][1],
+            oc.errs[1][2],
+        );
+
+        // One shrink per (module, kind): divergences of the same kind
+        // share the predicate, so they shrink to the same witness.
+        let mut shrunk_by_kind: [Option<String>; 2] = [None, None];
+        for d in oc.divergences {
+            obs::count(obs::Counter::FuzzUnsound, 1);
+            let slot = match d.kind {
+                DivergenceKind::Unsound => 0,
+                DivergenceKind::Theorem1 => 1,
+            };
+            let shrunk = if cfg.shrink {
+                if shrunk_by_kind[slot].is_none() {
+                    let sh = shrink_source(&fm.name, &fm.source, cfg.fuel, checker, d.kind);
+                    report.shrink_candidates += sh.candidates;
+                    report.shrink_steps += sh.steps;
+                    shrunk_by_kind[slot] = Some(sh.source);
+                }
+                shrunk_by_kind[slot].clone()
+            } else {
+                None
+            };
+            let full = Divergence {
+                module: fm.name.clone(),
+                index: i,
+                entry: d.entry,
+                backend: d.backend,
+                mode: d.mode,
+                kind: d.kind,
+                detail: d.detail,
+                source: fm.source.clone(),
+                shrunk,
+            };
+            let _ = writeln!(report.stream, "{}", divergence_line(&full));
+            report.divergences.push(full);
+        }
+    }
+    for b in 0..2 {
+        for mi in 0..3 {
+            obs::count(
+                obs::Counter::FuzzFalsePositives,
+                report.stats[b][mi].false_positive_funs,
+            );
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Counterexample shrinking
+// ---------------------------------------------------------------------
+
+/// Result of shrinking one diverging module.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The 1-minimal diverging source (canonically pretty-printed).
+    pub source: String,
+    /// Candidate edits attempted.
+    pub candidates: u64,
+    /// Edits accepted (each strictly shrank the module).
+    pub steps: u64,
+}
+
+/// Path to a statement: descend through `(statement index, sub-block
+/// selector)` pairs, then index `at` in the final block.
+#[derive(Debug, Clone)]
+struct StmtAddr {
+    descend: Vec<(usize, u8)>,
+    at: usize,
+}
+
+/// One candidate shrinking edit.
+#[derive(Debug, Clone)]
+enum Edit {
+    /// Delete top-level item `i`.
+    RemoveItem(usize),
+    /// Delete the statement at `addr` in function item `item`.
+    RemoveStmt { item: usize, addr: StmtAddr },
+    /// Replace the control-flow statement at `addr` with its nested
+    /// statements, spliced inline (`if`/`while`/`restrict`/`confine`/
+    /// bare block).
+    Splice { item: usize, addr: StmtAddr },
+}
+
+/// The nested blocks of a statement, in a fixed selector order.
+fn sub_blocks(s: &StmtKind) -> Vec<&Block> {
+    match s {
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
+            let mut v = vec![then_blk];
+            if let Some(e) = else_blk {
+                v.push(e);
+            }
+            v
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::Restrict { body, .. }
+        | StmtKind::Confine { body, .. } => vec![body],
+        StmtKind::Block(b) => vec![b],
+        _ => Vec::new(),
+    }
+}
+
+fn sub_blocks_mut(s: &mut StmtKind) -> Vec<&mut Block> {
+    match s {
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
+            let mut v = vec![then_blk];
+            if let Some(e) = else_blk {
+                v.push(e);
+            }
+            v
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::Restrict { body, .. }
+        | StmtKind::Confine { body, .. } => vec![body],
+        StmtKind::Block(b) => vec![b],
+        _ => Vec::new(),
+    }
+}
+
+/// The statements inside a control-flow statement, concatenated — what
+/// a splice leaves behind. `None` for leaf statements.
+fn spliced_stmts(kind: StmtKind) -> Option<Vec<Stmt>> {
+    match kind {
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
+            let mut v = then_blk.stmts;
+            if let Some(e) = else_blk {
+                v.extend(e.stmts);
+            }
+            Some(v)
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::Restrict { body, .. }
+        | StmtKind::Confine { body, .. } => Some(body.stmts),
+        StmtKind::Block(b) => Some(b.stmts),
+        _ => None,
+    }
+}
+
+fn collect_stmt_edits(b: &Block, item: usize, descend: &mut Vec<(usize, u8)>, out: &mut Vec<Edit>) {
+    for (si, s) in b.stmts.iter().enumerate() {
+        let addr = StmtAddr {
+            descend: descend.clone(),
+            at: si,
+        };
+        out.push(Edit::RemoveStmt {
+            item,
+            addr: addr.clone(),
+        });
+        let subs = sub_blocks(&s.kind);
+        if !subs.is_empty() {
+            out.push(Edit::Splice { item, addr });
+            for (bi, sub) in subs.into_iter().enumerate() {
+                descend.push((si, bi as u8));
+                collect_stmt_edits(sub, item, descend, out);
+                descend.pop();
+            }
+        }
+    }
+}
+
+/// All candidate edits of `m`, coarsest first (whole items, then
+/// statements in pre-order). The fixed order keeps shrinking
+/// deterministic.
+fn enumerate_edits(m: &Module) -> Vec<Edit> {
+    let mut out = Vec::new();
+    for i in 0..m.items.len() {
+        out.push(Edit::RemoveItem(i));
+    }
+    for (i, item) in m.items.iter().enumerate() {
+        if let ItemKind::Fun(f) = &item.kind {
+            collect_stmt_edits(&f.body, i, &mut Vec::new(), &mut out);
+        }
+    }
+    out
+}
+
+/// Navigates to the block `addr.descend` points into, inside function
+/// item `item`.
+fn block_at_mut<'a>(
+    m: &'a mut Module,
+    item: usize,
+    descend: &[(usize, u8)],
+) -> Option<&'a mut Block> {
+    let f = match &mut m.items.get_mut(item)?.kind {
+        ItemKind::Fun(f) => f,
+        _ => return None,
+    };
+    let mut blk = &mut f.body;
+    for &(si, bi) in descend {
+        let s = blk.stmts.get_mut(si)?;
+        blk = sub_blocks_mut(&mut s.kind).into_iter().nth(bi as usize)?;
+    }
+    Some(blk)
+}
+
+/// Applies `e` to `m`; `false` if the address no longer exists.
+fn apply_edit(m: &mut Module, e: &Edit) -> bool {
+    match e {
+        Edit::RemoveItem(i) => {
+            if *i < m.items.len() {
+                m.items.remove(*i);
+                true
+            } else {
+                false
+            }
+        }
+        Edit::RemoveStmt { item, addr } => {
+            let Some(blk) = block_at_mut(m, *item, &addr.descend) else {
+                return false;
+            };
+            if addr.at < blk.stmts.len() {
+                blk.stmts.remove(addr.at);
+                true
+            } else {
+                false
+            }
+        }
+        Edit::Splice { item, addr } => {
+            let Some(blk) = block_at_mut(m, *item, &addr.descend) else {
+                return false;
+            };
+            if addr.at >= blk.stmts.len() {
+                return false;
+            }
+            let s = blk.stmts.remove(addr.at);
+            match spliced_stmts(s.kind) {
+                Some(inner) => {
+                    blk.stmts.splice(addr.at..addr.at, inner);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+}
+
+/// Shrinks `source` to a 1-minimal module that still exhibits a
+/// divergence of `kind` under `checker`: no single item deletion,
+/// statement deletion, or body splice preserves the divergence.
+/// Deterministic — the edit order is fixed and the first accepted edit
+/// restarts the pass on the smaller module.
+pub fn shrink_source(
+    name: &str,
+    source: &str,
+    fuel: u64,
+    checker: &dyn Fn(&Module) -> StaticMatrix,
+    kind: DivergenceKind,
+) -> ShrinkOutcome {
+    let mut candidates = 0u64;
+    let mut steps = 0u64;
+    let diverges = |src: &str| -> bool {
+        match parse_module(name, src) {
+            Ok(m) => check_one(&m, fuel, checker)
+                .divergences
+                .iter()
+                .any(|d| d.kind == kind),
+            Err(_) => false,
+        }
+    };
+
+    // Canonicalize formatting so the output is print-stable.
+    let mut cur = match parse_module(name, source) {
+        Ok(m) => pretty::print_module(&m),
+        Err(_) => {
+            return ShrinkOutcome {
+                source: source.to_string(),
+                candidates,
+                steps,
+            }
+        }
+    };
+    if !diverges(&cur) {
+        // Caller handed us a non-diverging module; nothing to shrink.
+        return ShrinkOutcome {
+            source: cur,
+            candidates,
+            steps,
+        };
+    }
+
+    loop {
+        let m = parse_module(name, &cur).expect("shrink state re-parses");
+        let mut advanced = false;
+        for e in enumerate_edits(&m) {
+            let mut m2 = m.clone();
+            if !apply_edit(&mut m2, &e) {
+                continue;
+            }
+            let src2 = pretty::print_module(&m2);
+            if src2 == cur {
+                continue;
+            }
+            candidates += 1;
+            obs::count(obs::Counter::FuzzShrinkCandidates, 1);
+            if diverges(&src2) {
+                cur = src2;
+                steps += 1;
+                obs::count(obs::Counter::FuzzShrinkSteps, 1);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        source: cur,
+        candidates,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_assignments_dedupe() {
+        assert_eq!(int_assignments(0), vec![Vec::<i64>::new()]);
+        assert_eq!(int_assignments(1), vec![vec![0], vec![1]]);
+        assert_eq!(int_assignments(2), vec![vec![0, 1], vec![1, 1], vec![0, 0]]);
+    }
+
+    #[test]
+    fn real_checker_catches_a_planted_bug() {
+        let m = parse_module(
+            "planted",
+            "lock mu;\nvoid f() { spin_lock(&mu); spin_lock(&mu); }\n",
+        )
+        .unwrap();
+        let oc = check_one(&m, 100_000, &real_static_matrix);
+        assert!(oc.dyn_faults > 0, "oracle sees the double acquire");
+        assert!(oc.divergences.is_empty(), "checker flags it too");
+        for b in 0..2 {
+            for mi in 0..3 {
+                assert_eq!(oc.stats[b][mi].true_positive_funs, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn blind_checker_is_unsound_and_shrinks_minimal() {
+        let blind = |_m: &Module| StaticMatrix::default();
+        let m = parse_module(
+            "planted",
+            "lock mu;\nint x;\nvoid f() { x = 1; spin_lock(&mu); spin_lock(&mu); }\n",
+        )
+        .unwrap();
+        let oc = check_one(&m, 100_000, &blind);
+        assert_eq!(
+            oc.divergences.len(),
+            6,
+            "unsound under every mode x backend"
+        );
+        let src = pretty::print_module(&m);
+        let sh = shrink_source("planted", &src, 100_000, &blind, DivergenceKind::Unsound);
+        assert!(sh.steps > 0, "something was deleted");
+        // The globals `x` and the store to it must be gone; the two
+        // acquires and the lock declaration must survive.
+        assert!(
+            !sh.source.contains('x'),
+            "irrelevant global removed:\n{}",
+            sh.source
+        );
+        assert_eq!(sh.source.matches("spin_lock").count(), 2, "{}", sh.source);
+        // 1-minimality: no single further edit still diverges.
+        let min = parse_module("planted", &sh.source).unwrap();
+        for e in enumerate_edits(&min) {
+            let mut m2 = min.clone();
+            if !apply_edit(&mut m2, &e) {
+                continue;
+            }
+            let src2 = pretty::print_module(&m2);
+            if src2 == sh.source {
+                continue;
+            }
+            let still = match parse_module("planted", &src2) {
+                Ok(p) => check_one(&p, 100_000, &blind)
+                    .divergences
+                    .iter()
+                    .any(|d| d.kind == DivergenceKind::Unsound),
+                Err(_) => false,
+            };
+            assert!(
+                !still,
+                "not 1-minimal; edit left a diverging module:\n{src2}"
+            );
+        }
+        // Determinism.
+        let sh2 = shrink_source("planted", &src, 100_000, &blind, DivergenceKind::Unsound);
+        assert_eq!(sh.source, sh2.source);
+    }
+}

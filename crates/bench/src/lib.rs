@@ -5,6 +5,7 @@
 
 pub mod cache;
 pub mod cli;
+pub mod fuzz;
 pub mod harness;
 pub mod json;
 pub mod merge;

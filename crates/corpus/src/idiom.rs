@@ -483,6 +483,271 @@ void {tag}_maybe(int c) {{
     )
 }
 
+// ---- Adversarial idioms (the differential fuzzer's catalog) -----------------
+//
+// These shapes stress the places where static lock state and dynamic
+// lock state can drift apart: multiple locks per object, conditional
+// acquire/release correlation, interrupt re-entry, interprocedural
+// handoff, aliased release, and recursion. Each still carries an exact
+// verified triple so it can also ride in calibrated corpora, but its
+// first job is feeding `localias fuzz`, where the interpreter decides
+// the ground truth independently of these numbers.
+
+/// A reader/writer lock modeled as a two-lock struct: the write side
+/// takes both, the read side only the reader gate. Balanced on every
+/// path and dynamically silent; field-based aliasing makes the struct's
+/// lock fields weakly-updatable, so three release sites need confine
+/// inference to verify.
+///
+/// Signature: `(3, 0, 0)`.
+pub fn rwlock_pair(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+struct {tag}_rw {{ lock r; lock w; }};
+struct {tag}_rw {tag}_gate;
+int {tag}_shared;
+extern void {tag}_publish();
+int {tag}_read() {{
+    spin_lock(&{tag}_gate.r);
+    int v = {tag}_shared;
+    spin_unlock(&{tag}_gate.r);
+    return v;
+}}
+void {tag}_write(int v) {{
+    spin_lock(&{tag}_gate.r);
+    spin_lock(&{tag}_gate.w);
+    {tag}_shared = v;
+    {tag}_publish();
+    spin_unlock(&{tag}_gate.w);
+    spin_unlock(&{tag}_gate.r);
+}}
+"#
+        ),
+        3,
+        0,
+        0,
+    )
+}
+
+/// A broken rwlock downgrade: the writer releases the write lock, then
+/// the "downgrade" path releases it *again* before dropping the reader
+/// gate. A genuine conditional double release — reported in every mode
+/// (plus two weak-update release sites confine inference recovers), and
+/// dynamically faulting whenever the downgrade path runs.
+///
+/// Signature: `(3, 1, 1)`.
+pub fn rwlock_bad_downgrade(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+struct {tag}_rw {{ lock r; lock w; }};
+struct {tag}_rw {tag}_gate;
+int {tag}_shared;
+void {tag}_write_downgrade(int d) {{
+    spin_lock(&{tag}_gate.r);
+    spin_lock(&{tag}_gate.w);
+    {tag}_shared = d;
+    spin_unlock(&{tag}_gate.w);
+    if (d) {{
+        spin_unlock(&{tag}_gate.w);
+    }}
+    spin_unlock(&{tag}_gate.r);
+}}
+"#
+        ),
+        3,
+        1,
+        1,
+    )
+}
+
+/// The trylock idiom: acquisition guarded by a contention probe, release
+/// guarded by the matching flag. Dynamically the two conditions always
+/// agree, so execution is balanced; the flow-sensitive checker cannot
+/// correlate the two branches and reports the release in every mode — a
+/// pure false-positive probe (static noise, dynamic silence).
+pub fn trylock_flagged(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_mu;
+int {tag}_stat;
+extern int {tag}_contended();
+void {tag}_try_update(int v) {{
+    int got = 0;
+    if ({tag}_contended() == 0) {{
+        spin_lock(&{tag}_mu);
+        got = 1;
+    }}
+    if (got) {{
+        {tag}_stat = v;
+        spin_unlock(&{tag}_mu);
+    }}
+}}
+"#
+        ),
+        1,
+        1,
+        1,
+    )
+}
+
+/// Interrupt-context re-entry: an interrupt handler acquires the lock
+/// its interrupted context already holds (modeled as a direct call while
+/// holding). The checker sees the handler's entry requirement clash with
+/// the held state at the call site; the interpreter observes the double
+/// acquire (and the cascading unheld release). Under confine inference
+/// the handler's pair lives in a confine scope, which hides its entry
+/// requirement from the caller — one error instead of two.
+///
+/// Signature: `(2, 1, 2)`.
+pub fn irq_reentrant_acquire(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_irq_mu;
+int {tag}_events;
+void {tag}_isr() {{
+    spin_lock(&{tag}_irq_mu);
+    {tag}_events = {tag}_events + 1;
+    spin_unlock(&{tag}_irq_mu);
+}}
+void {tag}_top_half(int pending) {{
+    spin_lock(&{tag}_irq_mu);
+    {tag}_events = 0;
+    if (pending) {{
+        {tag}_isr();
+    }}
+    spin_unlock(&{tag}_irq_mu);
+}}
+"#
+        ),
+        2,
+        1,
+        2,
+    )
+}
+
+/// Lock handoff through a struct field across a call boundary: `begin`
+/// returns with the device lock held, `end` releases it. The `txn`
+/// entry is balanced at run time, but `end` *alone* releases an unheld
+/// lock — dynamically and statically (its entry state assumes unlocked),
+/// so one error survives even all-strong updates; field-based weak
+/// updates add a second, recoverable only by strong updates.
+///
+/// Signature: `(2, 2, 1)`.
+pub fn handoff_struct_field(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+struct {tag}_dev {{ lock mu; int state; }};
+struct {tag}_dev {tag}_dev0;
+void {tag}_begin() {{
+    spin_lock(&{tag}_dev0.mu);
+    {tag}_dev0.state = 1;
+}}
+void {tag}_end() {{
+    {tag}_dev0.state = 0;
+    spin_unlock(&{tag}_dev0.mu);
+}}
+void {tag}_txn(int v) {{
+    {tag}_begin();
+    {tag}_dev0.state = v;
+    {tag}_end();
+}}
+"#
+        ),
+        2,
+        2,
+        1,
+    )
+}
+
+/// Release via an escaping alias: the lock's address escapes to a global
+/// before a restrict scope acquires through the scoped name, and the
+/// release after the scope goes through the stale global. The copy-out
+/// at scope exit hands the held state back to the original location, so
+/// the checker can verify the aliased release — clean, and balanced at
+/// run time.
+pub fn escaping_alias_release(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_mu;
+lock *{tag}_saved;
+extern void {tag}_work();
+void {tag}_handoff() {{
+    {tag}_saved = &{tag}_mu;
+    restrict l = &{tag}_mu {{
+        spin_lock(l);
+        {tag}_work();
+    }}
+    spin_unlock({tag}_saved);
+}}
+"#
+        ),
+        0,
+        0,
+        0,
+    )
+}
+
+/// The forgotten-error-path bug: release, then release again on the
+/// error path. Reported in every mode; dynamically faults whenever the
+/// error path runs.
+pub fn conditional_double_release(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_mu;
+extern int {tag}_commit();
+void {tag}_finish() {{
+    spin_lock(&{tag}_mu);
+    int err = {tag}_commit();
+    spin_unlock(&{tag}_mu);
+    if (err == 0) {{
+        spin_unlock(&{tag}_mu);
+    }}
+}}
+"#
+        ),
+        1,
+        1,
+        1,
+    )
+}
+
+/// The recursion-havoc shape that surfaced the v3 soundness fix: a
+/// mutually recursive clique acquires a lock the non-recursive tail of
+/// its partner then re-acquires. Before v3 the checker reported nothing
+/// (havoc only topped *touched* locations, and `mu` was untouched at
+/// the call site); the interpreter double-acquires on any entry with
+/// `n >= 1`. See `crates/cqual/tests/fuzz_regressions.rs`.
+pub fn recursive_relock(tag: &str) -> Idiom {
+    idiom(
+        format!(
+            r#"
+lock {tag}_mu;
+void {tag}_a(int n) {{
+    if (n) {{
+        {tag}_b(n - 1);
+    }}
+    spin_lock(&{tag}_mu);
+    spin_unlock(&{tag}_mu);
+}}
+void {tag}_b(int n) {{
+    {tag}_a(n);
+    spin_lock(&{tag}_mu);
+}}
+"#
+        ),
+        1,
+        1,
+        1,
+    )
+}
+
 /// Decomposes an eliminated-error quota into weak-update idioms: loop
 /// pairs contribute 2, straight pairs `2k-1` (odd). Any `q ≥ 1` is
 /// representable; pair counts are capped for readable functions.
@@ -567,6 +832,35 @@ mod tests {
         for (n, s) in samples.iter().enumerate() {
             localias_ast::parse_module("m", &s.source)
                 .unwrap_or_else(|e| panic!("idiom {n} failed to parse: {e}\n{}", s.source));
+        }
+    }
+
+    #[test]
+    fn adversarial_triples_match_the_real_analyses() {
+        use localias_cqual::{check_locks, Mode};
+        let samples = [
+            ("rwlock_pair", rwlock_pair("t")),
+            ("rwlock_bad_downgrade", rwlock_bad_downgrade("t")),
+            ("trylock_flagged", trylock_flagged("t")),
+            ("irq_reentrant_acquire", irq_reentrant_acquire("t")),
+            ("handoff_struct_field", handoff_struct_field("t")),
+            ("escaping_alias_release", escaping_alias_release("t")),
+            (
+                "conditional_double_release",
+                conditional_double_release("t"),
+            ),
+            ("recursive_relock", recursive_relock("t")),
+        ];
+        for (name, s) in &samples {
+            let m = localias_ast::parse_module("m", &s.source)
+                .unwrap_or_else(|e| panic!("{name} failed to parse: {e}\n{}", s.source));
+            let got = (
+                check_locks(&m, Mode::NoConfine).error_count(),
+                check_locks(&m, Mode::Confine).error_count(),
+                check_locks(&m, Mode::AllStrong).error_count(),
+            );
+            let want = (s.expect.no_confine, s.expect.confine, s.expect.all_strong);
+            assert_eq!(got, want, "{name} triple");
         }
     }
 }

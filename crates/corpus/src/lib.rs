@@ -19,12 +19,14 @@
 //! See `DESIGN.md` §2 for why this substitution preserves the behaviour
 //! the paper measures.
 
+pub mod fuzzgen;
 pub mod gen;
 pub mod idiom;
 pub mod mega;
 pub mod plan;
 pub mod synth;
 
+pub use fuzzgen::{fuzz_module, FuzzModule};
 pub use gen::{generate, partition_range, CorpusStream, GeneratedModule, DEFAULT_SEED};
 pub use idiom::{Expected, Idiom};
 pub use mega::{mega_edit, mega_module, MegaEdit, MegaEditKind, DEFAULT_MEGA_FUNS};

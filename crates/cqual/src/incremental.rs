@@ -602,7 +602,11 @@ fn tr_summary(map: &LocMap, s: &Arc<Summary>) -> Option<Arc<Summary>> {
     }
     // `out` is canonically sorted by location in each run's own space.
     out.sort_unstable_by_key(|&(l, _)| l);
-    Some(Arc::new(Summary { first_req, out }))
+    Some(Arc::new(Summary {
+        first_req,
+        out,
+        havocked: s.havocked,
+    }))
 }
 
 /// Compares a cached parameter interface (translated) against the

@@ -223,6 +223,7 @@ pub(crate) fn check_function(
         summary: Arc::new(Summary {
             first_req: sink.reqs,
             out,
+            havocked: store.is_havocked(),
         }),
     }
 }
@@ -526,6 +527,13 @@ impl FunctionChecker<'_, '_> {
         for (loc, required, _op) in &sum.first_req {
             let target = retarget(&map, self.cx.frozen, *loc);
             self.require(store, target, *required, LockOp::CallRequirement, site);
+        }
+        // A havocked callee reached an unanalyzed cyclic call on some
+        // path: its `out` covers only the locations it mentioned, so
+        // everything else must drop to unknown here too — *before* the
+        // explicit exit states are applied on top.
+        if sum.havocked {
+            store.havoc();
         }
         for (loc, out_state) in &sum.out {
             let target = retarget(&map, self.cx.frozen, *loc);

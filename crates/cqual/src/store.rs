@@ -7,7 +7,11 @@ use localias_alias::{Loc, LocTable};
 
 /// A map from canonical lock locations to their abstract state. Absent
 /// locations are implicitly [`LockState::Unlocked`] — the paper's "assume
-/// that all locks begin in the state unlocked".
+/// that all locks begin in the state unlocked" — unless the store has
+/// been **havocked** (a call into a recursive cycle whose effects are
+/// unknown), in which case absent locations are [`LockState::Top`]:
+/// after an unanalyzed call *every* lock may be in either state, not
+/// just the ones this function happened to mention earlier.
 ///
 /// A store can also be **unreachable** (the state after `return`,
 /// `break`, or `continue` on the current path): every lookup is
@@ -22,6 +26,7 @@ use localias_alias::{Loc, LocTable};
 pub struct Store {
     map: Vec<(Loc, LockState)>,
     unreachable: bool,
+    havocked: bool,
 }
 
 impl Store {
@@ -35,6 +40,17 @@ impl Store {
         Store {
             map: Vec::new(),
             unreachable: true,
+            havocked: false,
+        }
+    }
+
+    /// The state of a location this store holds no entry for.
+    #[inline]
+    fn default_state(&self) -> LockState {
+        if self.havocked {
+            LockState::Top
+        } else {
+            LockState::Unlocked
         }
     }
 
@@ -48,6 +64,9 @@ impl Store {
     pub fn mark_unreachable(&mut self) {
         self.map.clear();
         self.unreachable = true;
+        // ⊥ must be canonical (it is the join identity and compares by
+        // `==` in fixpoints), so the havoc flag resets with the path.
+        self.havocked = false;
     }
 
     /// Whether the current path is dead.
@@ -62,7 +81,7 @@ impl Store {
         }
         match self.pos(loc) {
             Ok(i) => self.map[i].1,
-            Err(_) => LockState::Unlocked,
+            Err(_) => self.default_state(),
         }
     }
 
@@ -95,7 +114,7 @@ impl Store {
                 let s = if strong {
                     new
                 } else {
-                    LockState::Unlocked.weak_update(new)
+                    self.default_state().weak_update(new)
                 };
                 self.map.insert(i, (loc, s));
             }
@@ -116,19 +135,39 @@ impl Store {
             self.set(loc, mine.join(s));
         }
         // Locations only in self keep their state: other's implicit
-        // Unlocked must still join in.
+        // default (Unlocked, or Top when havocked) must still join in.
         for e in &mut self.map {
             if other.pos(e.0).is_err() {
-                e.1 = e.1.join(LockState::Unlocked);
+                e.1 = e.1.join(other.default_state());
             }
         }
+        self.havocked |= other.havocked;
+        self.normalize();
     }
 
     /// Conservatively forgets everything (e.g. after a call into a
-    /// recursive cycle).
+    /// recursive cycle). Marks the store havocked: from here on even
+    /// never-mentioned locations read as [`LockState::Top`] — the
+    /// unanalyzed callee may have acquired or released *any* lock, not
+    /// only the ones this function touched before the call.
     pub fn havoc(&mut self) {
-        for e in &mut self.map {
-            e.1 = LockState::Top;
+        if self.unreachable {
+            return;
+        }
+        self.map.clear();
+        self.havocked = true;
+    }
+
+    /// Whether an unanalyzed call has clobbered this path.
+    pub fn is_havocked(&self) -> bool {
+        self.havocked
+    }
+
+    /// Drops entries equal to the implicit default so equal abstract
+    /// states share one representation (`==` drives fixpoints).
+    fn normalize(&mut self) {
+        if self.havocked {
+            self.map.retain(|&(_, s)| s != LockState::Top);
         }
     }
 
@@ -138,9 +177,11 @@ impl Store {
     }
 
     /// Whether `loc` has ever been explicitly set/updated (used when
-    /// building call summaries to record entry requirements).
+    /// building call summaries to record entry requirements). After a
+    /// havoc everything counts as touched: a requirement first seen
+    /// past an unanalyzed call is not an entry precondition.
     pub fn touched(&self, loc: Loc) -> bool {
-        self.pos(loc).is_ok()
+        self.havocked || self.pos(loc).is_ok()
     }
 }
 
@@ -198,13 +239,46 @@ mod tests {
     }
 
     #[test]
-    fn havoc_tops_everything_touched() {
+    fn havoc_tops_everything_including_unmentioned() {
         let mut s = Store::new();
         s.update(Loc(0), LockState::Locked, true);
         s.havoc();
         assert_eq!(s.state(Loc(0)), LockState::Top);
-        // Untouched stays implicitly unlocked (it was never mentioned).
-        assert_eq!(s.state(Loc(9)), LockState::Unlocked);
+        // A lock this function never mentioned may still have been
+        // acquired by the unanalyzed callee: it must read Top, not the
+        // initial implicit Unlocked (the fuzz oracle's recursion
+        // counterexample — see crates/cqual/tests/fuzz_regressions.rs).
+        assert_eq!(s.state(Loc(9)), LockState::Top);
+        assert!(s.is_havocked());
+        assert!(s.touched(Loc(9)), "post-havoc reqs are not preconditions");
+    }
+
+    #[test]
+    fn join_spreads_havoc_pointwise() {
+        // then-branch called into a cycle, else-branch stayed clean: at
+        // the merge every lock is unknown on *some* path.
+        let mut then_side = Store::new();
+        then_side.havoc();
+        let mut else_side = Store::new();
+        else_side.update(Loc(2), LockState::Locked, true);
+        else_side.join(&then_side);
+        assert!(else_side.is_havocked());
+        assert_eq!(else_side.state(Loc(2)), LockState::Top);
+        assert_eq!(else_side.state(Loc(7)), LockState::Top);
+
+        // Join is order-symmetric on the abstract state.
+        let mut a = Store::new();
+        a.havoc();
+        let mut b = Store::new();
+        b.update(Loc(2), LockState::Locked, true);
+        a.join(&b);
+        assert_eq!(a, else_side, "normalized representations agree");
+
+        // Unreachable stays the identity and stays canonical ⊥.
+        let mut dead = Store::new();
+        dead.havoc();
+        dead.mark_unreachable();
+        assert_eq!(dead, Store::bottom());
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub(crate) struct Summary {
     pub first_req: Vec<(Loc, LockState, LockOp)>,
     /// Lock state on exit, per touched location.
     pub out: Vec<(Loc, LockState)>,
+    /// Whether some path through the function reached an unanalyzed
+    /// (cyclic) call: locations absent from `out` exit in an *unknown*
+    /// state, not their entry state, so callers must havoc in turn.
+    /// Without this bit a recursive clique's effects silently vanish at
+    /// every call site outside the clique (found by `localias fuzz`).
+    pub havocked: bool,
 }
 
 /// The published summaries, keyed by function name. Between waves the

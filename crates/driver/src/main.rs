@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         Some("infer") => cmd_infer(&args[1..]),
         Some("locks") => cmd_locks(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
@@ -69,13 +70,21 @@ fn main() -> ExitCode {
         Some("tracecheck") => cmd_tracecheck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: localias <parse|check|infer|locks|run|watch|corpus|experiment|bench-merge|tracecheck> [args]\n\
+                "usage: localias <parse|check|infer|locks|run|fuzz|watch|corpus|experiment|bench-merge|tracecheck> [args]\n\
                  \n\
                  parse   <file.mc>          parse and pretty-print a module\n\
                  check   <file.mc>          check explicit restrict/confine annotations\n\
                  infer   <file.mc> [--general]  run restrict and confine inference\n\
                  locks   <file.mc> [mode]   lock checking (noconfine|confine|allstrong)\n\
                  run     <file.mc> [arg]    execute every function (restrict = copy-and-poison)\n\
+                 fuzz    [--iterations N] [--seed S] [--fuel N] [--repro-dir DIR]\n\
+                 \x20                          [--no-shrink] [--stream]\n\
+                 \x20                          differential soundness fuzzing: generated modules\n\
+                 \x20                          run through the interpreter (ground truth) and all\n\
+                 \x20                          three checker modes under both alias backends; any\n\
+                 \x20                          missed real fault fails the run, shrunk to a minimal\n\
+                 \x20                          repro module under --repro-dir (--stream prints the\n\
+                 \x20                          per-module verdict lines)\n\
                  watch   <file.mc> [--iterations N] [--poll-ms MS] [--intra-jobs N]\n\
                  \x20                          [--verify] [--quiet]\n\
                  \x20                          re-run the three lock checks on every save,\n\
@@ -261,6 +270,101 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
         let _ = writeln!(out, "  no dynamic lock faults");
     }
     Ok(out)
+}
+
+/// `localias fuzz` — differential soundness fuzzing with the
+/// interpreter as oracle (see `localias_bench::fuzz`).
+///
+/// Exits non-zero if any generated module exhibits a soundness
+/// divergence: a dynamic lock fault the checker missed under some
+/// mode × backend, or a Theorem-1 restrict violation in a check-clean
+/// module. Divergent modules are shrunk to 1-minimal counterexamples
+/// and written under `--repro-dir` (so an empty repro dir after a run
+/// is the machine-checkable "all clean" signal `scripts/check.sh`
+/// gates on).
+fn cmd_fuzz(args: &[String]) -> Result<String, String> {
+    const USAGE: &str = "usage: localias fuzz [--iterations N] [--seed S] \
+         [--fuel N] [--repro-dir DIR] [--no-shrink] [--stream]";
+    let mut cfg = localias_bench::fuzz::FuzzConfig::default();
+    let mut repro_dir: Option<String> = None;
+    let mut stream = false;
+    let mut i = 0;
+    let num = |args: &[String], i: usize, what: &str| -> Result<u64, String> {
+        args.get(i + 1)
+            .ok_or(format!("{what} needs a value\n{USAGE}"))?
+            .parse::<u64>()
+            .map_err(|_| format!("bad {what} value\n{USAGE}"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iterations" => {
+                cfg.iterations = num(args, i, "--iterations")?;
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = num(args, i, "--seed")?;
+                i += 2;
+            }
+            "--fuel" => {
+                cfg.fuel = num(args, i, "--fuel")?;
+                i += 2;
+            }
+            "--repro-dir" => {
+                repro_dir = Some(
+                    args.get(i + 1)
+                        .ok_or(format!("--repro-dir needs a value\n{USAGE}"))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--no-shrink" => {
+                cfg.shrink = false;
+                i += 1;
+            }
+            "--stream" => {
+                stream = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown fuzz option `{other}`\n{USAGE}")),
+        }
+    }
+    let report = localias_bench::fuzz::run_fuzz(&cfg);
+    if let Some(dir) = &repro_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        for d in &report.divergences {
+            let path = format!("{dir}/{}_{}.mc", d.module, d.kind.name());
+            let mut body = format!(
+                "// {} divergence: entry {} ({})\n// replay: localias fuzz --seed {} \
+                 --iterations {} (module index {})\n",
+                d.kind.name(),
+                d.entry,
+                d.detail,
+                cfg.seed,
+                d.index + 1,
+                d.index,
+            );
+            body.push_str(d.shrunk.as_deref().unwrap_or(&d.source));
+            std::fs::write(&path, body).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    let mut out = String::new();
+    if stream {
+        out.push_str(&report.stream);
+    }
+    let _ = write!(out, "seed {}: {}", cfg.seed, report.summary());
+    if report.clean() {
+        Ok(out)
+    } else {
+        print!("{out}");
+        let wrote = match &repro_dir {
+            Some(dir) => format!("; repro modules written under {dir}/"),
+            None => String::new(),
+        };
+        Err(format!(
+            "fuzz: {} soundness divergence(s){wrote}",
+            report.divergences.len()
+        ))
+    }
 }
 
 /// `localias watch FILE` — an edit→report loop over one module.

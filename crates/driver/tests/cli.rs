@@ -374,6 +374,52 @@ fn watch_rejects_unknown_flags() {
 }
 
 #[test]
+fn fuzz_smoke_is_clean_and_deterministic() {
+    let dir = std::env::temp_dir().join("localias-cli-tests/fuzz-repro");
+    let _ = std::fs::remove_dir_all(&dir);
+    let args = [
+        "fuzz",
+        "--iterations",
+        "60",
+        "--seed",
+        "42",
+        "--stream",
+        "--repro-dir",
+    ];
+    let mut with_dir: Vec<&str> = args.to_vec();
+    let dir_s = dir.to_str().unwrap().to_string();
+    with_dir.push(&dir_s);
+    let (out, err, ok) = localias(&with_dir);
+    assert!(ok, "clean checker must survive the smoke: {err}");
+    assert!(out.contains("divergences: 0"), "{out}");
+    assert!(
+        out.contains("fuzz0 "),
+        "--stream prints verdict lines: {out}"
+    );
+    let entries = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(entries, 0, "no repro modules on a clean run");
+    // Byte-identical replay, seed-sensitive.
+    let (out2, _, _) = localias(&with_dir);
+    assert_eq!(out, out2);
+    let (out3, _, ok3) = localias(&["fuzz", "--iterations", "60", "--seed", "7", "--stream"]);
+    assert!(ok3);
+    assert_ne!(out, out3);
+}
+
+#[test]
+fn fuzz_rejects_bad_flags() {
+    let (_, err, ok) = localias(&["fuzz", "--frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown fuzz option"), "{err}");
+    let (_, err, ok) = localias(&["fuzz", "--iterations"]);
+    assert!(!ok);
+    assert!(err.contains("--iterations needs a value"), "{err}");
+    let (_, err, ok) = localias(&["fuzz", "--seed", "notanumber"]);
+    assert!(!ok);
+    assert!(err.contains("bad --seed value"), "{err}");
+}
+
+#[test]
 fn watch_picks_up_an_edit_and_rechecks_incrementally() {
     use std::io::Read as _;
     let p = write_temp("watch2.mc", WATCH_BASE);

@@ -743,7 +743,10 @@ impl<'m> Interp<'m> {
 
     /// Calls a named function with synthesized arguments: `n` for every
     /// integer parameter, a fresh zeroed object for every pointer
-    /// parameter.
+    /// parameter, and the type's default for everything else (a free
+    /// lock for by-value lock parameters — passing `n` would make the
+    /// very first `spin_lock` a [`RuntimeError::TypeFault`] and hide
+    /// the lock behaviour the caller wants to observe).
     pub fn call_with_default_args(&mut self, name: &str, n: i64) -> Result<Value, RuntimeError> {
         let Some(f) = self.module.function(name) else {
             return Err(RuntimeError::Unbound(name.to_string()));
@@ -753,11 +756,44 @@ impl<'m> Interp<'m> {
         for p in &f.params {
             let v = match &p.ty {
                 TypeExpr::Ptr(inner) => Value::Addr(self.mem.alloc(inner)),
-                _ => Value::Int(n),
+                TypeExpr::Int => Value::Int(n),
+                other => default_value(other),
             };
             args.push(v);
         }
         self.call_def(&f, &args).map(|(v, _)| v)
+    }
+
+    /// Calls a named function with explicit argument values — the
+    /// differential fuzz oracle's entry point, which synthesizes its own
+    /// argument tuples (distinct and colliding indices, fresh objects)
+    /// instead of the one-size default above. Missing trailing arguments
+    /// are padded with the parameter type's default value.
+    pub fn call_entry(&mut self, name: &str, args: &[Value]) -> Result<Value, RuntimeError> {
+        let Some(f) = self.module.function(name) else {
+            return Err(RuntimeError::Unbound(name.to_string()));
+        };
+        let f = f.clone();
+        let mut vals = args.to_vec();
+        for p in f.params.iter().skip(vals.len()) {
+            vals.push(match &p.ty {
+                TypeExpr::Ptr(inner) => Value::Addr(self.mem.alloc(inner)),
+                other => default_value(other),
+            });
+        }
+        self.call_def(&f, &vals).map(|(v, _)| v)
+    }
+
+    /// Allocates a fresh zeroed object of type `ty` and returns its
+    /// address — how the fuzz oracle materializes pointer arguments.
+    pub fn fresh_object(&mut self, ty: &TypeExpr) -> Value {
+        Value::Addr(self.mem.alloc(ty))
+    }
+
+    /// Number of lock cells currently held (see
+    /// [`Memory::held_lock_count`]).
+    pub fn held_locks(&self) -> usize {
+        self.mem.held_lock_count()
     }
 
     /// Runs every function in the module once with synthesized arguments

@@ -231,6 +231,18 @@ impl Memory {
     pub fn object_count(&self) -> usize {
         self.objects.len()
     }
+
+    /// Number of lock cells currently in the held state, across every
+    /// object. The differential fuzz oracle reads this after an entry
+    /// function returns: a nonzero count on a path the checker verified
+    /// means a lock escaped its balanced region (handoff or leak).
+    pub fn held_lock_count(&self) -> usize {
+        self.objects
+            .iter()
+            .flat_map(|o| &o.cells)
+            .filter(|c| c.value == Value::Lock(true))
+            .count()
+    }
 }
 
 #[cfg(test)]

@@ -373,3 +373,146 @@ fn balanced_locking_is_silent() {
     interp.call_with_default_args("f", 3).unwrap();
     assert!(interp.lock_faults.is_empty());
 }
+
+// ---- The fuzz oracle's entry API ---------------------------------------------
+
+#[test]
+fn call_entry_takes_explicit_args_and_pads_missing_ones() {
+    let m = parse(
+        r#"
+        lock locks[4];
+        void f(int i, int j) {
+            spin_lock(&locks[i]);
+            spin_unlock(&locks[j]);
+        }
+        "#,
+    );
+    // Distinct indices: unlock releases a lock that was never taken.
+    let mut interp = Interp::new(&m, 100_000);
+    interp
+        .call_entry("f", &[Value::Int(1), Value::Int(2)])
+        .unwrap();
+    assert_eq!(interp.lock_faults.len(), 1);
+    assert!(interp.lock_faults[0].detail.contains("unheld"));
+
+    // Same index: perfectly balanced.
+    let mut interp = Interp::new(&m, 100_000);
+    interp
+        .call_entry("f", &[Value::Int(2), Value::Int(2)])
+        .unwrap();
+    assert!(interp.lock_faults.is_empty());
+
+    // Missing trailing args default to the parameter type's zero (0 ==
+    // 0, so this is again balanced).
+    let mut interp = Interp::new(&m, 100_000);
+    interp.call_entry("f", &[]).unwrap();
+    assert!(interp.lock_faults.is_empty());
+}
+
+#[test]
+fn default_args_give_lock_params_a_free_lock() {
+    // A by-value lock parameter must arrive as a (free) lock value, not
+    // the integer argument — otherwise `spin_lock(&l)` is a TypeFault
+    // and the oracle observes noise instead of lock behaviour.
+    let m = parse(
+        r#"
+        void f(lock l) {
+            spin_lock(&l);
+            spin_unlock(&l);
+        }
+        "#,
+    );
+    let mut interp = Interp::new(&m, 100_000);
+    interp.call_with_default_args("f", 7).unwrap();
+    assert!(interp.lock_faults.is_empty());
+}
+
+#[test]
+fn interrupt_reentry_double_acquire_is_observed() {
+    // The kernel idiom the checker must never miss: an interrupt
+    // handler that re-acquires a lock its interrupted context already
+    // holds. Modeled as a direct call while the lock is held.
+    let m = parse(
+        r#"
+        lock mu;
+        int state;
+        void isr() {
+            spin_lock(&mu);
+            state = 0;
+            spin_unlock(&mu);
+        }
+        void top_half(int pending) {
+            spin_lock(&mu);
+            state = 1;
+            if (pending) { isr(); }
+            spin_unlock(&mu);
+        }
+        "#,
+    );
+    let mut interp = Interp::new(&m, 100_000);
+    interp.call_entry("top_half", &[Value::Int(1)]).unwrap();
+    // The cascade: the isr re-acquires a held lock, its unlock then
+    // frees it, so the interrupted context's own unlock hits an unheld
+    // lock — two splats, like real lockdep output.
+    assert_eq!(interp.lock_faults.len(), 2);
+    assert!(interp.lock_faults[0].detail.contains("double acquire"));
+    assert_eq!(
+        interp.lock_faults[0].fun, "isr",
+        "the first fault is attributed to the re-entering function"
+    );
+    assert!(interp.lock_faults[1].detail.contains("unheld"));
+    assert_eq!(interp.lock_faults[1].fun, "top_half");
+
+    // Without the pending interrupt the same code is silent.
+    let mut interp = Interp::new(&m, 100_000);
+    interp.call_entry("top_half", &[Value::Int(0)]).unwrap();
+    assert!(interp.lock_faults.is_empty());
+}
+
+#[test]
+fn release_through_stale_alias_violates_restrict_not_lockdep() {
+    // Releasing through an alias the restrict scope poisoned is a
+    // Theorem-1 violation (the §3.2 `err` read), not a lock fault: the
+    // oracle's second axis.
+    let m = parse(
+        r#"
+        lock mu;
+        void f() {
+            lock *p = &mu;
+            restrict q = &mu {
+                spin_lock(q);
+                spin_unlock(p);
+            }
+        }
+        "#,
+    );
+    let mut interp = Interp::new(&m, 100_000);
+    let err = interp.call_entry("f", &[]).unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::RestrictViolation { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn held_locks_counts_leaks_after_return() {
+    let m = parse(
+        r#"
+        struct dev { lock mu; int state; };
+        void begin(struct dev *d) { spin_lock(&d->mu); d->state = 1; }
+        void end(struct dev *d) { d->state = 0; spin_unlock(&d->mu); }
+        void balanced(struct dev *d) { begin(d); end(d); }
+        void leaky(struct dev *d) { begin(d); }
+        "#,
+    );
+    let mut interp = Interp::new(&m, 100_000);
+    interp.call_with_default_args("balanced", 0).unwrap();
+    assert!(interp.lock_faults.is_empty());
+    assert_eq!(interp.held_locks(), 0);
+
+    // Handoff that never completes: the lock escapes the call balanced.
+    let mut interp = Interp::new(&m, 100_000);
+    interp.call_with_default_args("leaky", 0).unwrap();
+    assert!(interp.lock_faults.is_empty());
+    assert_eq!(interp.held_locks(), 1);
+}

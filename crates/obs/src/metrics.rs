@@ -112,6 +112,25 @@ counters! {
     /// Incremental recheck: whole-module no-op hits (raw source
     /// byte-identical to the previous run).
     IncrModuleHits => "incr.module_hits",
+    /// Differential fuzzing: modules generated and checked.
+    FuzzModules => "fuzz.modules",
+    /// Differential fuzzing: entry functions executed under the oracle.
+    FuzzEntries => "fuzz.entries",
+    /// Differential fuzzing: interpreter runs (entry × argument tuple).
+    FuzzRuns => "fuzz.runs",
+    /// Differential fuzzing: dynamic lock faults the oracle observed.
+    FuzzDynFaults => "fuzz.dyn_faults",
+    /// Differential fuzzing: soundness divergences (dynamic fault with no
+    /// static error in the entry's reachable region, or a Theorem-1
+    /// restrict violation in a check-clean module).
+    FuzzUnsound => "fuzz.unsound",
+    /// Differential fuzzing: statically flagged functions that never
+    /// faulted dynamically (false-positive tally).
+    FuzzFalsePositives => "fuzz.false_positives",
+    /// Counterexample shrinker: candidate edits attempted.
+    FuzzShrinkCandidates => "fuzz.shrink_candidates",
+    /// Counterexample shrinker: edits accepted (divergence preserved).
+    FuzzShrinkSteps => "fuzz.shrink_steps",
     /// Peak resident-set size of the process, in bytes (high-water mark;
     /// recorded with [`gauge_max`], so concurrent flushes keep the max).
     MemPeakRssBytes => "mem.peak_rss_bytes",
@@ -182,9 +201,18 @@ pub(crate) fn take_counters() -> Metrics {
 /// A point-in-time snapshot of every counter: the `Metrics` handle the
 /// pipeline's observers hold. Obtained from [`crate::drain`] (which
 /// resets the registry) as part of a [`crate::Trace`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Metrics {
     pub(crate) vals: [u64; COUNTER_COUNT],
+}
+
+// Derived `Default` stops at 32-element arrays; the registry outgrew it.
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            vals: [0; COUNTER_COUNT],
+        }
+    }
 }
 
 impl Metrics {

@@ -83,6 +83,17 @@ echo
 echo "wrote $(pwd)/BENCH_alias.json (backend frontier):"
 cat BENCH_alias.json
 
+# Differential fuzzing: 2,000 generated modules executed under the
+# interpreter oracle and checked under all three modes x both
+# backends. Exits non-zero on any soundness divergence, so the bench
+# sweep doubles as a release gate; the artifact records fuzz
+# throughput and the measured false-positive rate per mode/backend.
+./target/release/fuzz 42 --modules 2000 --profile --bench-out BENCH_fuzz.json
+
+echo
+echo "wrote $(pwd)/BENCH_fuzz.json (differential fuzzing):"
+cat BENCH_fuzz.json
+
 # The corpus-scale sweep (1k..50k modules, 1 and 2 partitions) takes
 # minutes, so it only runs when explicitly requested.
 if [ "${BENCH_SCALE:-0}" = "1" ]; then

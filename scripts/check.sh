@@ -249,4 +249,22 @@ grep -q '"misses": 80' "$ALIAS/andersen.json" || {
     exit 1
 }
 
-echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, watch-determinism smoke, trace smoke, partitioned scale smoke, and andersen backend smoke all passed"
+# Differential-fuzzing smoke: a seeded 500-module sweep with the
+# interpreter as ground-truth oracle must find zero soundness
+# divergences across all three modes x both alias backends — the repro
+# dir staying empty is the machine-checkable "all clean" signal.
+FUZZ="$CACHE/fuzz-repro"
+mkdir -p "$FUZZ"
+./target/release/localias fuzz --iterations 500 --seed 42 \
+    --repro-dir "$FUZZ" >/dev/null || {
+    echo "check.sh: fuzz smoke found soundness divergences; repros:" >&2
+    ls "$FUZZ" >&2
+    exit 1
+}
+if [ -n "$(ls -A "$FUZZ")" ]; then
+    echo "check.sh: fuzz smoke exited 0 but wrote repro modules:" >&2
+    ls "$FUZZ" >&2
+    exit 1
+fi
+
+echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, watch-determinism smoke, trace smoke, partitioned scale smoke, andersen backend smoke, and fuzz smoke all passed"
