@@ -11,7 +11,8 @@
 //! `--cache DIR` / `--no-cache` / `--cache-shards N`, `--obs` /
 //! `--obs-out FILE`). `--alias` is accepted but ignored: this binary
 //! always sweeps every backend. The machine-readable report (schema
-//! `localias-bench-alias/v1`) is written to `BENCH_alias.json`, or to
+//! `localias-bench-alias/v2`, which added the `hist` latency block) is
+//! written to `BENCH_alias.json`, or to
 //! `--bench-out FILE` when given.
 //!
 //! On the default seed the Steensgaard sweep must reproduce the paper's
@@ -23,7 +24,8 @@ use std::fmt::Write as _;
 
 use localias_alias::Backend;
 use localias_bench::{
-    finish_obs, init_obs, json_trace, run_experiment_cached, CliOpts, ExperimentBench, ModuleResult,
+    finish_obs, init_obs, json_hists, json_trace, run_experiment_cached, CliOpts, ExperimentBench,
+    ModuleResult, ObsReport,
 };
 use localias_corpus::DEFAULT_SEED;
 use localias_obs as obs;
@@ -125,13 +127,8 @@ impl FrontierRow {
     }
 }
 
-fn report_json(
-    seed: u64,
-    opts: &CliOpts,
-    rows: &[FrontierRow],
-    profile: &Option<obs::Trace>,
-) -> String {
-    let mut out = String::from("{\n  \"schema\": \"localias-bench-alias/v1\",\n");
+fn report_json(seed: u64, opts: &CliOpts, rows: &[FrontierRow], report: &ObsReport) -> String {
+    let mut out = String::from("{\n  \"schema\": \"localias-bench-alias/v2\",\n");
     let _ = write!(
         out,
         "  \"seed\": {seed},\n  \"jobs\": {},\n  \"intra_jobs\": {},\n  \"backends\": [\n    ",
@@ -143,8 +140,10 @@ fn report_json(
         }
         out.push_str(&row.json());
     }
-    out.push_str("\n  ],\n  \"profile\": ");
-    match profile {
+    out.push_str("\n  ],\n  \"hist\": ");
+    out.push_str(&json_hists(&report.hists));
+    out.push_str(",\n  \"profile\": ");
+    match &report.trace {
         None => out.push_str("null"),
         Some(t) => out.push_str(&json_trace(t)),
     }
@@ -167,8 +166,8 @@ fn main() {
         .iter()
         .map(|&b| sweep(b, seed, &opts))
         .collect();
-    let profile = match finish_obs(&opts) {
-        Ok(trace) => trace,
+    let report = match finish_obs(&opts) {
+        Ok(report) => report,
         Err(e) => {
             obs::error!("alias: {e}");
             std::process::exit(1);
@@ -218,7 +217,7 @@ fn main() {
         .bench_out
         .clone()
         .unwrap_or_else(|| "BENCH_alias.json".to_string());
-    if let Err(e) = std::fs::write(&out_path, report_json(seed, &opts, &rows, &profile)) {
+    if let Err(e) = std::fs::write(&out_path, report_json(seed, &opts, &rows, &report)) {
         obs::error!("alias: {out_path}: {e}");
         std::process::exit(1);
     }

@@ -23,7 +23,10 @@ fn main() {
     let (results, mut bench) =
         run_experiment_cached(seed, opts.jobs, opts.intra_jobs, opts.alias, &opts.cache);
     match finish_obs(&opts) {
-        Ok(trace) => bench.profile = trace,
+        Ok(report) => {
+            bench.profile = report.trace;
+            bench.hist = report.hists;
+        }
         Err(e) => {
             obs::error!("fig6: {e}");
             std::process::exit(1);

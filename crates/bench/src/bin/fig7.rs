@@ -54,7 +54,10 @@ fn main() {
         &opts.cache,
     );
     match finish_obs(&opts) {
-        Ok(trace) => bench.profile = trace,
+        Ok(report) => {
+            bench.profile = report.trace;
+            bench.hist = report.hists;
+        }
         Err(e) => {
             obs::error!("fig7: {e}");
             std::process::exit(1);

@@ -5,10 +5,12 @@
 //! `--modules N` sets the number of fuzzed modules (default 2000), the
 //! positional argument the corpus seed; the shared observability flags
 //! (`--trace-out FILE`, `--profile`, `--quiet`) are honored. The
-//! machine-readable report (schema `localias-bench-fuzz/v1`) is
-//! written to `BENCH_fuzz.json`, or to `--bench-out FILE` when given:
-//! modules/s fuzzed, the false-positive rate per mode per backend,
-//! shrinker statistics, and the embedded obs profile block.
+//! machine-readable report (schema `localias-bench-fuzz/v2`, which
+//! added the `hist` latency block) is written to `BENCH_fuzz.json`, or
+//! to `--bench-out FILE` when given: modules/s fuzzed, the
+//! false-positive rate per mode per backend, shrinker statistics,
+//! per-operation latency histograms, and the embedded obs profile
+//! block.
 //!
 //! The binary exits non-zero on any soundness divergence — a fuzz
 //! sweep doubles as a release gate.
@@ -18,7 +20,7 @@ use std::time::Instant;
 
 use localias_alias::Backend;
 use localias_bench::fuzz::{mode_name, run_fuzz, FuzzConfig, FuzzReport};
-use localias_bench::{finish_obs, init_obs, json_trace, CliOpts};
+use localias_bench::{finish_obs, init_obs, json_hists, json_trace, CliOpts, ObsReport};
 use localias_cqual::MODES;
 use localias_obs as obs;
 
@@ -55,9 +57,9 @@ fn report_json(
     cfg: &FuzzConfig,
     report: &FuzzReport,
     wall_seconds: f64,
-    profile: &Option<obs::Trace>,
+    obs_report: &ObsReport,
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"localias-bench-fuzz/v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"localias-bench-fuzz/v2\",\n");
     let _ = write!(
         out,
         "  \"seed\": {},\n  \"iterations\": {},\n  \"fuel\": {},\n  \
@@ -66,7 +68,7 @@ fn report_json(
          \"leaks\": {},\n  \"restrict_violations\": {},\n  \
          \"out_of_fuel\": {},\n  \"exec_errors\": {},\n  \
          \"divergences\": {},\n  \"fp_rates\": {},\n  \
-         \"shrink\": {{\"candidates\": {}, \"steps\": {}}},\n  \"profile\": ",
+         \"shrink\": {{\"candidates\": {}, \"steps\": {}}},\n  \"hist\": ",
         cfg.seed,
         cfg.iterations,
         cfg.fuel,
@@ -83,7 +85,9 @@ fn report_json(
         report.shrink_candidates,
         report.shrink_steps,
     );
-    match profile {
+    out.push_str(&json_hists(&obs_report.hists));
+    out.push_str(",\n  \"profile\": ");
+    match &obs_report.trace {
         None => out.push_str("null"),
         Some(t) => out.push_str(&json_trace(t)),
     }
@@ -109,8 +113,8 @@ fn main() {
     let t0 = Instant::now();
     let report = run_fuzz(&cfg);
     let wall = t0.elapsed();
-    let profile = match finish_obs(&opts) {
-        Ok(trace) => trace,
+    let obs_report = match finish_obs(&opts) {
+        Ok(report) => report,
         Err(e) => {
             obs::error!("fuzz: {e}");
             std::process::exit(1);
@@ -132,7 +136,7 @@ fn main() {
         .bench_out
         .clone()
         .unwrap_or_else(|| "BENCH_fuzz.json".to_string());
-    let json = report_json(&cfg, &report, wall.as_secs_f64(), &profile);
+    let json = report_json(&cfg, &report, wall.as_secs_f64(), &obs_report);
     if let Err(e) = std::fs::write(&out_path, json) {
         obs::error!("fuzz: {out_path}: {e}");
         std::process::exit(1);

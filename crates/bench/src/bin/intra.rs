@@ -10,13 +10,14 @@
 //! Accepts `[SEED] [--funs N] [--intra-jobs N] [--bench-out FILE]`;
 //! `--intra-jobs` sets the parallel row's thread count (default: all
 //! cores). The machine-readable report (`--bench-out`, conventionally
-//! `BENCH_intra.json`) uses schema `localias-bench-intra/v2` with
+//! `BENCH_intra.json`) uses schema `localias-bench-intra/v3` with
 //! per-wave timings from the parallel run; v2 added each wave's
 //! `max_fun_seconds` — the straggler function that bounds how much
-//! parallelism can help that wave.
+//! parallelism can help that wave — and v3 the `hist` latency block
+//! (per-function check and per-wave histograms with exact percentiles).
 
 use localias_bench::harness::best_of;
-use localias_bench::{finish_obs, init_obs, CliOpts};
+use localias_bench::{finish_obs, init_obs, json_hists, CliOpts};
 use localias_corpus::{mega_module, DEFAULT_MEGA_FUNS};
 use localias_cqual::{check_locks_frozen_timed, IntraStats, Mode};
 use localias_obs as obs;
@@ -147,6 +148,16 @@ fn main() {
         total_seq / total_par
     );
 
+    // Drain obs before rendering the report so the hist block covers
+    // every timed run above.
+    let obs_report = match finish_obs(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            obs::error!("intra: {e}");
+            std::process::exit(1);
+        }
+    };
+
     if let Some(path) = &opts.bench_out {
         let mut modes = String::new();
         for (i, r) in rows.iter().enumerate() {
@@ -178,22 +189,19 @@ fn main() {
             );
         }
         let json = format!(
-            "{{\n  \"schema\": \"localias-bench-intra/v2\",\n  \"seed\": {seed},\n  \
+            "{{\n  \"schema\": \"localias-bench-intra/v3\",\n  \"seed\": {seed},\n  \
              \"funs\": {funs},\n  \"threads\": {threads},\n  \
              \"sequential_seconds\": {},\n  \"parallel_seconds\": {},\n  \
-             \"speedup\": {},\n  \"modes\": {{\n{modes}  }}\n}}\n",
+             \"speedup\": {},\n  \"hist\": {},\n  \"modes\": {{\n{modes}  }}\n}}\n",
             jf(total_seq),
             jf(total_par),
             jf(total_seq / total_par),
+            json_hists(&obs_report.hists),
         );
         if let Err(e) = std::fs::write(path, json) {
             obs::error!("intra: {path}: {e}");
             std::process::exit(1);
         }
         println!("(wrote {path})");
-    }
-    if let Err(e) = finish_obs(&opts) {
-        obs::error!("intra: {e}");
-        std::process::exit(1);
     }
 }

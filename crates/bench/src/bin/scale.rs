@@ -15,9 +15,11 @@
 //!
 //! Defaults: sizes 1000,5000,20000,50000; partitions 1,2; the driver
 //! binary at target/release/localias (or `$LOCALIAS_BIN`). The report
-//! (schema `localias-bench-scale/v1`) embeds the obs profile block from
-//! the largest single-partition run, so the per-phase span tree and the
-//! `mem.*` gauges for the heaviest sweep travel with the curve.
+//! (schema `localias-bench-scale/v2`, which added the `hist` block)
+//! embeds the obs profile and latency-histogram blocks from the largest
+//! single-partition run, so the per-phase span tree, the `mem.*`
+//! gauges, and the per-module latency distribution for the heaviest
+//! sweep travel with the curve.
 
 use localias_bench::json::{self, Value};
 use std::fmt::Write as _;
@@ -107,14 +109,15 @@ fn counter(profile: &Value, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Runs one (size, partitions) point; returns the point plus the profile
-/// block of partition 0 (for embedding when this is the headline point).
+/// Runs one (size, partitions) point; returns the point plus the
+/// profile and hist blocks of partition 0 (for embedding when this is
+/// the headline point).
 fn run_point(
     opts: &Opts,
     scratch: &Path,
     size: usize,
     parts: usize,
-) -> Result<(Point, Value), String> {
+) -> Result<(Point, Value, Value), String> {
     let dir = scratch.join(format!("point-{size}-{parts}"));
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     let cache = dir.join("cache");
@@ -151,6 +154,7 @@ fn run_point(
     let mut arena = 0u64;
     let mut arena_saved = 0u64;
     let mut profile0 = Value::Null;
+    let mut hist0 = Value::Null;
     for (i, (mut child, out)) in children.into_iter().enumerate() {
         let status = child.wait().map_err(|e| format!("wait: {e}"))?;
         if !status.success() {
@@ -174,6 +178,7 @@ fn run_point(
         arena_saved = arena_saved.max(counter(&profile, "mem.arena_saved_bytes"));
         if i == 0 {
             profile0 = profile;
+            hist0 = doc.get("hist").cloned().unwrap_or(Value::Null);
         }
     }
 
@@ -215,14 +220,15 @@ fn run_point(
             arena_saved_bytes: arena_saved,
         },
         profile0,
+        hist0,
     ))
 }
 
-fn render_report(opts: &Opts, points: &[Point], profile: &Value) -> String {
+fn render_report(opts: &Opts, points: &[Point], profile: &Value, hist: &Value) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\n  \"schema\": \"localias-bench-scale/v1\",\n  \"seed\": {},\n  \
+        "{{\n  \"schema\": \"localias-bench-scale/v2\",\n  \"seed\": {},\n  \
          \"jobs\": {},\n  \"points\": [",
         opts.seed, opts.jobs
     );
@@ -242,7 +248,12 @@ fn render_report(opts: &Opts, points: &[Point], profile: &Value) -> String {
             p.arena_saved_bytes
         );
     }
-    let _ = write!(out, "\n  ],\n  \"profile\": {}\n}}\n", profile.render());
+    let _ = write!(
+        out,
+        "\n  ],\n  \"hist\": {},\n  \"profile\": {}\n}}\n",
+        hist.render(),
+        profile.render()
+    );
     out
 }
 
@@ -265,13 +276,13 @@ fn main() {
 
     let scratch = std::env::temp_dir().join(format!("localias-scale-{}", std::process::id()));
     let mut points = Vec::new();
-    // The profile block embedded in the report: the largest
+    // The profile and hist blocks embedded in the report: the largest
     // single-partition sweep, i.e. the heaviest single process.
-    let mut headline: Option<(usize, Value)> = None;
+    let mut headline: Option<(usize, Value, Value)> = None;
     for &size in &opts.sizes {
         for &parts in &opts.partitions {
             match run_point(&opts, &scratch, size, parts) {
-                Ok((point, profile)) => {
+                Ok((point, profile, hist)) => {
                     println!(
                         "{:>7} modules x {} partition{}: {:>8.0} modules/s, \
                          peak RSS {:.1} MiB, wall {:.2}s",
@@ -282,8 +293,8 @@ fn main() {
                         point.peak_rss_bytes as f64 / (1024.0 * 1024.0),
                         point.wall_seconds,
                     );
-                    if parts == 1 && headline.as_ref().is_none_or(|(s, _)| size > *s) {
-                        headline = Some((size, profile));
+                    if parts == 1 && headline.as_ref().is_none_or(|(s, ..)| size > *s) {
+                        headline = Some((size, profile, hist));
                     }
                     points.push(point);
                 }
@@ -297,8 +308,10 @@ fn main() {
     }
     let _ = std::fs::remove_dir_all(&scratch);
 
-    let profile = headline.map(|(_, p)| p).unwrap_or(Value::Null);
-    let report = render_report(&opts, &points, &profile);
+    let (profile, hist) = headline
+        .map(|(_, p, h)| (p, h))
+        .unwrap_or((Value::Null, Value::Null));
+    let report = render_report(&opts, &points, &profile, &hist);
     match &opts.bench_out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &report) {

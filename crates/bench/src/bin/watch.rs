@@ -13,13 +13,13 @@
 //! Accepts `[SEED] [--funs N] [--edits N] [--intra-jobs N]
 //! [--bench-out FILE] [--trace-out FILE] [--profile] [--quiet]`.
 //! The machine-readable report (`--bench-out`, conventionally
-//! `BENCH_watch.json`) uses schema `localias-bench-watch/v1`: cold /
+//! `BENCH_watch.json`) uses schema `localias-bench-watch/v2`: cold /
 //! per-edit / no-op latencies, hit/recheck slot counts, the check-phase
-//! and end-to-end speedups over from-scratch analysis, and the embedded
-//! obs profile block (`incr.*` counters) when `--profile` or
-//! `--trace-out` is given.
+//! and end-to-end speedups over from-scratch analysis, the `hist`
+//! latency block (v2), and the embedded obs profile block (`incr.*`
+//! counters) when `--profile` or `--trace-out` is given.
 
-use localias_bench::{finish_obs, init_obs, json_trace, CliOpts};
+use localias_bench::{finish_obs, init_obs, json_hists, json_trace, CliOpts};
 use localias_corpus::{mega_edit, mega_module, MegaEditKind, DEFAULT_MEGA_FUNS};
 use localias_cqual::{check_locks_frozen, IncrStats, IncrementalSession, LockReport, Mode, MODES};
 use localias_obs as obs;
@@ -283,8 +283,8 @@ fn main() {
          whole-module; only the check phase is incremental)"
     );
 
-    let trace = match finish_obs(&opts) {
-        Ok(t) => t,
+    let obs_report = match finish_obs(&opts) {
+        Ok(r) => r,
         Err(e) => {
             obs::error!("watch: {e}");
             std::process::exit(1);
@@ -314,12 +314,13 @@ fn main() {
                 if i + 1 < rows.len() { "," } else { "" },
             );
         }
-        let profile = match &trace {
+        let profile = match &obs_report.trace {
             None => "null".to_string(),
             Some(t) => json_trace(t),
         };
+        let hist = json_hists(&obs_report.hists);
         let json = format!(
-            "{{\n  \"schema\": \"localias-bench-watch/v1\",\n  \"seed\": {seed},\n  \
+            "{{\n  \"schema\": \"localias-bench-watch/v2\",\n  \"seed\": {seed},\n  \
              \"funs\": {funs},\n  \"edits\": {edits},\n  \"intra_jobs\": {},\n  \
              \"cold\": {{\"total_seconds\": {}, \"check_seconds\": {}, \
              \"full_total_seconds\": {}, \"full_check_seconds\": {}}},\n  \
@@ -329,7 +330,8 @@ fn main() {
              \"check_speedup\": {},\n    \"total_speedup\": {},\n    \
              \"rows\": [{}\n    ]\n  }},\n  \
              \"noop\": {{\"whitespace_seconds\": {}, \"whitespace_rechecked\": {}, \
-             \"module_hit_seconds\": {}}},\n  \"profile\": {profile}\n}}\n",
+             \"module_hit_seconds\": {}}},\n  \"hist\": {hist},\n  \
+             \"profile\": {profile}\n}}\n",
             opts.intra_jobs,
             jf(cold.total_seconds),
             jf(cold.check_seconds),

@@ -385,6 +385,7 @@ impl AnalysisCache {
         }
         shard_files.sort();
         for (idx, path) in shard_files {
+            let _hist = obs::hist_timer!(obs::Hist::CacheShardLoad);
             // A read error means the file vanished since listing (a
             // concurrent writer's rename) — skip, never quarantine.
             let Ok(text) = std::fs::read_to_string(&path) else {
@@ -614,6 +615,7 @@ impl AnalysisCache {
     /// shard was skipped (lock contention past the backoff bound, or a
     /// shard owned by a newer binary).
     fn persist_shard(&mut self, s: usize, mine: Option<&ShardLines>) -> std::io::Result<bool> {
+        let _hist = obs::hist_timer!(obs::Hist::CacheShardPersist);
         let path = self.dir.join(shard_file_name(s));
         let lock_path = self.dir.join(format!("shard-{s:02}.lock"));
         let Some(_guard) = acquire_lock(&lock_path, &mut self.lock_retries)? else {

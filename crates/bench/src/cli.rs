@@ -6,8 +6,8 @@
 //! ```text
 //! [SEED] [--jobs N | -j N] [--intra-jobs N] [--alias BACKEND]
 //! [--cache DIR | --no-cache] [--cache-shards N] [--modules N]
-//! [--partition I/N] [--bench-out FILE] [--trace-out FILE] [--profile]
-//! [--quiet | -q]
+//! [--partition I/N] [--bench-out FILE] [--trace-out FILE]
+//! [--trace-chrome FILE] [--profile] [--quiet | -q]
 //! ```
 //!
 //! so the cache flags land in exactly one place instead of being re-wired
@@ -43,9 +43,13 @@ pub struct CliOpts {
     pub cache_explicit: bool,
     /// Where to write the machine-readable bench report, if anywhere.
     pub bench_out: Option<String>,
-    /// Where to write the `localias-trace/v1` JSON-lines trace, if
+    /// Where to write the `localias-trace/v2` JSON-lines trace, if
     /// anywhere. Giving this installs the obs sinks.
     pub trace_out: Option<String>,
+    /// Where to write the Chrome trace-event timeline (opens in
+    /// Perfetto / `chrome://tracing`), if anywhere. Also installs the
+    /// obs sinks.
+    pub trace_chrome: Option<String>,
     /// Print the human per-phase profile table to stderr after the run.
     /// Also installs the obs sinks.
     pub profile: bool,
@@ -77,6 +81,7 @@ impl CliOpts {
         let mut no_cache = false;
         let mut bench_out: Option<String> = None;
         let mut trace_out: Option<String> = None;
+        let mut trace_chrome: Option<String> = None;
         let mut profile = false;
         let mut quiet = false;
         let mut modules: Option<usize> = None;
@@ -166,6 +171,12 @@ impl CliOpts {
                     }
                     trace_out = Some(value_of(&mut it, &a, "a file path")?);
                 }
+                "--trace-chrome" => {
+                    if trace_chrome.is_some() {
+                        return Err("--trace-chrome given more than once".into());
+                    }
+                    trace_chrome = Some(value_of(&mut it, &a, "a file path")?);
+                }
                 "--profile" => profile = true,
                 "--quiet" | "-q" => quiet = true,
                 flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -218,6 +229,7 @@ impl CliOpts {
             cache_explicit,
             bench_out,
             trace_out,
+            trace_chrome,
             profile,
             quiet,
             modules,
@@ -232,10 +244,13 @@ impl CliOpts {
         self.seed.unwrap_or(DEFAULT_SEED)
     }
 
-    /// `true` if an observability sink was requested (`--trace-out` or
-    /// `--profile`) — the gate for enabling span/counter collection.
+    /// `true` if an observability sink was requested (`--trace-out`,
+    /// `--trace-chrome`, or `--profile`) — the gate for enabling
+    /// span/counter collection. Histograms are collected regardless
+    /// (see [`crate::init_obs`]): every bench artifact carries latency
+    /// percentiles.
     pub fn wants_obs(&self) -> bool {
-        self.trace_out.is_some() || self.profile
+        self.trace_out.is_some() || self.trace_chrome.is_some() || self.profile
     }
 
     /// Applies the logging-related options: `--quiet` lowers the global
@@ -318,6 +333,10 @@ mod tests {
         assert!(o.profile);
         assert!(o.wants_obs());
 
+        let o = parse(&["--trace-chrome", "t.chrome.json"]).unwrap();
+        assert_eq!(o.trace_chrome.as_deref(), Some("t.chrome.json"));
+        assert!(o.wants_obs());
+
         let o = parse(&["--quiet"]).unwrap();
         assert!(o.quiet);
         assert!(!o.wants_obs(), "--quiet alone installs no sink");
@@ -325,6 +344,8 @@ mod tests {
 
         assert!(parse(&["--trace-out"]).is_err());
         assert!(parse(&["--trace-out", "a", "--trace-out", "b"]).is_err());
+        assert!(parse(&["--trace-chrome"]).is_err());
+        assert!(parse(&["--trace-chrome", "a", "--trace-chrome", "b"]).is_err());
     }
 
     #[test]

@@ -349,7 +349,10 @@ fn reach_of(cg: &CallGraph, entry: &str) -> BTreeSet<String> {
 /// interpreter oracle. Pure and deterministic — also the shrinker's
 /// predicate.
 fn check_one(m: &Module, fuel: u64, checker: &dyn Fn(&Module) -> StaticMatrix) -> ModuleOutcome {
-    let matrix = checker(m);
+    let matrix = {
+        let _hist = obs::hist_timer!(obs::Hist::FuzzCheck);
+        checker(m)
+    };
 
     // Theorem-1 gate: does the plain checking analysis accept the
     // module? (Diagnostics clean, every explicit restrict/confine
@@ -365,6 +368,7 @@ fn check_one(m: &Module, fuel: u64, checker: &dyn Fn(&Module) -> StaticMatrix) -
     let mut theorem1: Option<(String, String)> = None;
 
     for f in m.functions() {
+        let _hist = obs::hist_timer!(obs::Hist::FuzzExecute);
         out.entries += 1;
         let name = f.name.name.to_string();
         let mut first_fault: Option<String> = None;

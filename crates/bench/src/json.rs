@@ -416,7 +416,7 @@ mod tests {
 
     #[test]
     fn round_trips_a_real_bench_artifact() {
-        // A v5 artifact rendered by ExperimentBench::to_json must parse
+        // A v6 artifact rendered by ExperimentBench::to_json must parse
         // back with every field reachable.
         let bench = crate::ExperimentBench {
             seed: 99,
@@ -429,6 +429,14 @@ mod tests {
             eliminated: 1,
             cache: None,
             profile: None,
+            hist: vec![localias_obs::HistSnapshot {
+                name: "analyze.module".into(),
+                count: 2,
+                sum_ns: 48,
+                min_ns: 16,
+                max_ns: 32,
+                buckets: vec![(5, 1), (6, 1)],
+            }],
             partition: Some(crate::PartitionInfo {
                 index: 1,
                 count: 2,
@@ -452,9 +460,18 @@ mod tests {
         let v = parse(&bench.to_json()).unwrap();
         assert_eq!(
             v.get("schema").unwrap().as_str(),
-            Some("localias-bench-experiment/v5")
+            Some("localias-bench-experiment/v6")
         );
         assert_eq!(v.get("seed").unwrap().as_u64(), Some(99));
+        let hist = v.get("hist").unwrap().get("analyze.module").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(2));
+        // p50 hits bucket 5 (upper bound 31); p99 hits bucket 6, clamped
+        // to the exact observed max.
+        assert_eq!(hist.get("p50_ns").unwrap().as_u64(), Some(31));
+        assert_eq!(hist.get("p99_ns").unwrap().as_u64(), Some(32));
+        // Every registered histogram appears, sampled or not.
+        let empty = v.get("hist").unwrap().get("fuzz.execute").unwrap();
+        assert_eq!(empty.get("count").unwrap().as_u64(), Some(0));
         let p = v.get("partition").unwrap();
         assert_eq!(p.get("index").unwrap().as_usize(), Some(1));
         assert_eq!(p.get("count").unwrap().as_usize(), Some(2));

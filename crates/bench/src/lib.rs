@@ -5,6 +5,7 @@
 
 pub mod cache;
 pub mod cli;
+pub mod diff;
 pub mod fuzz;
 pub mod harness;
 pub mod json;
@@ -15,7 +16,9 @@ pub use cache::{
     DEFAULT_SHARDS, MAX_SHARDS,
 };
 pub use cli::CliOpts;
+pub use diff::{diff_benches, DiffReport, DEFAULT_THRESHOLD_PCT};
 pub use localias_corpus::{partition_range, CorpusStream};
+pub use localias_obs::text_histogram;
 pub use merge::merge_partitions;
 
 use cache::CachedOutcome;
@@ -167,6 +170,10 @@ pub struct ExperimentBench {
     /// Observability snapshot of the sweep (`None` unless the caller
     /// enabled obs collection and attached a drained [`obs::Trace`]).
     pub profile: Option<obs::Trace>,
+    /// Latency histograms recorded during the sweep (empty when the
+    /// caller did not attach the drained snapshots). Unlike `profile`,
+    /// histograms are always collected — see [`init_obs`].
+    pub hist: Vec<obs::HistSnapshot>,
     /// Which slice of the corpus this sweep covered (`None` for a full,
     /// unpartitioned run).
     pub partition: Option<PartitionInfo>,
@@ -269,6 +276,50 @@ pub fn json_trace(t: &obs::Trace) -> String {
     out
 }
 
+/// Renders the latency-histogram block every bench schema embeds: one
+/// entry per *registered* histogram (zero-sample histograms included, so
+/// the block's shape is identical across cold and warm runs), keyed by
+/// dotted name, carrying the exact aggregate plus the p50/p90/p95/p99
+/// percentiles and the sparse `[bucket_index, count]` pairs. Public so
+/// bench binaries with their own report schemas embed the same block.
+pub fn json_hists(hists: &[obs::HistSnapshot]) -> String {
+    let mut out = String::from("{");
+    for (i, name) in obs::ALL_HISTS
+        .iter()
+        .map(|&h| obs::hist_name(h))
+        .enumerate()
+    {
+        let empty = obs::HistSnapshot::empty(name);
+        let h = hists.iter().find(|h| h.name == name).unwrap_or(&empty);
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {}: {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"p50_ns\": {}, \"p90_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
+            json_str(name),
+            h.count,
+            h.sum_ns,
+            h.min_ns,
+            h.max_ns,
+            h.percentile(50),
+            h.percentile(90),
+            h.percentile(95),
+            h.percentile(99),
+        );
+        for (j, (idx, count)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{idx},{count}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  }");
+    out
+}
+
 impl ExperimentBench {
     /// Sweep throughput in modules per wall-clock second.
     pub fn modules_per_sec(&self) -> f64 {
@@ -276,7 +327,7 @@ impl ExperimentBench {
     }
 
     /// Renders the stats as a small, stable JSON document
-    /// (schema `localias-bench-experiment/v5`).
+    /// (schema `localias-bench-experiment/v6`).
     ///
     /// v2 extended v1 with the `cache` block (`null` on uncached sweeps)
     /// and switched every float to a shortest-round-trip rendering, so
@@ -290,6 +341,9 @@ impl ExperimentBench {
     /// partitioned sweep, else `null`) and `results` (per-module
     /// `[name, nc, cf, as]` rows when the caller opts in, else `null`) —
     /// the fields `bench-merge` unions disjoint partition sweeps with.
+    /// v6 adds the `hist` block ([`json_hists`]): per-operation latency
+    /// histograms with exact p50/p90/p95/p99 percentiles, one entry per
+    /// registered histogram on every run.
     pub fn to_json(&self) -> String {
         let (nc, cf, st) = self.errors;
         let profile = match &self.profile {
@@ -347,8 +401,9 @@ impl ExperimentBench {
                 json_f64(c.store.as_secs_f64()),
             ),
         };
+        let hist = json_hists(&self.hist);
         format!(
-            "{{\n  \"schema\": \"localias-bench-experiment/v5\",\n  \
+            "{{\n  \"schema\": \"localias-bench-experiment/v6\",\n  \
              \"seed\": {},\n  \
              \"modules\": {},\n  \
              \"threads\": {},\n  \
@@ -368,6 +423,7 @@ impl ExperimentBench {
              \"cache\": {cache},\n  \
              \"partition\": {partition},\n  \
              \"results\": {results},\n  \
+             \"hist\": {hist},\n  \
              \"profile\": {profile}\n}}\n",
             self.seed,
             self.modules,
@@ -654,6 +710,7 @@ where
         eliminated: results.iter().map(ModuleResult::eliminated).sum(),
         cache: cache_stats,
         profile: None,
+        hist: Vec::new(),
         partition: None,
         results: None,
     };
@@ -780,25 +837,48 @@ pub fn measure_corpus_with_cache(
     }
 }
 
-/// Applies the CLI's logging options and, when `--trace-out` or
-/// `--profile` was given, installs the obs sinks (clearing any stale
-/// state so the trace covers exactly the run that follows). Call once,
-/// right after argument parsing.
+/// What [`finish_obs`] drained from the run's observability sinks.
+#[derive(Debug, Default)]
+pub struct ObsReport {
+    /// The full span/counter trace — `Some` only when the run asked for
+    /// obs output (`--trace-out`, `--trace-chrome`, or `--profile`).
+    pub trace: Option<obs::Trace>,
+    /// Merged latency histograms. Always populated (histograms are
+    /// cheap enough to collect unconditionally), so every bench
+    /// artifact carries its `hist` block even without `--profile`.
+    pub hists: Vec<obs::HistSnapshot>,
+}
+
+/// Applies the CLI's logging options and installs the obs sinks
+/// (clearing any stale state so the trace covers exactly the run that
+/// follows). Latency histograms are always enabled — they cost one TLS
+/// array update per sample — while spans and counters only turn on
+/// when `--trace-out`, `--trace-chrome`, or `--profile` asks for them.
+/// Call once, right after argument parsing.
 pub fn init_obs(opts: &CliOpts) {
     opts.apply_log_level();
     if opts.wants_obs() {
         obs::enable_all();
-        let _ = obs::drain();
+    } else {
+        obs::enable_hists();
     }
+    let _ = obs::drain();
 }
 
 /// Drains the obs sinks after the run: writes the JSON-lines trace to
-/// `--trace-out`, prints the `--profile` table to stderr, and returns
-/// the trace so callers can embed it (see [`ExperimentBench::profile`]).
-/// Returns `Ok(None)` when no sink was installed.
-pub fn finish_obs(opts: &CliOpts) -> Result<Option<obs::Trace>, String> {
+/// `--trace-out`, the Chrome trace-event file to `--trace-chrome`,
+/// prints the `--profile` table to stderr, and returns the drained
+/// snapshots so callers can embed them (see [`ExperimentBench::profile`]
+/// and [`ExperimentBench::hist`]). The report's histograms are populated
+/// on every run; its trace only when the run asked for obs output.
+pub fn finish_obs(opts: &CliOpts) -> Result<ObsReport, String> {
     if !opts.wants_obs() {
-        return Ok(None);
+        let trace = obs::drain();
+        obs::disable_hists();
+        return Ok(ObsReport {
+            trace: None,
+            hists: trace.hists,
+        });
     }
     // Flush the memory gauges exactly once, here — not inside the sweep,
     // so the trace shape stays invariant across thread counts.
@@ -807,13 +887,29 @@ pub fn finish_obs(opts: &CliOpts) -> Result<Option<obs::Trace>, String> {
     obs::gauge_max(obs::Counter::MemArenaBytes, arena.arena_bytes);
     obs::gauge_max(obs::Counter::MemArenaSavedBytes, arena.saved_bytes);
     let trace = obs::drain();
+    obs::disable_hists();
     if let Some(path) = &opts.trace_out {
         std::fs::write(path, trace.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &opts.trace_chrome {
+        let counters: Vec<(String, u64)> = trace
+            .counters
+            .iter_nonzero()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        let chrome = obs::chrome_trace(&trace.spans, &counters, &trace.hists);
+        // The exporter promises well-formed JSON; hold it to that before
+        // the file lands where a browser will load it.
+        crate::json::parse(&chrome).map_err(|e| format!("{path}: generated trace invalid: {e}"))?;
+        std::fs::write(path, chrome).map_err(|e| format!("{path}: {e}"))?;
     }
     if opts.profile {
         eprint!("{}", trace.render_profile());
     }
-    Ok(Some(trace))
+    Ok(ObsReport {
+        hists: trace.hists.clone(),
+        trace: Some(trace),
+    })
 }
 
 /// Runs the whole Section 7 experiment (all available cores, no cache)
@@ -842,18 +938,6 @@ pub fn run_experiment_cached(
     let stream = CorpusStream::paper(seed);
     let range = 0..stream.len();
     measure_stream_with_cache(&stream, range, jobs, intra_jobs, backend, policy)
-}
-
-/// Renders a text histogram: `buckets` of `(label, count)`, scaled to
-/// `width` columns.
-pub fn text_histogram(buckets: &[(String, usize)], width: usize) -> String {
-    let max = buckets.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
-    let mut out = String::new();
-    for (label, count) in buckets {
-        let bar = "#".repeat(count * width / max);
-        let _ = writeln!(out, "{label:>12} | {bar} {count}");
-    }
-    out
 }
 
 /// Generates a synthetic program of roughly `n` statements with `k`
@@ -1005,11 +1089,15 @@ mod tests {
                 store: Duration::from_nanos(89),
             }),
             profile: None,
+            hist: Vec::new(),
             partition: None,
             results: None,
         };
         let json = bench.to_json();
-        assert!(json.contains("\"schema\": \"localias-bench-experiment/v5\""));
+        assert!(json.contains("\"schema\": \"localias-bench-experiment/v6\""));
+        assert!(json.contains("\"hist\": {"));
+        assert!(json.contains("\"analyze.module\""));
+        assert!(json.contains("\"check.function\""));
         assert!(json.contains("\"profile\": null"));
         assert!(json.contains("\"partition\": null"));
         assert!(json.contains("\"results\": null"));
@@ -1064,6 +1152,38 @@ mod tests {
         let json = bench.to_json();
         assert!(json.contains("\"profile\": {"));
         assert!(json.contains("\"spans\": ["));
+    }
+
+    /// The v6 `hist` block names every registered histogram — zeros
+    /// included — so cold and warm artifacts share a shape, and renders
+    /// exact percentiles for the ones that saw samples.
+    #[test]
+    fn hist_block_renders_all_registered_names() {
+        let empty = json_hists(&[]);
+        for h in obs::ALL_HISTS {
+            assert!(
+                empty.contains(&format!("\"{}\"", obs::hist_name(h))),
+                "{empty}"
+            );
+        }
+        let parsed = crate::json::parse(&empty).unwrap();
+        assert!(matches!(parsed, crate::json::Value::Obj(_)));
+
+        let mut snap = obs::HistSnapshot::empty("analyze.module");
+        for v in [10u64, 20, 30, 40] {
+            snap.count += 1;
+            snap.sum_ns += v;
+        }
+        snap.min_ns = 10;
+        snap.max_ns = 40;
+        // Samples 10, 20, 30, 40 land in log2 buckets 4, 5, 5, 6.
+        snap.buckets = vec![(4, 1), (5, 2), (6, 1)];
+        let json = json_hists(&[snap.clone()]);
+        assert!(json.contains("\"count\": 4"));
+        assert!(json.contains(&format!("\"p50_ns\": {}", snap.percentile(50))));
+        assert!(json.contains(&format!("\"p99_ns\": {}", snap.percentile(99))));
+        assert!(json.contains("\"buckets\": [[4,1],[5,2],[6,1]]"));
+        crate::json::parse(&json).unwrap();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Merging partitioned bench artifacts.
 //!
 //! `localias experiment --partition i/N` writes one
-//! `localias-bench-experiment/v5` artifact per partition, each carrying
+//! `localias-bench-experiment/v6` artifact per partition, each carrying
 //! its slice's per-module `results` rows. [`merge_partitions`] validates
 //! that a set of such artifacts is one complete, disjoint cover of a
 //! single seeded corpus — same seed, same partition count, every index
@@ -10,15 +10,18 @@
 //! to an unpartitioned sweep: rows concatenate in partition order (which
 //! *is* stream order, partitions being contiguous ranges), error totals
 //! recompute from the rows, wall-clock is the slowest partition (they
-//! run concurrently), and thread counts sum.
+//! run concurrently), thread counts sum, and latency histograms merge
+//! bucket-by-bucket (the per-partition histograms describe disjoint
+//! sample sets, so the merged distribution is exactly the union).
 
 use crate::json::Value;
 use crate::{json, ExperimentBench, ModuleResult, PartitionInfo, PhaseTimes};
 use localias_corpus::partition_range;
+use localias_obs::HistSnapshot;
 use std::time::Duration;
 
 /// The schema the merge both consumes and produces.
-pub const MERGE_SCHEMA: &str = "localias-bench-experiment/v5";
+pub const MERGE_SCHEMA: &str = "localias-bench-experiment/v6";
 
 fn field<'v>(doc: &'v Value, key: &str) -> Result<&'v Value, String> {
     doc.get(key).ok_or_else(|| format!("missing field {key:?}"))
@@ -44,6 +47,60 @@ struct Partition {
     wall: Duration,
     phases: PhaseTimes,
     results: Vec<ModuleResult>,
+    hists: Vec<HistSnapshot>,
+}
+
+/// Decodes a v6 `hist` block back into snapshots, keeping only the
+/// histograms that saw samples (the renderer writes zeros for shape).
+fn decode_hists(doc: &Value, label: &str) -> Result<Vec<HistSnapshot>, String> {
+    let block = field(doc, "hist").map_err(|e| format!("{label}: {e}"))?;
+    let Value::Obj(pairs) = block else {
+        return Err(format!("{label}: \"hist\" is not an object"));
+    };
+    let mut out = Vec::new();
+    for (name, v) in pairs {
+        let count =
+            usize_field(v, "count").map_err(|e| format!("{label}: hist.{name}.{e}"))? as u64;
+        if count == 0 {
+            continue;
+        }
+        let u64_of = |key: &str| -> Result<u64, String> {
+            field(v, key)
+                .and_then(|x| {
+                    x.as_u64()
+                        .ok_or_else(|| format!("{key} is not a non-negative integer"))
+                })
+                .map_err(|e| format!("{label}: hist.{name}: {e}"))
+        };
+        let buckets_doc = field(v, "buckets").map_err(|e| format!("{label}: hist.{name}: {e}"))?;
+        let buckets_doc = buckets_doc
+            .as_arr()
+            .ok_or_else(|| format!("{label}: hist.{name}: \"buckets\" is not an array"))?;
+        let mut buckets = Vec::with_capacity(buckets_doc.len());
+        for (i, pair) in buckets_doc.iter().enumerate() {
+            let cells = pair
+                .as_arr()
+                .filter(|c| c.len() == 2)
+                .ok_or_else(|| format!("{label}: hist.{name}.buckets[{i}] is not a pair"))?;
+            let idx = cells[0]
+                .as_usize()
+                .filter(|&i| i < localias_obs::HIST_BUCKETS)
+                .ok_or_else(|| format!("{label}: hist.{name}.buckets[{i}] index out of range"))?;
+            let n = cells[1]
+                .as_u64()
+                .ok_or_else(|| format!("{label}: hist.{name}.buckets[{i}] count not an integer"))?;
+            buckets.push((idx, n));
+        }
+        out.push(HistSnapshot {
+            name: name.clone(),
+            count,
+            sum_ns: u64_of("sum_ns")?,
+            min_ns: u64_of("min_ns")?,
+            max_ns: u64_of("max_ns")?,
+            buckets,
+        });
+    }
+    Ok(out)
 }
 
 fn decode(text: &str, label: &str) -> Result<Partition, String> {
@@ -119,7 +176,25 @@ fn decode(text: &str, label: &str) -> Result<Partition, String> {
         wall: Duration::from_secs_f64(f64_field(&doc, "wall_seconds")?.max(0.0)),
         phases,
         results,
+        hists: decode_hists(&doc, label)?,
     })
+}
+
+/// Merges per-partition histogram sets: same-named snapshots union
+/// bucket-by-bucket, names unique to one partition pass through. The
+/// result is sorted by name, matching a single-process drain.
+fn merge_hists(parts: Vec<Vec<HistSnapshot>>) -> Vec<HistSnapshot> {
+    let mut merged: Vec<HistSnapshot> = Vec::new();
+    for hists in parts {
+        for h in hists {
+            match merged.iter_mut().find(|m| m.name == h.name) {
+                Some(m) => m.merge(&h),
+                None => merged.push(h),
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    merged
 }
 
 /// Merges per-partition bench JSON documents (as `(label, text)` pairs,
@@ -185,10 +260,12 @@ pub fn merge_partitions(docs: &[(String, String)]) -> Result<ExperimentBench, St
     let mut phases = PhaseTimes::default();
     let mut wall = Duration::ZERO;
     let mut threads = 0usize;
+    let mut hist_parts = Vec::with_capacity(parts.len());
     for p in parts {
         phases.accumulate(p.phases);
         wall = wall.max(p.wall);
         threads += p.threads;
+        hist_parts.push(p.hists);
         results.extend(p.results);
     }
     let errors = results.iter().fold((0, 0, 0), |(nc, cf, st), r| {
@@ -205,6 +282,7 @@ pub fn merge_partitions(docs: &[(String, String)]) -> Result<ExperimentBench, St
         eliminated: results.iter().map(ModuleResult::eliminated).sum(),
         cache: None,
         profile: None,
+        hist: merge_hists(hist_parts),
         partition: None,
         results: Some(results),
     })
@@ -226,6 +304,17 @@ mod tests {
             total: stream.len(),
         });
         bench.results = Some(results);
+        // Each partition observed one synthetic sample, so the merged
+        // artifact must carry their bucket-union.
+        let sample = 100 * (index as u64 + 1);
+        bench.hist = vec![HistSnapshot {
+            name: "analyze.module".into(),
+            count: 1,
+            sum_ns: sample,
+            min_ns: sample,
+            max_ns: sample,
+            buckets: vec![(localias_obs::bucket_index(sample), 1)],
+        }];
         (format!("part{index}.json"), bench.to_json())
     }
 
@@ -249,10 +338,24 @@ mod tests {
                 (want.no_confine, want.confine, want.all_strong)
             );
         }
+        // Histograms merged bucket-by-bucket across the partitions: one
+        // synthetic sample each of 100, 200, and 300 ns.
+        let h = merged
+            .hist
+            .iter()
+            .find(|h| h.name == "analyze.module")
+            .unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_ns, 600);
+        assert_eq!(h.min_ns, 100);
+        assert_eq!(h.max_ns, 300);
+        assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+
         // The merged artifact is itself a full (unpartitioned) document.
         let rendered = merged.to_json();
         assert!(rendered.contains("\"partition\": null"));
         assert!(rendered.contains("\"results\": ["));
+        assert!(rendered.contains("\"hist\": {"));
     }
 
     #[test]

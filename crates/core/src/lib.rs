@@ -182,6 +182,7 @@ impl Analysis {
 /// Runs the full analysis over one module.
 pub fn analyze(m: &Module, opts: Options) -> Analysis {
     let _span = obs::span!("core.analyze");
+    let _hist = obs::hist_timer!(obs::Hist::AnalyzeModule);
     obs::count(obs::Counter::ModulesAnalyzed, 1);
     let (mut state, mut gen) = {
         let _s = obs::span!("core.alias");

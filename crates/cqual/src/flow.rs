@@ -210,6 +210,7 @@ pub fn check_locks_frozen_timed(
                 summaries.insert(cx.graph.name(v).to_string(), out.summary.clone());
             }
         }
+        obs::record_duration(obs::Hist::CheckWave, started.elapsed());
         drop(wave_span);
         stats.waves.push(WaveStat {
             functions: wave.len(),

@@ -190,6 +190,7 @@ pub(crate) fn check_function(
     f: &FunDef,
 ) -> FunOutcome {
     let _span = obs::span!("cqual.function");
+    let _hist = obs::hist_timer!(obs::Hist::CheckFunction);
     obs::count(obs::Counter::CqualFunctionsChecked, 1);
     let caller = cx
         .graph

@@ -14,12 +14,15 @@
 //! localias experiment [seed] [--jobs N] [--intra-jobs N]
 //!                    [--cache DIR | --no-cache] [--cache-shards N]
 //!                    [--modules N] [--partition I/N]
-//!                    [--bench-out FILE] [--trace-out FILE] [--profile]
-//!                    [--quiet]
+//!                    [--bench-out FILE] [--trace-out FILE]
+//!                    [--trace-chrome FILE] [--profile] [--quiet]
 //!                                     # run the full Section 7 experiment
 //! localias bench-merge <part.json>... [--out FILE]
 //!                                     # union per-partition bench reports
-//! localias tracecheck <trace.jsonl>   # validate a localias-trace/v1 file
+//! localias bench-diff <old.json> <new.json> [--threshold PCT] [--json FILE]
+//!                                     # perf-regression gate over two artifacts
+//! localias tracecheck <trace.jsonl> [--chrome OUT.json]
+//!                                     # validate a localias-trace file
 //! ```
 //!
 //! `experiment` keeps an incremental result cache (default
@@ -29,12 +32,16 @@
 //! merge-on-write under per-shard locks, so concurrent sweeps sharing a
 //! cache directory never lose each other's entries.
 //!
-//! `--trace-out` writes a `localias-trace/v1` JSON-lines trace of the
-//! run (per-phase spans + pipeline counters) and `--profile` prints a
-//! per-phase time table to stderr; both also embed the trace in the
-//! `--bench-out` report's `profile` block. `--quiet` silences
-//! informational diagnostics (warnings still print); `LOCALIAS_LOG`
-//! overrides the level (`off|error|warn|info|debug`).
+//! `--trace-out` writes a `localias-trace/v2` JSON-lines trace of the
+//! run (per-phase spans + latency histograms + pipeline counters),
+//! `--trace-chrome` a Chrome trace-event file of the same run, and
+//! `--profile` prints per-phase time and latency-percentile tables to
+//! stderr; all three also embed the trace in the `--bench-out` report's
+//! `profile` block. Latency histograms are always collected — every
+//! `--bench-out` report carries a `hist` block with exact
+//! p50/p90/p95/p99 percentiles. `--quiet` silences informational
+//! diagnostics (warnings still print); `LOCALIAS_LOG` overrides the
+//! level (`off|error|warn|info|debug`).
 //!
 //! Modes for `locks`: `noconfine` (default), `confine`, `allstrong`.
 
@@ -67,10 +74,11 @@ fn main() -> ExitCode {
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("bench-merge") => cmd_bench_merge(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("tracecheck") => cmd_tracecheck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: localias <parse|check|infer|locks|run|fuzz|watch|corpus|experiment|bench-merge|tracecheck> [args]\n\
+                "usage: localias <parse|check|infer|locks|run|fuzz|watch|corpus|experiment|bench-merge|bench-diff|tracecheck> [args]\n\
                  \n\
                  parse   <file.mc>          parse and pretty-print a module\n\
                  check   <file.mc>          check explicit restrict/confine annotations\n\
@@ -96,8 +104,8 @@ fn main() -> ExitCode {
                  experiment [seed] [--jobs N] [--intra-jobs N] [--cache DIR | --no-cache]\n\
                  \x20                          [--cache-shards N] [--modules N] [--partition I/N]\n\
                  \x20                          [--alias steensgaard|andersen]\n\
-                 \x20                          [--bench-out FILE] [--trace-out FILE] [--profile]\n\
-                 \x20                          [--quiet]\n\
+                 \x20                          [--bench-out FILE] [--trace-out FILE]\n\
+                 \x20                          [--trace-chrome FILE] [--profile] [--quiet]\n\
                  \x20                          run the full Section 7 experiment in parallel,\n\
                  \x20                          incrementally via the sharded result cache\n\
                  \x20                          (default .localias-cache/, 16 shards; only\n\
@@ -114,8 +122,17 @@ fn main() -> ExitCode {
                  \x20                          union per-partition --bench-out reports from a\n\
                  \x20                          --partition i/N sweep into one artifact equal to\n\
                  \x20                          a single-process sweep (stdout unless --out)\n\
-                 tracecheck <trace.jsonl>   validate a localias-trace/v1 JSON-lines file\n\
-                 \x20                          (as written by --trace-out) and summarize it"
+                 bench-diff <OLD.json> <NEW.json> [--threshold PCT] [--json FILE]\n\
+                 \x20                          compare two bench artifacts of the same schema\n\
+                 \x20                          family metric by metric (throughput, phase times,\n\
+                 \x20                          histogram percentiles, cache hit and FP rates);\n\
+                 \x20                          exits non-zero when any metric regresses past the\n\
+                 \x20                          threshold (default 10%)\n\
+                 tracecheck <trace.jsonl> [--chrome OUT.json]\n\
+                 \x20                          validate a localias-trace/v1|v2 JSON-lines file\n\
+                 \x20                          (as written by --trace-out), summarize it, and\n\
+                 \x20                          optionally convert it to a Chrome trace-event\n\
+                 \x20                          file (chrome://tracing, Perfetto)"
             );
             return ExitCode::from(2);
         }
@@ -545,7 +562,9 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
         });
         bench.results = Some(results.clone());
     }
-    bench.profile = localias_bench::finish_obs(&opts)?;
+    let report = localias_bench::finish_obs(&opts)?;
+    bench.profile = report.trace;
+    bench.hist = report.hists;
     let (mut clean, mut real, mut full, mut partial) = (0, 0, 0, 0);
     for r in &results {
         if r.no_confine == 0 {
@@ -608,7 +627,69 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
     if let Some(path) = &opts.trace_out {
         let _ = writeln!(out, "  wrote {path}");
     }
+    if let Some(path) = &opts.trace_chrome {
+        let _ = writeln!(out, "  wrote {path}");
+    }
     Ok(out)
+}
+
+/// `localias bench-diff OLD.json NEW.json` — the perf-regression gate.
+///
+/// Exits 0 when no metric moved past the threshold in its worse
+/// direction, 1 on any regression (so scripts can gate on it), and 2 on
+/// usage or I/O errors. `--json FILE` additionally writes the
+/// machine-readable `localias-bench-diff/v1` report.
+fn cmd_bench_diff(args: &[String]) -> Result<String, String> {
+    const USAGE: &str = "usage: localias bench-diff <OLD.json> <NEW.json> \
+         [--threshold PCT] [--json FILE]";
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = localias_bench::DEFAULT_THRESHOLD_PCT;
+    let mut json_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let val = it
+                    .next()
+                    .ok_or(format!("--threshold requires a percent\n{USAGE}"))?;
+                threshold = val
+                    .trim_end_matches('%')
+                    .parse()
+                    .map_err(|_| format!("bad threshold `{val}`\n{USAGE}"))?;
+            }
+            "--json" => {
+                json_out = Some(
+                    it.next()
+                        .ok_or(format!("--json requires a file path\n{USAGE}"))?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(format!("expected exactly two artifacts\n{USAGE}"));
+    };
+    let old_text = std::fs::read_to_string(old_path).map_err(|e| format!("{old_path}: {e}"))?;
+    let new_text = std::fs::read_to_string(new_path).map_err(|e| format!("{new_path}: {e}"))?;
+    let report = localias_bench::diff_benches(&old_text, &new_text, threshold)?;
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    print!("{}", report.render_table());
+    if report.regressions().is_empty() {
+        Ok(String::new())
+    } else {
+        // The table already names the regressed metrics; exit non-zero
+        // through the shared error path with a one-line verdict.
+        Err(format!(
+            "bench-diff: {} metric(s) regressed past {threshold}% ({old_path} -> {new_path})",
+            report.regressions().len()
+        ))
+    }
 }
 
 fn cmd_bench_merge(args: &[String]) -> Result<String, String> {
@@ -661,22 +742,64 @@ fn cmd_bench_merge(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `localias tracecheck FILE [--chrome OUT.json]` — validates a
+/// `localias-trace/v1|v2` JSON-lines file; `--chrome` additionally
+/// converts it to a Chrome trace-event file (load via
+/// `chrome://tracing` or Perfetto).
 fn cmd_tracecheck(args: &[String]) -> Result<String, String> {
-    let path = args.first().ok_or("missing trace file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    const USAGE: &str = "usage: localias tracecheck <trace.jsonl> [--chrome OUT.json]";
+    let mut path: Option<String> = None;
+    let mut chrome_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chrome" => {
+                chrome_out = Some(
+                    it.next()
+                        .ok_or(format!("--chrome requires a file path\n{USAGE}"))?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or(format!("missing trace file\n{USAGE}"))?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let summary = localias_obs::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{path}: valid {} ({} span path{}, {} counter{})",
+        "{path}: valid {} ({} span path{}, {} histogram{}, {} counter{})",
         localias_obs::SCHEMA,
         summary.spans,
         if summary.spans == 1 { "" } else { "s" },
+        summary.hists.len(),
+        if summary.hists.len() == 1 { "" } else { "s" },
         summary.counters.len(),
         if summary.counters.len() == 1 { "" } else { "s" },
     );
+    for h in &summary.hists {
+        let _ = writeln!(
+            out,
+            "  {} = {} samples, p50 {}, p99 {}",
+            h.name,
+            h.count,
+            localias_obs::fmt_ns(h.percentile(50)),
+            localias_obs::fmt_ns(h.percentile(99)),
+        );
+    }
     for (name, value) in &summary.counters {
         let _ = writeln!(out, "  {name} = {value}");
+    }
+    if let Some(chrome_path) = chrome_out {
+        let chrome =
+            localias_obs::chrome_trace(&summary.span_rows, &summary.counters, &summary.hists);
+        localias_bench::json::parse(&chrome)
+            .map_err(|e| format!("generated chrome trace is not valid JSON: {e}"))?;
+        std::fs::write(&chrome_path, chrome).map_err(|e| format!("{chrome_path}: {e}"))?;
+        let _ = writeln!(out, "  wrote {chrome_path}");
     }
     Ok(out)
 }

@@ -1,0 +1,190 @@
+//! Chrome trace-event export: renders a drained trace as a JSON
+//! document that `chrome://tracing` and Perfetto open directly.
+//!
+//! The obs aggregate is *merged* — per span path it keeps a count and
+//! total/self time, not individual begin/end timestamps — so this
+//! exporter synthesizes a timeline: root spans lie end to end from
+//! t = 0, and each span's children lie end to end inside it, scaled
+//! down proportionally when same-thread re-entry makes the children's
+//! totals sum past their parent. The picture preserves the span tree's
+//! shape and relative magnitudes, not the original interleaving; the
+//! `args` payload on every slice carries the exact aggregate numbers,
+//! and counters/histograms ride along as counter events at t = 0.
+
+use crate::hist::HistSnapshot;
+use crate::span::SpanAgg;
+use crate::trace::esc;
+use std::fmt::Write as _;
+
+/// Renders spans, counters and histograms as one Chrome trace-event
+/// JSON object (`{"traceEvents":[...]}`). Spans must be sorted by path
+/// (the shape [`crate::drain`] and [`crate::validate_jsonl`] produce).
+pub fn chrome_trace(
+    spans: &[SpanAgg],
+    counters: &[(String, u64)],
+    hists: &[HistSnapshot],
+) -> String {
+    let mut events: Vec<String> = Vec::new();
+    layout(spans, None, 0.0, f64::INFINITY, &mut events);
+    for (name, value) in counters {
+        let mut e = String::from("{\"name\":\"");
+        esc(name, &mut e);
+        let _ = write!(
+            e,
+            "\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"args\":{{\"value\":{value}}}}}"
+        );
+        events.push(e);
+    }
+    for h in hists {
+        let mut e = String::from("{\"name\":\"hist:");
+        esc(&h.name, &mut e);
+        let _ = write!(
+            e,
+            "\",\"cat\":\"hist\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"args\":{{\
+             \"count\":{},\"p50_ns\":{},\"p90_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}}}",
+            h.count,
+            h.percentile(50),
+            h.percentile(90),
+            h.percentile(95),
+            h.percentile(99),
+            h.max_ns
+        );
+        events.push(e);
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Direct children of `parent` (or the roots, when `None`) in a
+/// path-sorted span aggregate.
+fn children<'a>(spans: &'a [SpanAgg], parent: Option<&str>) -> Vec<&'a SpanAgg> {
+    spans
+        .iter()
+        .filter(|s| match parent {
+            None => !s.path.contains('/'),
+            Some(p) => s
+                .path
+                .strip_prefix(p)
+                .and_then(|r| r.strip_prefix('/'))
+                .is_some_and(|r| !r.contains('/')),
+        })
+        .collect()
+}
+
+/// Emits one "X" (complete) event per span under `parent`, laid
+/// sequentially from `start_ns` and squeezed into `budget_ns`, then
+/// recurses into each span's own children within its allotted window.
+fn layout(
+    spans: &[SpanAgg],
+    parent: Option<&str>,
+    start_ns: f64,
+    budget_ns: f64,
+    events: &mut Vec<String>,
+) {
+    let kids = children(spans, parent);
+    if kids.is_empty() {
+        return;
+    }
+    let natural: f64 = kids.iter().map(|s| s.total_ns as f64).sum();
+    let scale = if natural > budget_ns && natural > 0.0 {
+        budget_ns / natural
+    } else {
+        1.0
+    };
+    let mut cursor = start_ns;
+    for s in kids {
+        let dur_ns = s.total_ns as f64 * scale;
+        let leaf = s.path.rsplit('/').next().unwrap_or(&s.path);
+        let mut e = String::from("{\"name\":\"");
+        esc(leaf, &mut e);
+        e.push_str("\",\"cat\":\"span\",\"ph\":\"X\",");
+        let _ = write!(
+            e,
+            "\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":1,\"args\":{{\"path\":\"",
+            cursor / 1e3,
+            dur_ns / 1e3
+        );
+        esc(&s.path, &mut e);
+        let _ = write!(
+            e,
+            "\",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}}}",
+            s.count, s.total_ns, s.self_ns
+        );
+        events.push(e);
+        layout(spans, Some(&s.path), cursor, dur_ns, events);
+        cursor += dur_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(path: &str, count: u64, total_ns: u64, self_ns: u64) -> SpanAgg {
+        SpanAgg {
+            path: path.to_string(),
+            count,
+            total_ns,
+            self_ns,
+        }
+    }
+
+    #[test]
+    fn nests_children_inside_their_parent_window() {
+        let spans = vec![
+            agg("sweep", 1, 1_000_000, 400_000),
+            agg("sweep/analyze", 10, 500_000, 500_000),
+            agg("sweep/check", 10, 100_000, 100_000),
+        ];
+        let out = chrome_trace(&spans, &[], &[]);
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(out.contains("\"name\":\"sweep\""));
+        assert!(out.contains("\"name\":\"analyze\""));
+        // sweep spans [0, 1000) µs; analyze spans [0, 500) µs inside it.
+        assert!(out.contains("\"ts\":0.000,\"dur\":1000.000"));
+        assert!(out.contains("\"ts\":0.000,\"dur\":500.000"));
+        // check follows analyze sequentially.
+        assert!(out.contains("\"ts\":500.000,\"dur\":100.000"));
+        assert!(out.contains("\"path\":\"sweep/check\""));
+    }
+
+    #[test]
+    fn overflowing_children_scale_into_the_parent() {
+        // Two children of 800 µs each inside a 1 ms parent: scaled ×0.625.
+        let spans = vec![
+            agg("p", 1, 1_000_000, 0),
+            agg("p/a", 1, 800_000, 800_000),
+            agg("p/b", 1, 800_000, 800_000),
+        ];
+        let out = chrome_trace(&spans, &[], &[]);
+        assert!(out.contains("\"ts\":0.000,\"dur\":500.000"), "{out}");
+        assert!(out.contains("\"ts\":500.000,\"dur\":500.000"), "{out}");
+        // The exact aggregate survives in args even when scaled.
+        assert!(out.contains("\"total_ns\":800000"));
+    }
+
+    #[test]
+    fn counters_and_hists_become_counter_events() {
+        let h = {
+            let mut h = HistSnapshot::empty("analyze.module");
+            h.count = 4;
+            h.sum_ns = 40;
+            h.min_ns = 10;
+            h.max_ns = 10;
+            h.buckets = vec![(4, 4)];
+            h
+        };
+        let out = chrome_trace(&[], &[("alias.unifications".to_string(), 7)], &[h]);
+        assert!(out.contains("\"name\":\"alias.unifications\""));
+        assert!(out.contains("\"args\":{\"value\":7}"));
+        assert!(out.contains("\"name\":\"hist:analyze.module\""));
+        assert!(out.contains("\"p50_ns\":10"), "clamped to max: {out}");
+        assert!(out.contains("\"count\":4"));
+        assert!(out.ends_with("\n]}\n"));
+    }
+}

@@ -20,27 +20,39 @@
 //!   counters ([`Counter`]) incremented from deep inside the alias,
 //!   effects and cqual crates. Relaxed atomic adds commute, so totals
 //!   are byte-identical for every thread count.
+//! * **Histograms** ([`record`]/[`hist_timer!`]): log2-bucketed latency
+//!   distributions ([`Hist`]) with exact count/sum/min/max and
+//!   deterministic percentiles, merged thread-locally exactly like
+//!   spans — the per-event view (p50/p95/p99) that sums and means hide.
 //! * **Leveled logging** ([`error!`]/[`warn!`]/[`info!`]/[`debug!`]):
 //!   every diagnostic the pipeline used to `eprintln!` now respects one
 //!   global [`Level`], set from `LOCALIAS_LOG` and `--quiet`.
 //!
 //! Sinks are pulled, not pushed: enable collection with
-//! [`enable_metrics`]/[`enable_spans`], run the pipeline, then
-//! [`drain`] a [`Trace`] and render it as a JSON-lines file
-//! ([`Trace::to_jsonl`], schema `localias-trace/v1`) or a human profile
-//! table ([`Trace::render_profile`]).
+//! [`enable_metrics`]/[`enable_spans`]/[`enable_hists`], run the
+//! pipeline, then [`drain`] a [`Trace`] and render it as a JSON-lines
+//! file ([`Trace::to_jsonl`], schema `localias-trace/v2`), a human
+//! profile table ([`Trace::render_profile`]), or a Chrome trace-event
+//! timeline ([`chrome_trace`]) that opens in Perfetto.
 
+mod chrome;
+mod hist;
 mod log;
 mod metrics;
 mod span;
 mod trace;
 
+pub use chrome::chrome_trace;
+pub use hist::{
+    bucket_index, bucket_upper_bound, fmt_ns, hist_by_name, hist_name, hists_enabled, record,
+    record_duration, Hist, HistSnapshot, HistTimer, ALL_HISTS, HIST_BUCKETS, HIST_COUNT,
+};
 pub use log::{init_from_env, log_enabled, set_level, Level};
 pub use metrics::{
     count, counter_name, gauge_max, metrics_enabled, peak_rss_bytes, Counter, Metrics,
 };
 pub use span::{fork, spans_enabled, Span, SpanAgg, SpanContext};
-pub use trace::{validate_jsonl, Trace, TraceSummary, SCHEMA};
+pub use trace::{text_histogram, validate_jsonl, Trace, TraceSummary, SCHEMA, SCHEMA_V1};
 
 use std::sync::atomic::Ordering;
 
@@ -64,21 +76,37 @@ pub fn disable_spans() {
     span::SPANS_ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Enables both spans and counters — the usual "install a sink" call
-/// behind `--trace-out` / `--profile`.
+/// Enables histogram collection ([`record`] and [`hist_timer!`] become
+/// live). Histograms are cheap enough that the bench harness keeps them
+/// on even when no span/counter sink is installed — every bench
+/// artifact carries latency percentiles.
+pub fn enable_hists() {
+    hist::HISTS_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disables histogram collection (already-recorded samples stay
+/// buffered).
+pub fn disable_hists() {
+    hist::HISTS_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Enables spans, counters and histograms — the usual "install a sink"
+/// call behind `--trace-out` / `--profile` / `--trace-chrome`.
 pub fn enable_all() {
     enable_metrics();
     enable_spans();
+    enable_hists();
 }
 
 /// Drains everything recorded so far into a [`Trace`]: flushes the
-/// calling thread's span buffer, merges the global span aggregate, and
-/// snapshots every counter. Counters and span aggregates are reset so a
-/// subsequent drain observes only new work.
+/// calling thread's span and histogram buffers, merges the global
+/// aggregates, and snapshots every counter. All three stores are reset
+/// so a subsequent drain observes only new work.
 pub fn drain() -> Trace {
     span::flush_current_thread();
     Trace {
         spans: span::take_aggregate(),
+        hists: hist::take_hists(),
         counters: metrics::take_counters(),
     }
 }
@@ -124,6 +152,21 @@ macro_rules! counter {
     };
 }
 
+/// Times the enclosing scope into a latency [`Hist`]ogram: records the
+/// elapsed nanoseconds when the returned guard drops. Compiles to one
+/// relaxed atomic load when histograms are disabled.
+///
+/// ```
+/// # use localias_obs as obs;
+/// let _t = obs::hist_timer!(obs::Hist::AnalyzeModule);
+/// ```
+#[macro_export]
+macro_rules! hist_timer {
+    ($h:expr) => {
+        $crate::HistTimer::start($h)
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +184,7 @@ mod tests {
         let t = drain();
         disable_metrics();
         disable_spans();
+        disable_hists();
         assert_eq!(t.counter(Counter::AliasUnifications), 7);
         let paths: Vec<&str> = t.spans.iter().map(|s| s.path.as_str()).collect();
         assert!(paths.contains(&"test.root"), "{paths:?}");
@@ -156,6 +200,7 @@ mod tests {
         let _l = test_lock();
         disable_metrics();
         disable_spans();
+        disable_hists();
         let _ = drain();
         {
             let _s = span!("test.dead");
@@ -189,6 +234,7 @@ mod tests {
         let t = drain();
         disable_metrics();
         disable_spans();
+        disable_hists();
         let m = t
             .spans
             .iter()

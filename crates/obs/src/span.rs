@@ -233,6 +233,10 @@ pub struct AttachGuard {
 impl Drop for AttachGuard {
     fn drop(&mut self) {
         flush_current_thread();
+        // Worker threads flush their histogram samples on the same edge
+        // their spans flush — detaching is the "this thread's work is
+        // merged" point for every sink.
+        crate::hist::flush_current_thread();
         TLS.with(|t| {
             t.borrow_mut().base = std::mem::take(&mut self.prev);
         });

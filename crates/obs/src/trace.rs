@@ -1,38 +1,49 @@
-//! Trace sinks: the versioned JSON-lines format (`localias-trace/v1`),
+//! Trace sinks: the versioned JSON-lines format (`localias-trace/v2`),
 //! its validator, and the human `--profile` table.
 //!
 //! A trace file is one JSON object per line:
 //!
 //! ```text
-//! {"schema":"localias-trace/v1"}
+//! {"schema":"localias-trace/v2"}
 //! {"type":"span","path":"experiment/sweep/module.check","count":589,"total_ns":48210934,"self_ns":48210934}
+//! {"type":"hist","name":"analyze.module","count":1178,"sum_ns":64170212,"min_ns":9875,"max_ns":1403210,"buckets":[[14,310],[15,704],[16,164]]}
 //! {"type":"counter","name":"alias.unifications","value":151320}
 //! ```
 //!
-//! Span lines come sorted by path and counter lines in registry order,
-//! so two traces of the same work differ only in the `*_ns` fields —
-//! strip those (see [`Trace::normalized`]) and the trace is
-//! byte-identical for any thread count.
+//! Span lines come sorted by path, then histogram lines sorted by name,
+//! then counter lines in registry order, so two traces of the same work
+//! differ only in the `*_ns` fields and bucket placement — strip those
+//! (see [`Trace::normalized`]) and the trace is byte-identical for any
+//! thread count. The validator still accepts the v1 schema (spans +
+//! counters only); histogram lines are only legal in v2.
 
+use crate::hist::{bucket_upper_bound, fmt_ns, hist_by_name, HistSnapshot, HIST_BUCKETS};
 use crate::metrics::{counter_by_name, Counter, Metrics};
 use crate::span::SpanAgg;
 use std::fmt::Write as _;
 
 /// The trace file schema identifier.
-pub const SCHEMA: &str = "localias-trace/v1";
+pub const SCHEMA: &str = "localias-trace/v2";
 
-/// Everything one [`crate::drain`] observed: the merged span aggregate
-/// and a counter snapshot.
+/// The previous schema identifier — still accepted by the validator so
+/// pre-histogram trace files keep validating (and converting to Chrome
+/// traces); new files are always written as v2.
+pub const SCHEMA_V1: &str = "localias-trace/v1";
+
+/// Everything one [`crate::drain`] observed: the merged span aggregate,
+/// the latency histograms, and a counter snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Aggregated spans, sorted by path.
     pub spans: Vec<SpanAgg>,
+    /// Non-empty latency histograms, sorted by name.
+    pub hists: Vec<HistSnapshot>,
     /// Counter totals.
     pub counters: Metrics,
 }
 
 /// Escapes a string for a JSON string literal.
-fn esc(s: &str, out: &mut String) {
+pub(crate) fn esc(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -51,19 +62,32 @@ impl Trace {
         self.counters.get(c)
     }
 
+    /// The drained histogram of one [`crate::Hist`], if it recorded
+    /// anything.
+    pub fn hist(&self, h: crate::Hist) -> Option<&HistSnapshot> {
+        let name = crate::hist_name(h);
+        self.hists.iter().find(|s| s.name == name)
+    }
+
     /// `true` if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty()
+        self.spans.is_empty() && self.hists.is_empty() && self.counters.is_empty()
     }
 
     /// The thread-count-invariant shape of the trace: `(path, count)`
-    /// per span plus every non-zero counter, timestamps stripped.
+    /// per span, `(name, count)` per histogram, plus every non-zero
+    /// counter — timestamps and bucket placement stripped.
     pub fn normalized(&self) -> Vec<(String, u64)> {
         let mut out: Vec<(String, u64)> = self
             .spans
             .iter()
             .map(|s| (format!("span:{}", s.path), s.count))
             .collect();
+        out.extend(
+            self.hists
+                .iter()
+                .map(|h| (format!("hist:{}", h.name), h.count)),
+        );
         out.extend(
             self.counters
                 .iter_nonzero()
@@ -85,6 +109,19 @@ impl Trace {
                 s.count, s.total_ns, s.self_ns
             );
         }
+        for h in &self.hists {
+            out.push_str("{\"type\":\"hist\",\"name\":\"");
+            esc(&h.name, &mut out);
+            let _ = write!(
+                out,
+                "\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"buckets\":[",
+                h.count, h.sum_ns, h.min_ns, h.max_ns
+            );
+            for (k, &(i, c)) in h.buckets.iter().enumerate() {
+                let _ = write!(out, "{}[{i},{c}]", if k == 0 { "" } else { "," });
+            }
+            out.push_str("]}\n");
+        }
         for (name, value) in self.counters.iter_nonzero() {
             out.push_str("{\"type\":\"counter\",\"name\":\"");
             esc(name, &mut out);
@@ -94,7 +131,8 @@ impl Trace {
     }
 
     /// Renders the human `--profile` table: spans sorted by total time
-    /// (descending), then every non-zero counter.
+    /// (descending), then latency histograms with exact percentiles and
+    /// log2 bucket bars, then every non-zero counter.
     pub fn render_profile(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -114,6 +152,40 @@ impl Trace {
                 s.self_ns as f64 / 1e6
             );
         }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "p50", "p90", "p95", "p99", "max"
+            );
+            for h in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    h.name,
+                    h.count,
+                    fmt_ns(h.percentile(50)),
+                    fmt_ns(h.percentile(90)),
+                    fmt_ns(h.percentile(95)),
+                    fmt_ns(h.percentile(99)),
+                    fmt_ns(h.max_ns)
+                );
+            }
+            for h in &self.hists {
+                if h.buckets.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(out);
+                let _ = writeln!(out, "{} latency ({} samples):", h.name, h.count);
+                let buckets: Vec<(String, usize)> = h
+                    .buckets
+                    .iter()
+                    .map(|&(i, c)| (format!("≤{}", fmt_ns(bucket_upper_bound(i))), c as usize))
+                    .collect();
+                out.push_str(&text_histogram(&buckets, 40));
+            }
+        }
         let mut counters: Vec<(&str, u64)> = self.counters.iter_nonzero().collect();
         // Registry declaration order puts the `mem.*` gauges in a block
         // at the end; sorting by name instead files every row — counter
@@ -128,6 +200,19 @@ impl Trace {
         }
         out
     }
+}
+
+/// Renders a text histogram: `buckets` of `(label, count)`, bars scaled
+/// to `width` columns. (Shared by the `--profile` table here and the
+/// bench crate's Figure 6 rendering.)
+pub fn text_histogram(buckets: &[(String, usize)], width: usize) -> String {
+    let max = buckets.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (label, count) in buckets {
+        let bar = "#".repeat(count * width / max);
+        let _ = writeln!(out, "{label:>12} | {bar} {count}");
+    }
+    out
 }
 
 /// Renders one counter row's value. `mem.*` byte gauges humanize to
@@ -153,6 +238,11 @@ fn render_counter_value(name: &str, value: u64) -> String {
 pub struct TraceSummary {
     /// Number of span lines.
     pub spans: usize,
+    /// The parsed span aggregate, in file (path-sorted) order — enough
+    /// to rebuild a Chrome trace from an on-disk file.
+    pub span_rows: Vec<SpanAgg>,
+    /// Parsed histogram lines, in file (name-sorted) order.
+    pub hists: Vec<HistSnapshot>,
     /// Parsed `(name, value)` counter lines.
     pub counters: Vec<(String, u64)>,
 }
@@ -169,26 +259,34 @@ impl TraceSummary {
     }
 }
 
-/// A strict validator for the `localias-trace/v1` JSON-lines format —
-/// the tiny schema check `scripts/check.sh` runs against real trace
-/// files. Verifies the header, every line's shape, span-path sortedness,
-/// and that counter names come from the registry.
+/// A strict validator for the `localias-trace/v2` (and legacy v1)
+/// JSON-lines format — the tiny schema check `scripts/check.sh` runs
+/// against real trace files. Verifies the header, every line's shape,
+/// span-path and histogram-name sortedness, histogram internal
+/// consistency (bucket counts sum to the sample count, min/max land in
+/// the first/last bucket), and that names come from the registries.
 pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
     let mut lines = text.lines().enumerate();
     let Some((_, header)) = lines.next() else {
         return Err("empty trace".into());
     };
-    if header != format!("{{\"schema\":\"{SCHEMA}\"}}") {
+    let v2 = if header == format!("{{\"schema\":\"{SCHEMA}\"}}") {
+        true
+    } else if header == format!("{{\"schema\":\"{SCHEMA_V1}\"}}") {
+        false
+    } else {
         return Err(format!("bad header line: {header}"));
-    }
+    };
     let mut summary = TraceSummary::default();
     let mut last_path: Option<String> = None;
+    let mut last_hist: Option<String> = None;
+    let mut seen_hist = false;
     let mut seen_counter = false;
     for (i, line) in lines {
         let lineno = i + 1;
         if let Some(rest) = line.strip_prefix("{\"type\":\"span\",\"path\":\"") {
-            if seen_counter {
-                return Err(format!("line {lineno}: span after counter lines"));
+            if seen_hist || seen_counter {
+                return Err(format!("line {lineno}: span after hist/counter lines"));
             }
             let (path, rest) = take_json_string(rest)
                 .ok_or_else(|| format!("line {lineno}: unterminated span path"))?;
@@ -218,8 +316,33 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
                     return Err(format!("line {lineno}: span paths not sorted"));
                 }
             }
-            last_path = Some(path);
+            last_path = Some(path.clone());
             summary.spans += 1;
+            summary.span_rows.push(SpanAgg {
+                path,
+                count,
+                total_ns,
+                self_ns,
+            });
+        } else if let Some(rest) = line.strip_prefix("{\"type\":\"hist\",\"name\":\"") {
+            if !v2 {
+                return Err(format!("line {lineno}: hist line in a v1 trace"));
+            }
+            if seen_counter {
+                return Err(format!("line {lineno}: hist after counter lines"));
+            }
+            seen_hist = true;
+            let hist = parse_hist_line(rest).map_err(|e| format!("line {lineno}: {e}"))?;
+            if hist_by_name(&hist.name).is_none() {
+                return Err(format!("line {lineno}: unknown histogram `{}`", hist.name));
+            }
+            if let Some(prev) = &last_hist {
+                if *prev >= hist.name {
+                    return Err(format!("line {lineno}: histogram names not sorted"));
+                }
+            }
+            last_hist = Some(hist.name.clone());
+            summary.hists.push(hist);
         } else if let Some(rest) = line.strip_prefix("{\"type\":\"counter\",\"name\":\"") {
             seen_counter = true;
             let (name, rest) = take_json_string(rest)
@@ -242,6 +365,92 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
         }
     }
     Ok(summary)
+}
+
+/// Parses (and consistency-checks) the remainder of a hist line after
+/// its `{"type":"hist","name":"` prefix.
+fn parse_hist_line(rest: &str) -> Result<HistSnapshot, String> {
+    let (name, rest) =
+        take_json_string(rest).ok_or_else(|| "unterminated hist name".to_string())?;
+    let rest = rest
+        .strip_prefix("\",\"count\":")
+        .ok_or_else(|| "missing count".to_string())?;
+    let (count, rest) = take_u64(rest)?;
+    let rest = rest
+        .strip_prefix(",\"sum_ns\":")
+        .ok_or_else(|| "missing sum_ns".to_string())?;
+    let (sum_ns, rest) = take_u64(rest)?;
+    let rest = rest
+        .strip_prefix(",\"min_ns\":")
+        .ok_or_else(|| "missing min_ns".to_string())?;
+    let (min_ns, rest) = take_u64(rest)?;
+    let rest = rest
+        .strip_prefix(",\"max_ns\":")
+        .ok_or_else(|| "missing max_ns".to_string())?;
+    let (max_ns, rest) = take_u64(rest)?;
+    let mut rest = rest
+        .strip_prefix(",\"buckets\":[")
+        .ok_or_else(|| "missing buckets".to_string())?;
+    let mut buckets: Vec<(usize, u64)> = Vec::new();
+    while !rest.starts_with(']') {
+        if !buckets.is_empty() {
+            rest = rest
+                .strip_prefix(',')
+                .ok_or_else(|| "missing comma between buckets".to_string())?;
+        }
+        rest = rest
+            .strip_prefix('[')
+            .ok_or_else(|| "malformed bucket".to_string())?;
+        let (index, r) = take_u64(rest)?;
+        let r = r
+            .strip_prefix(',')
+            .ok_or_else(|| "malformed bucket".to_string())?;
+        let (bcount, r) = take_u64(r)?;
+        rest = r
+            .strip_prefix(']')
+            .ok_or_else(|| "malformed bucket".to_string())?;
+        if index as usize >= HIST_BUCKETS {
+            return Err(format!("bucket index {index} out of range"));
+        }
+        if let Some(&(prev, _)) = buckets.last() {
+            if prev >= index as usize {
+                return Err("bucket indices not ascending".to_string());
+            }
+        }
+        if bcount == 0 {
+            return Err("zero-count bucket".to_string());
+        }
+        buckets.push((index as usize, bcount));
+    }
+    if rest != "]}" {
+        return Err(format!("trailing content {rest:?}"));
+    }
+    if count == 0 {
+        return Err("zero-count histogram".to_string());
+    }
+    if min_ns > max_ns {
+        return Err("min_ns exceeds max_ns".to_string());
+    }
+    if sum_ns < max_ns {
+        return Err("sum_ns below max_ns".to_string());
+    }
+    let bucket_total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if bucket_total != count {
+        return Err(format!("buckets sum to {bucket_total}, count is {count}"));
+    }
+    let first = buckets.first().map(|&(i, _)| i).unwrap_or(0);
+    let last = buckets.last().map(|&(i, _)| i).unwrap_or(0);
+    if crate::hist::bucket_index(min_ns) != first || crate::hist::bucket_index(max_ns) != last {
+        return Err("min/max fall outside the first/last bucket".to_string());
+    }
+    Ok(HistSnapshot {
+        name,
+        count,
+        sum_ns,
+        min_ns,
+        max_ns,
+        buckets,
+    })
 }
 
 /// Reads a JSON string body up to (not including) its closing quote,
@@ -286,7 +495,7 @@ fn take_u64(s: &str) -> Result<(u64, &str), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{count, drain, enable_all, span, test_lock, Counter};
+    use crate::{count, drain, enable_all, span, test_lock, Counter, Hist};
 
     fn sample_trace() -> Trace {
         let _l = test_lock();
@@ -297,10 +506,14 @@ mod tests {
             let _b = span!("unit.beta");
             count(Counter::CheckSatQueries, 11);
             count(Counter::AliasUnifications, 4);
+            crate::record(Hist::CheckFunction, 700);
+            crate::record(Hist::CheckFunction, 90_000);
+            crate::record(Hist::AnalyzeModule, 1_500);
         }
         let t = drain();
         crate::disable_metrics();
         crate::disable_spans();
+        crate::disable_hists();
         t
     }
 
@@ -310,9 +523,29 @@ mod tests {
         let text = t.to_jsonl();
         let summary = validate_jsonl(&text).expect("well-formed trace validates");
         assert_eq!(summary.spans, t.spans.len());
+        assert_eq!(summary.span_rows.len(), t.spans.len());
         assert_eq!(summary.counter(Counter::CheckSatQueries), 11);
         assert_eq!(summary.counter(Counter::AliasUnifications), 4);
         assert_eq!(summary.counter(Counter::EffectVars), 0, "absent means 0");
+        // Histograms survive the round trip exactly.
+        assert_eq!(summary.hists, t.hists);
+        assert_eq!(summary.hists.len(), 2);
+        assert_eq!(summary.hists[0].name, "analyze.module");
+        assert_eq!(summary.hists[1].name, "check.function");
+        assert_eq!(summary.hists[1].count, 2);
+    }
+
+    #[test]
+    fn v1_traces_still_validate_but_reject_hist_lines() {
+        let v1 = format!(
+            "{{\"schema\":\"{SCHEMA_V1}\"}}\n{{\"type\":\"counter\",\"name\":\"cqual.errors\",\"value\":3}}\n"
+        );
+        let summary = validate_jsonl(&v1).expect("v1 still validates");
+        assert_eq!(summary.counter(Counter::CqualErrors), 3);
+        let v1_with_hist = format!(
+            "{{\"schema\":\"{SCHEMA_V1}\"}}\n{{\"type\":\"hist\",\"name\":\"analyze.module\",\"count\":1,\"sum_ns\":5,\"min_ns\":5,\"max_ns\":5,\"buckets\":[[3,1]]}}\n"
+        );
+        assert!(validate_jsonl(&v1_with_hist).is_err(), "hist is v2-only");
     }
 
     #[test]
@@ -330,6 +563,48 @@ mod tests {
     }
 
     #[test]
+    fn validator_rejects_inconsistent_histograms() {
+        let line = |body: &str| format!("{{\"schema\":\"{SCHEMA}\"}}\n{body}\n");
+        let ok = line(
+            "{\"type\":\"hist\",\"name\":\"analyze.module\",\"count\":2,\"sum_ns\":12,\"min_ns\":4,\"max_ns\":8,\"buckets\":[[3,1],[4,1]]}",
+        );
+        assert!(validate_jsonl(&ok).is_ok(), "baseline hist validates");
+        for (why, bad) in [
+            (
+                "unknown name",
+                "{\"type\":\"hist\",\"name\":\"bogus.hist\",\"count\":2,\"sum_ns\":12,\"min_ns\":4,\"max_ns\":8,\"buckets\":[[3,1],[4,1]]}",
+            ),
+            (
+                "bucket sum mismatch",
+                "{\"type\":\"hist\",\"name\":\"analyze.module\",\"count\":3,\"sum_ns\":12,\"min_ns\":4,\"max_ns\":8,\"buckets\":[[3,1],[4,1]]}",
+            ),
+            (
+                "min above max",
+                "{\"type\":\"hist\",\"name\":\"analyze.module\",\"count\":2,\"sum_ns\":12,\"min_ns\":9,\"max_ns\":8,\"buckets\":[[3,1],[4,1]]}",
+            ),
+            (
+                "min outside first bucket",
+                "{\"type\":\"hist\",\"name\":\"analyze.module\",\"count\":2,\"sum_ns\":12,\"min_ns\":1,\"max_ns\":8,\"buckets\":[[3,1],[4,1]]}",
+            ),
+            (
+                "unsorted buckets",
+                "{\"type\":\"hist\",\"name\":\"analyze.module\",\"count\":2,\"sum_ns\":12,\"min_ns\":4,\"max_ns\":8,\"buckets\":[[4,1],[3,1]]}",
+            ),
+            (
+                "bucket index out of range",
+                "{\"type\":\"hist\",\"name\":\"analyze.module\",\"count\":1,\"sum_ns\":8,\"min_ns\":8,\"max_ns\":8,\"buckets\":[[64,1]]}",
+            ),
+        ] {
+            assert!(validate_jsonl(&line(bad)).is_err(), "{why} should fail");
+        }
+        // Hist lines after counter lines violate the section order.
+        let misordered = format!(
+            "{{\"schema\":\"{SCHEMA}\"}}\n{{\"type\":\"counter\",\"name\":\"cqual.errors\",\"value\":1}}\n{{\"type\":\"hist\",\"name\":\"analyze.module\",\"count\":1,\"sum_ns\":5,\"min_ns\":5,\"max_ns\":5,\"buckets\":[[3,1]]}}\n"
+        );
+        assert!(validate_jsonl(&misordered).is_err(), "hist after counters");
+    }
+
+    #[test]
     fn normalized_strips_timestamps_only() {
         let t = sample_trace();
         let norm = t.normalized();
@@ -337,20 +612,41 @@ mod tests {
         assert!(norm
             .iter()
             .any(|(k, v)| k == "counter:effects.checksat_queries" && *v == 11));
-        // Only shape survives: every entry is a span path or counter name.
         assert!(norm
             .iter()
-            .all(|(k, _)| k.starts_with("span:") || k.starts_with("counter:")));
+            .any(|(k, v)| k == "hist:check.function" && *v == 2));
+        // Only shape survives: every entry is a span path, hist name, or
+        // counter name.
+        assert!(norm.iter().all(|(k, _)| k.starts_with("span:")
+            || k.starts_with("hist:")
+            || k.starts_with("counter:")));
     }
 
     #[test]
-    fn profile_table_renders_spans_and_counters() {
+    fn profile_table_renders_spans_hists_and_counters() {
         let t = sample_trace();
         let table = t.render_profile();
         assert!(table.contains("unit.alpha"));
         assert!(table.contains("unit.alpha/unit.beta"));
         assert!(table.contains("effects.checksat_queries"));
         assert!(table.contains("total (ms)"));
+        // The histogram section: header, a row per hist with humanized
+        // percentiles, and bucket bars.
+        assert!(table.contains("histogram"), "{table}");
+        assert!(table.contains("p99"), "{table}");
+        assert!(table.contains("check.function"), "{table}");
+        assert!(
+            table.contains("check.function latency (2 samples):"),
+            "{table}"
+        );
+        assert!(
+            table.contains("≤1.0 µs"),
+            "bucket label for 700 ns: {table}"
+        );
+        assert!(
+            table.contains("≤131.1 µs"),
+            "bucket label for 90 µs: {table}"
+        );
     }
 
     #[test]
@@ -365,6 +661,7 @@ mod tests {
         let t = drain();
         crate::disable_metrics();
         crate::disable_spans();
+        crate::disable_hists();
         let table = t.render_profile();
         // Rows sort by name, not registry declaration order (which puts
         // cqual.* before cache.* and the mem.* gauges in a trailing
@@ -380,5 +677,20 @@ mod tests {
         assert!(table.contains("1.5 KiB"), "{table}");
         assert!(table.contains("27.5 MiB"), "{table}");
         assert!(!table.contains("28835840"), "{table}");
+    }
+
+    #[test]
+    fn text_histogram_renders_scaled_bars() {
+        let buckets = vec![
+            ("0".to_string(), 2),
+            ("1-2".to_string(), 10),
+            ("3+".to_string(), 5),
+        ];
+        let text = text_histogram(&buckets, 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains(&"#".repeat(20)), "max bucket fills width");
+        assert!(lines[2].contains(&"#".repeat(10)), "half bucket half width");
+        assert!(lines[0].ends_with("2"));
     }
 }

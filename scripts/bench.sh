@@ -1,26 +1,34 @@
 #!/bin/sh
 # Runs the full §7 experiment sweep twice — cold (fresh cache) and warm
 # (fully cached) — and writes machine-readable performance reports
-# (schema localias-bench-experiment/v4, with per-shard cache counters
-# and an embedded per-phase profile block) to the repo root:
+# (schema localias-bench-experiment/v6, with per-shard cache counters,
+# an embedded per-phase profile block, and the latency-histogram block
+# with exact p50/p90/p95/p99 per stage) to the repo root:
 #
 #   BENCH_experiment_cold.json   cold sweep, cache.misses == modules
 #   BENCH_experiment.json        warm sweep, cache.hits   == modules
 #   BENCH_intra.json             mega-module sequential-vs-wave-parallel
-#                                timings (schema localias-bench-intra/v2)
+#                                timings (schema localias-bench-intra/v3)
 #   BENCH_watch.json             function-granular incremental recheck:
 #                                cold/edit/no-op latencies + check-phase
 #                                speedup over from-scratch analysis
-#                                (schema localias-bench-watch/v1)
+#                                (schema localias-bench-watch/v2)
 #   BENCH_alias.json             alias-backend precision/perf frontier:
 #                                both backends over the calibrated
 #                                corpus, categories + error totals +
 #                                wall time side by side (schema
-#                                localias-bench-alias/v1)
+#                                localias-bench-alias/v2)
+#   BENCH_fuzz.json              differential-fuzzing throughput + FP
+#                                rates (schema localias-bench-fuzz/v2)
 #   BENCH_scale.json             modules/sec + peak RSS vs corpus size
-#                                (schema localias-bench-scale/v1; only
+#                                (schema localias-bench-scale/v2; only
 #                                written when BENCH_SCALE=1 — it takes
 #                                minutes)
+#
+# After the sweeps, `localias bench-diff` reports warm-vs-cold and — when
+# a previous BENCH_experiment.json existed — run-over-run deltas. Both
+# reports are informational here (|| true): regressions print but don't
+# fail the bench run. CI gates on bench-diff in scripts/check.sh instead.
 #
 # Usage: scripts/bench.sh [--jobs N] [SEED]
 #        (extra args are passed through to `localias experiment`)
@@ -34,6 +42,11 @@ CACHE=${LOCALIAS_CACHE:-.localias-cache}
 
 cargo build --release -p localias-driver -p localias-bench
 
+# Keep the previous warm artifact around for the run-over-run report.
+if [ -f BENCH_experiment.json ]; then
+    cp BENCH_experiment.json BENCH_experiment.prev.json
+fi
+
 rm -rf "$CACHE"
 ./target/release/localias experiment --cache "$CACHE" \
     --bench-out BENCH_experiment_cold.json "$@"
@@ -46,6 +59,23 @@ cat BENCH_experiment_cold.json
 echo
 echo "wrote $(pwd)/BENCH_experiment.json (warm):"
 cat BENCH_experiment.json
+
+# What did the cache buy? The warm-vs-cold delta, per metric — wall time
+# and phase times should be "improved", throughput likewise; histogram
+# percentiles show which stages the cache removes entirely.
+echo
+echo "bench-diff cold -> warm:"
+./target/release/localias bench-diff BENCH_experiment_cold.json \
+    BENCH_experiment.json || true
+
+# Run-over-run: this warm sweep against the previous one, when we have
+# one. Informational — machine gating happens in check.sh.
+if [ -f BENCH_experiment.prev.json ]; then
+    echo
+    echo "bench-diff previous warm run -> this warm run:"
+    ./target/release/localias bench-diff BENCH_experiment.prev.json \
+        BENCH_experiment.json || true
+fi
 
 # Intra-module wave parallelism on the synthesized mega-module: one
 # sequential and one parallel run per mode, reports asserted identical.

@@ -6,9 +6,11 @@
 # crash-recovery smoke that kills a sweep mid-run and fabricates the
 # worst-case crash artifacts to prove the sharded store heals itself,
 # a watch-determinism smoke proving incremental recheck reports stay
-# byte-identical to full rechecks at two worker counts, and an
-# observability smoke that traces a sweep and validates the emitted
-# trace with `localias tracecheck`.
+# byte-identical to full rechecks at two worker counts, an
+# observability smoke that traces a sweep, validates the emitted trace
+# with `localias tracecheck`, and exports it as a Chrome trace, and a
+# perf-regression gate proving `localias bench-diff` is clean on a
+# self-compare and trips on an injected slowdown.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +33,14 @@ cargo test -q -p localias-bench --test obs \
     trace_shape_is_thread_invariant >/dev/null
 cargo test -q -p localias-bench --test obs \
     mega_module_counters_match_closed_form >/dev/null
+
+# The histogram determinism contract too: per-hist sample counts must
+# not depend on the thread count, and equal sample multisets must render
+# byte-identical hist blocks under any worker layout.
+cargo test -q -p localias-bench --test hist \
+    sweep_hist_counts_are_thread_invariant >/dev/null
+cargo test -q -p localias-bench --test hist \
+    equal_multisets_render_byte_identical_hist_blocks >/dev/null
 
 # Cold pass primes a throwaway cache; warm pass must hit on all 589
 # modules and miss on none.
@@ -115,7 +125,7 @@ grep -q '"hits": 589' "$HEALED" && grep -q '"misses": 0' "$HEALED" || {
 INTRA="$CACHE/intra.json"
 cargo run -q --release -p localias-bench --bin intra -- \
     --funs 120 --intra-jobs 4 --bench-out "$INTRA" >/dev/null
-grep -q '"schema": "localias-bench-intra/v2"' "$INTRA" || {
+grep -q '"schema": "localias-bench-intra/v3"' "$INTRA" || {
     echo "check.sh: intra bench wrote an unexpected report:" >&2
     cat "$INTRA" >&2
     exit 1
@@ -166,20 +176,23 @@ for JOBS in 1 4; do
 done
 
 # Observability smoke: a traced sweep must emit a trace the strict
-# validator accepts, embed a profile block in the bench report, and
-# print the profile table on stderr.
+# validator accepts, embed profile + hist blocks in the bench report,
+# print the profile table on stderr, and export a Chrome trace both
+# directly (--trace-chrome) and from the trace file (tracecheck
+# --chrome).
 TRACE="$CACHE/trace.jsonl"
 PROFILED="$CACHE/profiled.json"
 PROFTAB="$CACHE/profile.txt"
+CHROME="$CACHE/chrome.json"
 ./target/release/localias experiment --jobs 2 --cache "$CACHE" \
-    --trace-out "$TRACE" --profile --bench-out "$PROFILED" \
-    >/dev/null 2>"$PROFTAB"
+    --trace-out "$TRACE" --trace-chrome "$CHROME" --profile \
+    --bench-out "$PROFILED" >/dev/null 2>"$PROFTAB"
 ./target/release/localias tracecheck "$TRACE" >/dev/null || {
     echo "check.sh: emitted trace failed validation" >&2
     cat "$TRACE" >&2
     exit 1
 }
-grep -q '"schema":"localias-trace/v1"' "$TRACE" || {
+grep -q '"schema":"localias-trace/v2"' "$TRACE" || {
     echo "check.sh: trace header missing or wrong schema" >&2
     head -n 1 "$TRACE" >&2
     exit 1
@@ -189,9 +202,52 @@ grep -q '"profile": {' "$PROFILED" || {
     cat "$PROFILED" >&2
     exit 1
 }
+grep -q '"hist": {' "$PROFILED" || {
+    echo "check.sh: traced sweep did not embed a hist block:" >&2
+    cat "$PROFILED" >&2
+    exit 1
+}
 grep -q 'bench.sweep' "$PROFTAB" || {
     echo "check.sh: --profile table missing the sweep span:" >&2
     cat "$PROFTAB" >&2
+    exit 1
+}
+grep -q '"traceEvents"' "$CHROME" || {
+    echo "check.sh: --trace-chrome did not write a Chrome trace:" >&2
+    head -c 400 "$CHROME" >&2
+    exit 1
+}
+CHROME2="$CACHE/chrome-from-trace.json"
+./target/release/localias tracecheck "$TRACE" --chrome "$CHROME2" >/dev/null || {
+    echo "check.sh: tracecheck --chrome failed on a valid trace" >&2
+    exit 1
+}
+grep -q '"traceEvents"' "$CHROME2" || {
+    echo "check.sh: tracecheck --chrome did not write a Chrome trace:" >&2
+    head -c 400 "$CHROME2" >&2
+    exit 1
+}
+
+# Perf-regression gate: bench-diff of the profiled artifact against
+# itself must be clean (exit 0); against a copy with a 10x wall-time
+# slowdown injected it must exit non-zero and name the regression.
+./target/release/localias bench-diff "$PROFILED" "$PROFILED" >/dev/null || {
+    echo "check.sh: bench-diff self-compare reported regressions" >&2
+    ./target/release/localias bench-diff "$PROFILED" "$PROFILED" >&2 || true
+    exit 1
+}
+REGRESSED="$CACHE/regressed.json"
+sed 's/"wall_seconds": /"wall_seconds": 9/' "$PROFILED" >"$REGRESSED"
+DIFFOUT="$CACHE/diff.txt"
+if ./target/release/localias bench-diff "$PROFILED" "$REGRESSED" \
+    >"$DIFFOUT" 2>&1; then
+    echo "check.sh: bench-diff exited 0 on an injected 10x wall-time regression:" >&2
+    cat "$DIFFOUT" >&2
+    exit 1
+fi
+grep -q 'REGRESSED' "$DIFFOUT" || {
+    echo "check.sh: bench-diff failed without flagging the injected regression:" >&2
+    cat "$DIFFOUT" >&2
     exit 1
 }
 
@@ -267,4 +323,4 @@ if [ -n "$(ls -A "$FUZZ")" ]; then
     exit 1
 fi
 
-echo "check.sh: fmt, clippy, build, tests, concurrency + obs gates, warm-cache sweep, crash recovery, mega smoke, watch-determinism smoke, trace smoke, partitioned scale smoke, andersen backend smoke, and fuzz smoke all passed"
+echo "check.sh: fmt, clippy, build, tests, concurrency + obs + hist gates, warm-cache sweep, crash recovery, mega smoke, watch-determinism smoke, trace + chrome smoke, bench-diff gate, partitioned scale smoke, andersen backend smoke, and fuzz smoke all passed"
